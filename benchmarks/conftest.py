@@ -1,0 +1,48 @@
+"""Shared benchmark helpers.
+
+Benchmarks double as the experiment harness: each file regenerates one of
+the paper's tables/figures and times a representative unit of the
+underlying computation with pytest-benchmark.  Campaign matrices are
+memoized by the runner (in-process + on-disk), so the suite can be re-run
+cheaply; control the profile with REPRO_SCALE / REPRO_RUNS / REPRO_SUBJECTS.
+
+Rendered artifacts are printed (visible with ``-s`` / on failure) *and*
+persisted under ``results/benchmarks/`` so a plain ``pytest benchmarks/
+--benchmark-only`` run leaves the regenerated tables on disk.
+"""
+
+import os
+import re
+
+import pytest
+
+_RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results",
+    "benchmarks",
+)
+
+
+@pytest.fixture
+def show(request):
+    """Print a rendered artifact and persist it to results/benchmarks/."""
+    slug = re.sub(r"[^A-Za-z0-9_]+", "_", request.node.name)
+    path = os.path.join(_RESULTS_DIR, slug + ".txt")
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    # Fresh file per test invocation; multiple show() calls append.
+    if os.path.exists(path):
+        os.remove(path)
+
+    def _show(text):
+        print()
+        print(text)
+        with open(path, "a") as handle:
+            handle.write(text)
+            handle.write("\n\n")
+
+    return _show
+
+
+def one_shot(benchmark, fn):
+    """Benchmark an expensive function without repetition."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Ablation: the feedback-sensitivity spectrum.
+
+Sweeps block < edge < 4-gram < path < path-2-gram sensitivity (the related
+work's axis, RAID'19) on a subset of subjects: queue size should broadly
+grow with sensitivity, while bug findings vary per subject — the paper's
+"no universal best sensitivity" observation, with its Sec. VII extension
+(path 2-grams) included.
+"""
+
+from conftest import one_shot
+
+from repro.experiments.runner import campaign
+from repro.experiments.tables import render_table
+
+HOURS = 48
+CONFIGS = ["block", "pcguard", "ngram4", "path", "path2gram"]
+SUBJECTS = ("infotocap", "gdk", "mujs", "pdftotext")
+
+
+def collect():
+    data = {}
+    for subject in SUBJECTS:
+        per_config = {}
+        for config in CONFIGS:
+            result = campaign(subject, config, 0, HOURS)
+            per_config[config] = (
+                result.queue_size,
+                len(result.bugs),
+                result.execs,
+            )
+        data[subject] = per_config
+    return data
+
+
+def test_feedback_sensitivity_spectrum(benchmark, show):
+    data = one_shot(benchmark, collect)
+    rows = []
+    for subject, per_config in data.items():
+        for config in CONFIGS:
+            queue, bugs, execs = per_config[config]
+            rows.append([subject, config, queue, bugs, execs])
+    show(render_table(
+        ["Benchmark", "feedback", "queue", "bugs", "execs"],
+        rows,
+        title="Ablation: feedback sensitivity (block -> path 2-grams)",
+    ))
+    # Sensitivity should inflate queues on the path-explosion subject.
+    info = data["infotocap"]
+    assert info["path"][0] >= info["pcguard"][0]
+    assert info["path2gram"][0] >= info["pcguard"][0]
+    # Throughput (execs at equal budget) declines as sensitivity grows.
+    assert info["block"][2] >= info["path2gram"][2] * 0.7

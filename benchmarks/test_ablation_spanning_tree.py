@@ -1,0 +1,62 @@
+"""Ablation: Ball-Larus spanning-tree probe minimization.
+
+Compares the optimized (chord-only) placement against the canonical
+everything-with-nonzero-Val placement across the whole suite: identical
+path ids (correctness), fewer probe sites, and lower replay cost — the
+probe-minimization design choice of Sec. IV quantified.
+"""
+
+from conftest import one_shot
+
+from repro.coverage.feedback import PathFeedback
+from repro.experiments.tables import geomean, render_table
+from repro.runtime.interpreter import execute
+from repro.subjects import get_subject, subject_names
+
+
+def measure(subject):
+    fast = PathFeedback(optimize=True).instrument(subject.program)
+    slow = PathFeedback(optimize=False).instrument(subject.program)
+    fast_cost = 0
+    slow_cost = 0
+    for seed in subject.seeds:
+        r_fast = execute(subject.program, seed, fast,
+                         instr_budget=subject.exec_instr_budget)
+        r_slow = execute(subject.program, seed, slow,
+                         instr_budget=subject.exec_instr_budget)
+        assert r_fast.hits == r_slow.hits  # identical semantics
+        fast_cost += r_fast.probe_count
+        slow_cost += r_slow.probe_count
+    return fast.probe_sites, slow.probe_sites, fast_cost, slow_cost
+
+
+def test_spanning_tree_ablation(benchmark, show):
+    def collect():
+        data = {}
+        for name in subject_names():
+            data[name] = measure(get_subject(name))
+        return data
+
+    data = one_shot(benchmark, collect)
+    rows = []
+    site_ratios = []
+    probe_ratios = []
+    for name, (fast_sites, slow_sites, fast_cost, slow_cost) in data.items():
+        site_ratio = fast_sites / max(slow_sites, 1)
+        probe_ratio = fast_cost / max(slow_cost, 1)
+        site_ratios.append(site_ratio)
+        probe_ratios.append(probe_ratio)
+        rows.append([name, slow_sites, fast_sites, site_ratio,
+                     slow_cost, fast_cost, probe_ratio])
+    rows.append(["GEOMEAN", "", "", geomean(site_ratios), "", "",
+                 geomean(probe_ratios)])
+    show(render_table(
+        ["Benchmark", "canon sites", "opt sites", "sites ratio",
+         "canon probes", "opt probes", "probes ratio"],
+        rows,
+        title="Ablation: spanning-tree probe minimization (identical ids)",
+    ))
+    # The optimization must never instrument more sites, and should save
+    # run-time probe executions overall.
+    assert geomean(site_ratios) <= 1.0
+    assert geomean(probe_ratios) <= 1.05

@@ -1,0 +1,24 @@
+"""Figure 2: queue-size-over-time shapes of the three strategies.
+
+Paper shape (schematic): the baseline path queue keeps growing; culling's
+queue is repeatedly trimmed and stays lower; opportunistic stays edge-sized
+for the first half and grows afterwards.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import fig2
+
+
+def test_fig2_queue_timelines(benchmark, show):
+    series = one_shot(benchmark, fig2.collect)
+    show(fig2.render(series))
+    midpoint = fig2.POINTS // 2
+    path_final = series["path"][-1]
+    cull_final = series["cull"][-1]
+    pcguard_final = series["pcguard"][-1]
+    # The baseline ends with the largest queue; culling ends below it.
+    assert path_final >= cull_final
+    assert path_final >= pcguard_final
+    # Opportunistic grows in its second (path) half.
+    assert series["opp"][-1] >= series["opp"][midpoint - 1]

@@ -1,0 +1,19 @@
+"""Opportunistic bug recovery (the paper's 85.5% observation, Sec. V-A).
+
+Paper shape: even without the edge phase's crashing inputs, the path phase
+re-discovers the large majority of the bugs the coarse phase had found,
+while adding some of its own.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import opp_recovery
+
+
+def test_opportunistic_recovery(benchmark, show):
+    data = one_shot(benchmark, opp_recovery.collect)
+    show(opp_recovery.render(data))
+    total_phase = sum(len(phase) for phase, _opp in data.values())
+    total_recovered = sum(len(phase & opp) for phase, opp in data.values())
+    if total_phase:
+        assert total_recovered / total_phase >= 0.5

@@ -1,0 +1,17 @@
+"""Culling-round-length sensitivity (the paper's footnote 2).
+
+Paper observation: 3 h and 6 h rounds perform comparably; much longer
+rounds approach the unculled baseline.  The bench prints the sweep and
+checks only that every round length yields a functioning campaign.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_round_lengths(benchmark, show):
+    data = one_shot(benchmark, lambda: sensitivity.collect(runs=1))
+    show(sensitivity.render(data))
+    for subject, per_round in data.items():
+        assert set(per_round) == set(sensitivity.ROUND_HOURS)

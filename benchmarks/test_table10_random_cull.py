@@ -1,0 +1,28 @@
+"""Table X (Appendix D): random-culling ablation.
+
+Paper shape: cull_r sits between the unbiased baseline and the
+edge-preserving cull in total bugs — queue reduction helps by itself, the
+coverage-preserving criterion helps more.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table10
+
+
+def test_table10_random_culling(benchmark, show):
+    data = one_shot(benchmark, table10.collect)
+    show(table10.render(data))
+    bugs, subjects = data
+
+    def total(config):
+        out = set()
+        for subject in subjects:
+            out |= {(subject, b) for b in bugs[(subject, config)]}
+        return out
+
+    # Soft ordering (stochastic at small profiles): the edge-preserving
+    # criterion should not lose to random culling by a wide margin.
+    assert len(total("cull")) + 3 >= len(total("cull_r"))
+    # Both culling flavours remain competitive with the baseline.
+    assert len(total("cull") | total("cull_r")) >= len(total("path")) * 0.7

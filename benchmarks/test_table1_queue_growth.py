@@ -1,0 +1,32 @@
+"""Table I: queue items after 24-hour fuzzing (edge vs path feedback).
+
+Paper shape: the path-aware queue is never meaningfully smaller than the
+edge queue, and for loop-heavy subjects (infotocap, lame) it is a multiple.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table1
+from repro.experiments.runner import campaign
+
+
+def test_table1_queue_growth(benchmark, show):
+    data = one_shot(benchmark, table1.collect)
+    show(table1.render(data))
+    total_edge = sum(edge for _f, edge, _p in data.values())
+    total_path = sum(path for _f, _e, path in data.values())
+    # Paper: aggregate queue explosion under the path feedback.
+    assert total_path > total_edge
+    # The designated pathological subjects explode hardest.
+    ratios = {name: p / max(e, 1) for name, (_f, e, p) in data.items()}
+    if "infotocap" in ratios and "exiv2" in ratios:
+        assert ratios["infotocap"] > ratios["exiv2"]
+
+
+def test_single_campaign_cost(benchmark):
+    """Throughput reference: one short pcguard campaign on cflow."""
+    benchmark.pedantic(
+        lambda: campaign("cflow", "pcguard", 9999, hours=2),
+        rounds=1,
+        iterations=1,
+    )

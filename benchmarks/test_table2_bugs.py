@@ -1,0 +1,27 @@
+"""Table II + Figure 3: unique bugs/crashes of path, pcguard, cull, opp.
+
+Paper shape: cull finds the most bugs overall; path finds bugs pcguard
+misses inside code pcguard covered; every path-aware fuzzer contributes
+bugs the others lack (Venn regions are non-trivial).
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table2
+
+
+def test_table2_bugs_and_crashes(benchmark, show):
+    data = one_shot(benchmark, table2.collect)
+    show(table2.render(data))
+    show(table2.render_venn(data))
+    bugs, _crashes, subjects, configs = data
+    totals = table2.totals(bugs, subjects, configs)
+    # Sanity: every fuzzer finds a substantial number of bugs.
+    for config in configs:
+        assert len(totals[config]) >= 5, config
+    # Paper's headline directions (soft: small-run profiles are noisy, but
+    # these inequalities encode the claims the reproduction targets).
+    union_path_aware = totals["path"] | totals["cull"] | totals["opp"]
+    assert union_path_aware - totals["pcguard"], (
+        "path-aware fuzzers should expose bugs pcguard misses"
+    )

@@ -1,0 +1,25 @@
+"""Table III: median queue sizes, ratios vs pcguard, geomeans.
+
+Paper shape: geomean ratios obey path > opp >= cull > ~1 (the two biasing
+methods tame the explosion; culling tames it hardest).
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table3
+from repro.experiments.tables import geomean
+
+
+def test_table3_queue_ratios(benchmark, show):
+    data = one_shot(benchmark, table3.collect)
+    show(table3.render(data))
+    ratios = {"path": [], "cull": [], "opp": []}
+    for sizes in data.values():
+        base = max(sizes["pcguard"], 1)
+        for config in ratios:
+            ratios[config].append(sizes[config] / base)
+    g = {config: geomean(values) for config, values in ratios.items()}
+    # The central Table III ordering: the baseline explodes the most and
+    # culling is the strongest mitigation.
+    assert g["path"] >= g["cull"]
+    assert g["path"] >= 1.0

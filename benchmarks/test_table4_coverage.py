@@ -1,0 +1,25 @@
+"""Table IV: edge coverage attained (afl-showmap replay of final queues).
+
+Paper shape: pcguard attains the highest total edge coverage; the path-
+aware fuzzers trail in absolute counts yet still reach some edges pcguard
+misses.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table4
+
+
+def test_table4_edge_coverage(benchmark, show):
+    data = one_shot(benchmark, table4.collect)
+    show(table4.render(data))
+    totals = {c: 0 for c in ("path", "pcguard", "cull", "opp")}
+    unique_to_path_aware = 0
+    for edges in data.values():
+        for config in totals:
+            totals[config] += len(edges[config])
+        union_pa = edges["path"] | edges["cull"] | edges["opp"]
+        unique_to_path_aware += len(union_pa - edges["pcguard"])
+    # pcguard leads (or ties) total coverage; path-aware never collapses.
+    assert totals["pcguard"] >= totals["path"] * 0.9
+    assert totals["path"] > 0.5 * totals["pcguard"]

@@ -1,0 +1,22 @@
+"""Table VI (Appendix B): median per-run unique bugs.
+
+Paper shape: the cumulative trends of Table II survive medianing per run.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table6
+
+
+def test_table6_median_bugs(benchmark, show):
+    data = one_shot(benchmark, table6.collect)
+    show(table6.render(data))
+    results, subjects, runs = data
+    # Per-run medians never exceed the cumulative union.
+    for subject in subjects:
+        for config in table6.CONFIGS:
+            per_run = [len(results[(subject, config, r)].bugs) for r in range(runs)]
+            union = set()
+            for r in range(runs):
+                union |= results[(subject, config, r)].bugs
+            assert max(per_run) <= len(union)

@@ -1,0 +1,42 @@
+"""Tables VII-IX (Appendix C): PathAFL / AFL comparison.
+
+Paper shape: PathAFL trails every Ball-Larus fuzzer in unique bugs; its bug
+set nearly coincides with plain AFL's; raw "crash" counts dramatically
+over-state unique bugs (the dedup critique).
+"""
+
+from conftest import one_shot
+
+from repro.experiments import table7_9
+
+
+def test_tables7_to_9_pathafl(benchmark, show):
+    data = one_shot(benchmark, table7_9.collect)
+    show(table7_9.render_table7(data))
+    show(table7_9.render_table8(data))
+    show(table7_9.render_table9(data))
+    results, bugs, subjects, runs = data
+
+    def total(config):
+        out = set()
+        for subject in subjects:
+            out |= {(subject, b) for b in bugs[(subject, config)]}
+        return out
+
+    # Table VII shape: the modern-engine fuzzers dominate PathAFL.
+    assert len(total("cull") | total("path")) >= len(total("pathafl"))
+    # Table VIII shape: PathAFL and its AFL base find similar bug sets.
+    overlap = len(total("pathafl") & total("afl"))
+    assert overlap >= 0.5 * max(len(total("pathafl")), 1)
+    # Table IX shape: raw crashes >= AFL-novelty crashes >= stack clusters.
+    for subject in subjects:
+        for config in ("pathafl", "afl"):
+            crashes = sum(results[(subject, config, r)].crash_count for r in range(runs))
+            afl_uniq = sum(
+                results[(subject, config, r)].afl_unique_crash_count for r in range(runs)
+            )
+            uniq5 = set()
+            for r in range(runs):
+                uniq5 |= results[(subject, config, r)].unique_crash_hashes
+            assert crashes >= afl_uniq >= 0
+            assert crashes >= len(uniq5)

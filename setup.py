@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+The sandbox's setuptools predates PEP 660 editable installs (and the `wheel`
+package is absent), so `pip install -e .` needs the classic `setup.py
+develop` path.  All metadata lives in pyproject.toml; this file only bridges.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Towards Path-Aware Coverage-Guided Fuzzing" (CGO 2026).
+
+The package rebuilds, in pure Python, every layer of the paper's system:
+
+- :mod:`repro.lang` — MiniC, a small C-like language (lexer, parser, sema).
+- :mod:`repro.cfg` — lowering to basic-block control-flow graphs + analyses.
+- :mod:`repro.ballarus` — the Ball-Larus efficient path-profiling algorithm.
+- :mod:`repro.runtime` — an interpreting VM with an ASan-like memory model.
+- :mod:`repro.coverage` — pluggable coverage feedbacks (edge, path, n-gram,
+  block, PathAFL-style) over an AFL-style bitmap.
+- :mod:`repro.fuzzer` — an AFL++-like greybox fuzzing engine on a virtual
+  clock, plus a reduced AFL-like engine for the baselines.
+- :mod:`repro.strategies` — the paper's culling and opportunistic exploration
+  biasing methods (and the random-culling ablation).
+- :mod:`repro.triage` — crash deduplication (stack hashing, ground-truth bugs).
+- :mod:`repro.subjects` — an 18-subject synthetic UNIFUZZ-like benchmark suite.
+- :mod:`repro.experiments` — runners regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.lang import compile_source  # noqa: E402
+
+__all__ = ["compile_source", "__version__"]

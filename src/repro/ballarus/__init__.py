@@ -1,0 +1,30 @@
+"""Ball-Larus efficient path profiling (MICRO '96), adapted for fuzzing.
+
+Public surface:
+
+- :func:`build_dag` — CFG -> acyclic graph with back-edge surrogates;
+- :func:`number_paths` — spatially optimal path numbering;
+- :func:`place_increments` — spanning-tree probe minimization;
+- :class:`FunctionPathPlan` — everything the instrumenter needs, plus path
+  regeneration (id -> block sequence);
+- :func:`build_program_plans` — plans for a whole program.
+"""
+
+from repro.ballarus.dag import Dag, DagEdge, build_dag, ENTRY, EXIT
+from repro.ballarus.numbering import enumerate_paths, number_paths
+from repro.ballarus.plan import FunctionPathPlan, build_program_plans
+from repro.ballarus.spanning import canonical_increments, place_increments
+
+__all__ = [
+    "Dag",
+    "DagEdge",
+    "build_dag",
+    "ENTRY",
+    "EXIT",
+    "number_paths",
+    "enumerate_paths",
+    "place_increments",
+    "canonical_increments",
+    "FunctionPathPlan",
+    "build_program_plans",
+]

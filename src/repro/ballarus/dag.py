@@ -1,0 +1,135 @@
+"""CFG -> DAG transformation for Ball-Larus path profiling.
+
+Following Ball & Larus (MICRO '96), a function CFG with loops is turned into
+a DAG over which acyclic paths can be enumerated:
+
+- a virtual EXIT node is added; every RET block gets an edge to EXIT;
+- every loop back edge ``u -> v`` is removed and replaced by two *surrogate*
+  edges ``ENTRY -> v`` and ``u -> EXIT``.  At run time, taking the back edge
+  terminates the current acyclic path (as if exiting at ``u``) and starts a
+  new one (as if entering at ``v``).
+
+Parallel edges are explicitly supported (a surrogate may coincide with an
+existing CFG edge), so edges are first-class :class:`DagEdge` objects rather
+than plain pairs.
+"""
+
+from repro.cfg.analysis import back_edges
+
+ENTRY = 0
+EXIT = -1
+
+# Edge kinds.
+REGULAR = "regular"  # a CFG edge that is not a back edge
+RET_EDGE = "ret"  # RET block -> EXIT
+SURR_ENTRY = "surr-entry"  # ENTRY -> v, surrogate for back edge (u, v)
+SURR_EXIT = "surr-exit"  # u -> EXIT, surrogate for back edge (u, v)
+
+
+class DagEdge(object):
+    """One edge of the acyclic graph.
+
+    ``val`` is the Ball-Larus increment assigned by the numbering pass;
+    ``inc`` the (possibly spanning-tree-optimized) run-time increment, and
+    ``is_chord`` whether the edge carries instrumentation in the optimized
+    placement.  ``back_edge`` is the (u, v) CFG back edge a surrogate stands
+    for (None for regular/ret edges).
+    """
+
+    __slots__ = ("index", "src", "dst", "kind", "back_edge", "val", "inc", "is_chord")
+
+    def __init__(self, index, src, dst, kind, back_edge=None):
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.back_edge = back_edge
+        self.val = 0
+        self.inc = 0
+        self.is_chord = True
+
+    def __repr__(self):
+        return "DagEdge(#%d %d->%d %s val=%d inc=%d%s)" % (
+            self.index,
+            self.src,
+            self.dst,
+            self.kind,
+            self.val,
+            self.inc,
+            " chord" if self.is_chord else " tree",
+        )
+
+
+class Dag(object):
+    """The acyclic view of one function CFG.
+
+    ``nodes`` lists block ids (ENTRY first) plus EXIT; ``out_edges`` maps a
+    node to its outgoing :class:`DagEdge` objects in deterministic order
+    (terminator order, then ret, then surrogates).
+    """
+
+    __slots__ = ("cfg", "nodes", "edges", "out_edges", "in_edges", "back_edge_set")
+
+    def __init__(self, cfg, nodes, edges, back_edge_set):
+        self.cfg = cfg
+        self.nodes = nodes
+        self.edges = edges
+        self.back_edge_set = back_edge_set
+        self.out_edges = {node: [] for node in nodes}
+        self.in_edges = {node: [] for node in nodes}
+        for edge in edges:
+            self.out_edges[edge.src].append(edge)
+            self.in_edges[edge.dst].append(edge)
+
+    def topological_order(self):
+        """Nodes in a topological order (ENTRY first, EXIT last)."""
+        indegree = {node: len(self.in_edges[node]) for node in self.nodes}
+        # ENTRY may have surrogate in-edges only conceptually; it never has
+        # DAG in-edges because back edges to the entry block cannot occur in
+        # lowered MiniC (loop headers are fresh blocks).
+        ready = [node for node in self.nodes if indegree[node] == 0]
+        order = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for edge in self.out_edges[node]:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self.nodes):
+            raise ValueError(
+                "%s: DAG transform left a cycle (irreducible flow?)" % self.cfg.name
+            )
+        return order
+
+
+def build_dag(cfg):
+    """Build the Ball-Larus DAG for ``cfg``.
+
+    Raises ValueError if a back edge targets the entry block (cannot happen
+    for CFGs produced by the MiniC lowering) or if a cycle survives.
+    """
+    backs = back_edges(cfg)
+    for src, dst in backs:
+        if dst == ENTRY:
+            raise ValueError("%s: back edge into the entry block" % cfg.name)
+    nodes = [block.id for block in cfg.blocks] + [EXIT]
+    edges = []
+
+    def add(src, dst, kind, back_edge=None):
+        edge = DagEdge(len(edges), src, dst, kind, back_edge)
+        edges.append(edge)
+        return edge
+
+    for block in cfg.blocks:
+        for succ in block.successors():
+            if (block.id, succ) not in backs:
+                add(block.id, succ, REGULAR)
+    for ret_block in cfg.ret_blocks():
+        add(ret_block, EXIT, RET_EDGE)
+    for src, dst in sorted(backs):
+        add(ENTRY, dst, SURR_ENTRY, (src, dst))
+        add(src, EXIT, SURR_EXIT, (src, dst))
+    dag = Dag(cfg, nodes, edges, backs)
+    dag.topological_order()  # raises if cyclic
+    return dag

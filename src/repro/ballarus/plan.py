@@ -1,0 +1,151 @@
+"""Per-function path-profiling plans.
+
+A :class:`FunctionPathPlan` packages everything the coverage instrumenter
+and the VM need to track Ball-Larus path ids for one function:
+
+- ``edge_incs``      (src, dst) -> run-time increment for regular CFG edges;
+- ``ret_emits``      ret-block id -> increment folded into the path-end emit;
+- ``back_edge_events`` (u, v) -> (end_inc, reset_val): taking the back edge
+  emits ``pathreg + end_inc`` as a finished path id and re-seeds the
+  register with ``reset_val`` (the surrogate ENTRY->v increment);
+- ``num_paths``      the acyclic-path count (ids are ``0 .. num_paths-1``).
+
+Plans are built either with the spanning-tree-optimized placement (the
+default, as in the paper's adapted LLVM pass) or the canonical everything-
+with-nonzero-Val placement used by Figure 1 and by the differential tests.
+"""
+
+from repro.ballarus.dag import EXIT, REGULAR, RET_EDGE, SURR_ENTRY, SURR_EXIT, build_dag
+from repro.ballarus.numbering import number_paths
+from repro.ballarus.spanning import canonical_increments, place_increments
+from repro.cfg.analysis import loop_depths
+
+
+class FunctionPathPlan(object):
+    """Instrumentation plan for one function (see module docstring)."""
+
+    __slots__ = (
+        "func_name",
+        "func_index",
+        "num_paths",
+        "edge_incs",
+        "ret_emits",
+        "back_edge_events",
+        "dag",
+        "optimized",
+    )
+
+    def __init__(self, cfg, optimize=True):
+        dag = build_dag(cfg)
+        self.func_name = cfg.name
+        self.func_index = cfg.index
+        self.num_paths = number_paths(dag)
+        self.dag = dag
+        self.optimized = optimize
+        if optimize:
+            place_increments(dag, _frequency_weights(cfg, dag))
+        else:
+            canonical_increments(dag)
+        self.edge_incs = {}
+        self.ret_emits = {}
+        self.back_edge_events = {}
+        surr_entry_inc = {}
+        surr_exit_inc = {}
+        for edge in dag.edges:
+            if edge.kind == REGULAR:
+                if edge.is_chord and edge.inc != 0:
+                    self.edge_incs[(edge.src, edge.dst)] = edge.inc
+            elif edge.kind == RET_EDGE:
+                self.ret_emits[edge.src] = edge.inc if edge.is_chord else 0
+            elif edge.kind == SURR_ENTRY:
+                surr_entry_inc[edge.back_edge] = edge.inc
+            else:  # SURR_EXIT
+                surr_exit_inc[edge.back_edge] = edge.inc
+        for back_edge in dag.back_edge_set:
+            self.back_edge_events[back_edge] = (
+                surr_exit_inc[back_edge],
+                surr_entry_inc[back_edge],
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def probe_sites(self):
+        """Number of instrumentation points this plan places.
+
+        Counts increment probes on regular edges plus the mandatory path-end
+        probes (one per ret block, one per back edge) — comparable with the
+        per-edge probe count of edge-coverage instrumentation.
+        """
+        return (
+            len(self.edge_incs)
+            + len(self.ret_emits)
+            + len(self.back_edge_events)
+        )
+
+    def regenerate(self, path_id):
+        """Decode ``path_id`` back into its DAG edge sequence.
+
+        The Ball-Larus numbering makes the decoding greedy and unique: at
+        each node follow the out-edge with the largest ``val`` not exceeding
+        the remaining id.  Raises ValueError for an out-of-range id.
+        """
+        if not 0 <= path_id < self.num_paths:
+            raise ValueError(
+                "%s: path id %d out of range [0, %d)"
+                % (self.func_name, path_id, self.num_paths)
+            )
+        remaining = path_id
+        node = self.dag.nodes[0]
+        edges = []
+        while node != EXIT:
+            chosen = None
+            for edge in reversed(self.dag.out_edges[node]):
+                if edge.val <= remaining:
+                    chosen = edge
+                    break
+            if chosen is None:  # pragma: no cover - numbering guarantees one
+                raise ValueError("stuck decoding path id %d" % path_id)
+            remaining -= chosen.val
+            edges.append(chosen)
+            node = chosen.dst
+        return edges
+
+    def regenerate_blocks(self, path_id):
+        """Decode ``path_id`` into the block-id sequence it traverses.
+
+        Surrogate prefixes/suffixes are translated back: a path starting
+        with ``ENTRY -> v`` surrogate begins at ``v`` (resumption after a
+        back edge); a path ending with a ``u -> EXIT`` surrogate ends at
+        ``u`` (truncation at a back edge).
+        """
+        edges = self.regenerate(path_id)
+        blocks = []
+        first = edges[0]
+        blocks.append(first.dst if first.kind == SURR_ENTRY else first.src)
+        for edge in edges:
+            if edge.kind == SURR_ENTRY:
+                continue
+            if edge.dst != EXIT:
+                blocks.append(edge.dst)
+        return blocks
+
+
+def _frequency_weights(cfg, dag):
+    """Static execution-frequency estimates for spanning-tree selection.
+
+    An edge nested ``d`` loops deep is estimated ``10**d`` times more
+    frequent; the maximum spanning tree then shelters the hottest edges from
+    instrumentation.
+    """
+    depths = loop_depths(cfg)
+    depths[EXIT] = 0
+    weights = {}
+    for edge in dag.edges:
+        d = min(depths.get(edge.src, 0), depths.get(edge.dst, 0))
+        weights[edge.index] = 10 ** min(d, 6)
+    return weights
+
+
+def build_program_plans(program, optimize=True):
+    """Build a :class:`FunctionPathPlan` for every function of ``program``."""
+    return [FunctionPathPlan(func, optimize) for func in program.funcs]

@@ -1,0 +1,162 @@
+"""Spanning-tree probe minimization (Ball & Larus '96, Sec. 3.3).
+
+After numbering, instrumentation need not touch every edge: pick a spanning
+tree of the DAG (plus a virtual EXIT -> ENTRY edge) and place increments only
+on the *chords* (non-tree edges).  Each chord ``c`` carries::
+
+    Inc(c) = sum over its fundamental cycle of (+/-) Val(e)
+
+with signs following the cycle orientation.  Because both the Val-sum and
+the Inc-sum are linear over the cycle space and agree on the fundamental
+cycles, every ENTRY -> EXIT path (closed through the virtual edge) satisfies
+
+    sum of Inc over chords on the path  ==  sum of Val over all path edges
+                                        ==  the path id.
+
+Constraints mirroring the LLVM PathProfiling implementation the paper
+adapted: the virtual EXIT -> ENTRY edge is forced *into* the tree, and the
+back-edge surrogate edges are forced *out* (they must carry the path-end /
+path-reset events regardless).
+
+Tree selection maximizes the total static weight of tree edges — weights
+come from loop-depth-based frequency estimates — so the hottest edges avoid
+probes (the paper's "only a fraction of the CFG edges require
+instrumentation").
+"""
+
+from repro.ballarus.dag import EXIT, REGULAR, RET_EDGE
+
+
+def place_increments(dag, weights=None):
+    """Mark tree/chord edges of ``dag`` and set ``inc`` on every chord.
+
+    ``weights``: optional map edge-index -> static frequency estimate; higher
+    weight means "keep out of the probe set".  Non-chord (tree) edges get
+    ``inc = 0`` and ``is_chord = False``.  Returns the number of chords.
+    """
+    parent = _build_tree(dag, weights or {})
+    chords = 0
+    for edge in dag.edges:
+        if edge.is_chord:
+            edge.inc = edge.val + _tree_path_val(parent, edge.dst, edge.src)
+            chords += 1
+        else:
+            edge.inc = 0
+    return chords
+
+
+def canonical_increments(dag):
+    """Probe placement without the spanning-tree optimization.
+
+    Every edge is its own "chord" with ``inc = val``; probes are needed only
+    where ``inc != 0`` (plus path-end sites).  This is the placement the
+    paper's Figure 1 depicts and serves as the differential-testing oracle
+    for the optimized placement.
+    """
+    for edge in dag.edges:
+        edge.is_chord = True
+        edge.inc = edge.val
+
+
+def _build_tree(dag, weights):
+    """Kruskal maximum spanning tree over the undirected DAG + virtual edge.
+
+    Returns ``parent``: map node -> (parent_node, edge, direction) with the
+    ENTRY as root; ``direction`` is +1 when the tree edge points from parent
+    to child, -1 otherwise.  Sets ``is_chord`` on every DAG edge.
+    """
+    entry = dag.nodes[0]
+    rank = {node: 0 for node in dag.nodes}
+    comp = {node: node for node in dag.nodes}
+
+    def find(node):
+        root = node
+        while comp[root] != root:
+            root = comp[root]
+        while comp[node] != root:
+            comp[node], node = root, comp[node]
+        return root
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        comp[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        return True
+
+    # The virtual EXIT -> ENTRY edge is first (forced into the tree).
+    union(EXIT, entry)
+    adjacency = {node: [] for node in dag.nodes}
+    candidates = [e for e in dag.edges if e.kind in (REGULAR, RET_EDGE)]
+    candidates.sort(key=lambda e: (-weights.get(e.index, 1), e.index))
+    for edge in dag.edges:
+        edge.is_chord = True
+    for edge in candidates:
+        if union(edge.src, edge.dst):
+            edge.is_chord = False
+            adjacency[edge.src].append((edge.dst, edge, 1))
+            adjacency[edge.dst].append((edge.src, edge, -1))
+
+    # Root the tree at ENTRY.  EXIT hangs off ENTRY through the virtual edge
+    # (val 0), unless it was reached through ret edges already.
+    parent = {entry: None}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        for neighbor, edge, direction in adjacency[node]:
+            if neighbor not in parent:
+                parent[neighbor] = (node, edge, direction)
+                stack.append(neighbor)
+    if EXIT not in parent:
+        parent[EXIT] = (entry, None, 1)  # the virtual edge, val 0
+    missing = [n for n in dag.nodes if n not in parent]
+    if missing:  # pragma: no cover - connectivity is guaranteed by pruning
+        raise ValueError("spanning tree does not reach nodes %r" % missing)
+    return parent
+
+
+def _tree_path_val(parent, start, goal):
+    """Signed Val-sum along the tree path ``start -> goal``.
+
+    Traversing a tree edge in its own direction contributes ``+val``;
+    against it, ``-val``.  The fundamental cycle of chord ``c = (src, dst)``
+    is ``c`` followed by the tree path ``dst -> src``, so the caller passes
+    ``start=c.dst, goal=c.src``.
+    """
+    ancestors = {}
+    node = start
+    depth = 0
+    while node is not None:
+        ancestors[node] = depth
+        link = parent[node]
+        node = link[0] if link else None
+        depth += 1
+    # Climb from goal until meeting an ancestor of start (the LCA).
+    total_up_from_goal = 0
+    node = goal
+    while node not in ancestors:
+        link = parent[node]
+        _, edge, direction = link
+        if edge is not None:
+            # Climbing child -> parent traverses the edge opposite to its
+            # stored direction: direction=+1 means parent->child.
+            total_up_from_goal += -direction * edge.val
+        node = link[0]
+    lca = node
+    # Descend start -> lca (i.e. climb from start, then negate).
+    total_up_from_start = 0
+    node = start
+    while node != lca:
+        link = parent[node]
+        _, edge, direction = link
+        if edge is not None:
+            total_up_from_start += -direction * edge.val
+        node = link[0]
+    # Path start -> lca -> goal: climbing start->lca is exactly
+    # total_up_from_start; descending lca->goal is the reverse of climbing
+    # goal->lca, hence minus total_up_from_goal.
+    return total_up_from_start - total_up_from_goal

@@ -1,0 +1,23 @@
+"""Control-flow-graph IR: blocks, graphs, lowering, analyses, cleanups."""
+
+from repro.cfg.block import BasicBlock
+from repro.cfg.graph import FunctionCFG
+from repro.cfg.program import ProgramCFG
+from repro.cfg.analysis import (
+    back_edges,
+    dominators,
+    loop_depths,
+    natural_loops,
+    reverse_postorder,
+)
+
+__all__ = [
+    "BasicBlock",
+    "FunctionCFG",
+    "ProgramCFG",
+    "back_edges",
+    "dominators",
+    "loop_depths",
+    "natural_loops",
+    "reverse_postorder",
+]

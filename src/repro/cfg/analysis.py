@@ -1,0 +1,159 @@
+"""CFG analyses: DFS orders, dominators, back edges, natural loops.
+
+The Ball-Larus pass needs a set of *back edges* whose removal makes the graph
+acyclic.  We use DFS back edges (edges into a block currently on the DFS
+stack): removing all of them always yields a DAG, and on the reducible CFGs
+MiniC's structured lowering produces they coincide with the natural
+(dominator-based) loop back edges.  Dominators are computed with the
+Cooper-Harvey-Kennedy iterative algorithm and are used by the optimizer and
+by tests cross-checking the back-edge sets.
+"""
+
+
+def depth_first_order(cfg):
+    """Return (preorder list, postorder list) of block ids from the entry.
+
+    Uses an explicit stack; successor order follows the terminator encoding
+    so results are deterministic.
+    """
+    preorder = []
+    postorder = []
+    visited = set()
+    # (block_id, iterator-state) frames, explicit to avoid recursion limits.
+    stack = [(0, iter(cfg.successors(0)))]
+    visited.add(0)
+    preorder.append(0)
+    while stack:
+        block_id, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if succ not in visited:
+                visited.add(succ)
+                preorder.append(succ)
+                stack.append((succ, iter(cfg.successors(succ))))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block_id)
+            stack.pop()
+    return preorder, postorder
+
+
+def reverse_postorder(cfg):
+    """Block ids in reverse postorder (a topological order when acyclic)."""
+    _, postorder = depth_first_order(cfg)
+    return list(reversed(postorder))
+
+
+def back_edges(cfg):
+    """The set of DFS back edges (src, dst): edges into a DFS-stack ancestor.
+
+    Removing these from the CFG leaves an acyclic graph.
+    """
+    result = set()
+    on_stack = {0}
+    visited = {0}
+    stack = [(0, iter(cfg.successors(0)))]
+    while stack:
+        block_id, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if succ in on_stack:
+                result.add((block_id, succ))
+            elif succ not in visited:
+                visited.add(succ)
+                on_stack.add(succ)
+                stack.append((succ, iter(cfg.successors(succ))))
+                advanced = True
+                break
+        if not advanced:
+            on_stack.discard(block_id)
+            stack.pop()
+    return result
+
+
+def dominators(cfg):
+    """Immediate-dominator map {block_id: idom_id}; the entry maps to itself.
+
+    Cooper-Harvey-Kennedy iterative algorithm over reverse postorder.
+    """
+    rpo = reverse_postorder(cfg)
+    rpo_index = {b: i for i, b in enumerate(rpo)}
+    preds = cfg.predecessors()
+    idom = {0: 0}
+    changed = True
+    while changed:
+        changed = False
+        for block_id in rpo:
+            if block_id == 0:
+                continue
+            candidates = [p for p in preds[block_id] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = _intersect(pred, new_idom, idom, rpo_index)
+            if idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+    return idom
+
+
+def _intersect(a, b, idom, rpo_index):
+    while a != b:
+        while rpo_index[a] > rpo_index[b]:
+            a = idom[a]
+        while rpo_index[b] > rpo_index[a]:
+            b = idom[b]
+    return a
+
+
+def dominates(idom, a, b):
+    """True when block ``a`` dominates block ``b`` (under idom map)."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return a == node
+        node = parent
+
+
+def natural_loops(cfg):
+    """Map back edge (src, dst) -> set of blocks in its natural loop.
+
+    Only back edges whose target dominates their source (true natural loops)
+    are included; on reducible CFGs that is every DFS back edge.
+    """
+    idom = dominators(cfg)
+    preds = cfg.predecessors()
+    loops = {}
+    for src, dst in back_edges(cfg):
+        if not dominates(idom, dst, src):
+            continue
+        body = {dst, src}
+        stack = [src]
+        while stack:
+            block_id = stack.pop()
+            if block_id == dst:
+                continue
+            for pred in preds[block_id]:
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        loops[(src, dst)] = body
+    return loops
+
+
+def loop_depths(cfg):
+    """Map block id -> nesting depth (0 = not in any loop).
+
+    Used as a static execution-frequency estimate when the Ball-Larus
+    spanning tree picks which edges to leave uninstrumented.
+    """
+    depths = {block.id: 0 for block in cfg.blocks}
+    for body in natural_loops(cfg).values():
+        for block_id in body:
+            depths[block_id] += 1
+    return depths

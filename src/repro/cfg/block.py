@@ -1,0 +1,52 @@
+"""Basic blocks."""
+
+from repro.cfg.instructions import BR, JMP, RET, format_instr, format_term
+
+
+class BasicBlock(object):
+    """A straight-line run of instructions ended by exactly one terminator.
+
+    ``instrs`` is a list of instruction tuples, ``term`` a terminator tuple
+    (or None while the block is under construction).
+    """
+
+    __slots__ = ("id", "instrs", "term")
+
+    def __init__(self, block_id):
+        self.id = block_id
+        self.instrs = []
+        self.term = None
+
+    def successors(self):
+        """Target block ids of this block's terminator (0, 1, or 2)."""
+        term = self.term
+        if term is None:
+            return ()
+        op = term[0]
+        if op == JMP:
+            return (term[1],)
+        if op == BR:
+            if term[2] == term[3]:
+                return (term[2],)
+            return (term[2], term[3])
+        if op == RET:
+            return ()
+        raise ValueError("unknown terminator %r" % (term,))
+
+    def is_terminated(self):
+        return self.term is not None
+
+    def __repr__(self):
+        return "BasicBlock(id=%d, instrs=%d, term=%r)" % (
+            self.id,
+            len(self.instrs),
+            self.term,
+        )
+
+    def pretty(self):
+        """Multi-line listing of the block, for debugging and golden tests."""
+        lines = ["b%d:" % self.id]
+        lines.extend("  " + format_instr(i) for i in self.instrs)
+        if self.term is not None:
+            lines.append("  " + format_term(self.term))
+        return "\n".join(lines)

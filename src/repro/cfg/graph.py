@@ -1,0 +1,110 @@
+"""Per-function control-flow graphs."""
+
+from repro.cfg.block import BasicBlock
+from repro.cfg.instructions import BR, JMP, RET
+
+
+class FunctionCFG(object):
+    """The CFG of one MiniC function.
+
+    Block 0 is always the entry.  ``nregs`` is the frame size; parameters
+    occupy registers ``0 .. nparams-1``.  Function returns conceptually flow
+    to a virtual EXIT node (id :data:`EXIT`), which analyses and the
+    Ball-Larus pass use; the VM simply pops the frame.
+    """
+
+    EXIT = -1
+
+    __slots__ = ("name", "index", "nparams", "nregs", "blocks")
+
+    def __init__(self, name, index, nparams):
+        self.name = name
+        self.index = index
+        self.nparams = nparams
+        self.nregs = nparams
+        self.blocks = []
+
+    # -- construction ------------------------------------------------------
+
+    def new_block(self):
+        """Append and return a fresh, unterminated block."""
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def new_reg(self):
+        """Allocate a fresh register and return its index."""
+        reg = self.nregs
+        self.nregs += 1
+        return reg
+
+    # -- structure queries ---------------------------------------------------
+
+    def successors(self, block_id):
+        return self.blocks[block_id].successors()
+
+    def edges(self):
+        """All intra-function edges as (src, dst) pairs, in block order.
+
+        Edges to the virtual EXIT are not included; see :meth:`ret_blocks`.
+        """
+        result = []
+        for block in self.blocks:
+            for succ in block.successors():
+                result.append((block.id, succ))
+        return result
+
+    def ret_blocks(self):
+        """Ids of blocks whose terminator is RET (predecessors of EXIT)."""
+        return [b.id for b in self.blocks if b.term is not None and b.term[0] == RET]
+
+    def predecessors(self):
+        """Map block id -> list of predecessor block ids."""
+        preds = {block.id: [] for block in self.blocks}
+        for src, dst in self.edges():
+            preds[dst].append(src)
+        return preds
+
+    def validate(self):
+        """Raise ValueError unless every block is terminated with sane targets."""
+        nblocks = len(self.blocks)
+        for block in self.blocks:
+            if block.term is None:
+                raise ValueError(
+                    "%s: block b%d lacks a terminator" % (self.name, block.id)
+                )
+            for succ in block.successors():
+                if not 0 <= succ < nblocks:
+                    raise ValueError(
+                        "%s: block b%d jumps to missing b%d"
+                        % (self.name, block.id, succ)
+                    )
+        if not any(b.term[0] == RET for b in self.blocks):
+            raise ValueError("%s: no return block" % self.name)
+
+    def pretty(self):
+        """Whole-function listing (entry first)."""
+        header = "fn %s (index %d, %d params, %d regs)" % (
+            self.name,
+            self.index,
+            self.nparams,
+            self.nregs,
+        )
+        return "\n".join([header] + [b.pretty() for b in self.blocks])
+
+
+def remap_targets(cfg, mapping):
+    """Rewrite all terminator targets of ``cfg`` through ``mapping``.
+
+    ``mapping`` is a dict old-block-id -> new-block-id.  Used by optimization
+    passes after removing or renumbering blocks.
+    """
+    for block in cfg.blocks:
+        term = block.term
+        if term is None:
+            continue
+        op = term[0]
+        if op == JMP:
+            block.term = (JMP, mapping[term[1]])
+        elif op == BR:
+            block.term = (BR, term[1], mapping[term[2]], mapping[term[3]])

@@ -1,0 +1,146 @@
+"""Register-IR instruction encoding.
+
+Instructions are plain tuples headed by a small integer opcode so the VM can
+dispatch on ``instr[0]`` without attribute lookups.  Layouts::
+
+    (CONST, dst, imm)
+    (MOV, dst, src)
+    (BIN, binop, dst, a, b, line)      binop in BINOPS (div/mod/shift can trap)
+    (UN, unop, dst, a)                 unop in UNOPS
+    (LOAD, dst, arr, idx, line)        bounds-checked array read
+    (STORE, arr, idx, src, line)       bounds-checked array write
+    (CALL, dst, func_index, args, line)      args is a tuple of regs
+    (BUILTIN, dst, builtin_code, args, line)
+    (STR, dst, string_index)           string-pool constant -> array handle
+
+Terminators (stored separately on each block)::
+
+    (JMP, target)
+    (BR, cond_reg, true_target, false_target)
+    (RET, src_reg)                     src_reg == -1 means "return 0"
+
+``line`` operands are 1-based source lines; they identify potential crash
+sites (ground-truth bug identity) and call sites (stack traces).
+"""
+
+# Opcodes.
+CONST = 0
+MOV = 1
+BIN = 2
+UN = 3
+LOAD = 4
+STORE = 5
+CALL = 6
+BUILTIN = 7
+STR = 8
+
+# Terminator opcodes.
+JMP = 0
+BR = 1
+RET = 2
+
+# Binary operators (the VM indexes handlers by these).
+OP_ADD = 0
+OP_SUB = 1
+OP_MUL = 2
+OP_DIV = 3
+OP_MOD = 4
+OP_LT = 5
+OP_LE = 6
+OP_GT = 7
+OP_GE = 8
+OP_EQ = 9
+OP_NE = 10
+OP_AND = 11
+OP_OR = 12
+OP_XOR = 13
+OP_SHL = 14
+OP_SHR = 15
+
+BINOPS = {
+    "+": OP_ADD,
+    "-": OP_SUB,
+    "*": OP_MUL,
+    "/": OP_DIV,
+    "%": OP_MOD,
+    "<": OP_LT,
+    "<=": OP_LE,
+    ">": OP_GT,
+    ">=": OP_GE,
+    "==": OP_EQ,
+    "!=": OP_NE,
+    "&": OP_AND,
+    "|": OP_OR,
+    "^": OP_XOR,
+    "<<": OP_SHL,
+    ">>": OP_SHR,
+}
+
+# Comparison subset: operand pairs of these are harvested by cmplog.
+COMPARISON_OPS = frozenset([OP_LT, OP_LE, OP_GT, OP_GE, OP_EQ, OP_NE])
+
+# Unary operators.
+OP_NEG = 0
+OP_LNOT = 1
+OP_BNOT = 2
+
+UNOPS = {"-": OP_NEG, "!": OP_LNOT, "~": OP_BNOT}
+
+_OPCODE_NAMES = {
+    CONST: "const",
+    MOV: "mov",
+    BIN: "bin",
+    UN: "un",
+    LOAD: "load",
+    STORE: "store",
+    CALL: "call",
+    BUILTIN: "builtin",
+    STR: "str",
+}
+
+_BINOP_NAMES = {code: sym for sym, code in BINOPS.items()}
+_UNOP_NAMES = {code: sym for sym, code in UNOPS.items()}
+
+
+def format_instr(instr):
+    """Render an instruction tuple as a short human-readable string."""
+    op = instr[0]
+    if op == CONST:
+        return "r%d = %d" % (instr[1], instr[2])
+    if op == MOV:
+        return "r%d = r%d" % (instr[1], instr[2])
+    if op == BIN:
+        return "r%d = r%d %s r%d  ; line %d" % (
+            instr[2],
+            instr[3],
+            _BINOP_NAMES[instr[1]],
+            instr[4],
+            instr[5],
+        )
+    if op == UN:
+        return "r%d = %sr%d" % (instr[2], _UNOP_NAMES[instr[1]], instr[3])
+    if op == LOAD:
+        return "r%d = r%d[r%d]  ; line %d" % (instr[1], instr[2], instr[3], instr[4])
+    if op == STORE:
+        return "r%d[r%d] = r%d  ; line %d" % (instr[1], instr[2], instr[3], instr[4])
+    if op == CALL:
+        args = ", ".join("r%d" % a for a in instr[3])
+        return "r%d = call f%d(%s)  ; line %d" % (instr[1], instr[2], args, instr[4])
+    if op == BUILTIN:
+        args = ", ".join("r%d" % a for a in instr[3])
+        return "r%d = builtin%d(%s)  ; line %d" % (instr[1], instr[2], args, instr[4])
+    if op == STR:
+        return "r%d = str#%d" % (instr[1], instr[2])
+    raise ValueError("unknown opcode %r" % (op,))
+
+
+def format_term(term):
+    """Render a terminator tuple as a short human-readable string."""
+    op = term[0]
+    if op == JMP:
+        return "jmp b%d" % term[1]
+    if op == BR:
+        return "br r%d ? b%d : b%d" % (term[1], term[2], term[3])
+    if op == RET:
+        return "ret" if term[1] == -1 else "ret r%d" % term[1]
+    raise ValueError("unknown terminator %r" % (op,))

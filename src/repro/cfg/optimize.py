@@ -1,0 +1,194 @@
+"""Light middle-end cleanups run before instrumentation.
+
+Mirrors the paper's setup, where the Ball-Larus pass runs *after* the
+compiler's optimization pipeline: instrumentation sees the cleaned CFG.
+
+Passes:
+
+- constant folding of BIN/UN over locally known constants (per block);
+- jump threading: empty blocks whose only job is ``jmp`` are bypassed;
+- unreachable-block pruning + dense renumbering.
+
+All passes preserve observable behaviour (including trap sites, which are
+never folded away).
+"""
+
+from repro.cfg.instructions import (
+    BIN,
+    BR,
+    BUILTIN,
+    CALL,
+    CONST,
+    JMP,
+    LOAD,
+    MOV,
+    STR,
+    OP_ADD,
+    OP_AND,
+    OP_DIV,
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LT,
+    OP_MOD,
+    OP_MUL,
+    OP_NE,
+    OP_OR,
+    OP_SHL,
+    OP_SHR,
+    OP_SUB,
+    OP_XOR,
+    UN,
+    OP_BNOT,
+    OP_LNOT,
+    OP_NEG,
+)
+from repro.cfg.graph import remap_targets
+from repro.runtime.values import wrap_int
+
+_FOLDABLE_BIN = {
+    OP_ADD: lambda a, b: a + b,
+    OP_SUB: lambda a, b: a - b,
+    OP_MUL: lambda a, b: a * b,
+    OP_LT: lambda a, b: int(a < b),
+    OP_LE: lambda a, b: int(a <= b),
+    OP_GT: lambda a, b: int(a > b),
+    OP_GE: lambda a, b: int(a >= b),
+    OP_EQ: lambda a, b: int(a == b),
+    OP_NE: lambda a, b: int(a != b),
+    OP_AND: lambda a, b: a & b,
+    OP_OR: lambda a, b: a | b,
+    OP_XOR: lambda a, b: a ^ b,
+}
+
+_FOLDABLE_UN = {
+    OP_NEG: lambda a: -a,
+    OP_LNOT: lambda a: int(a == 0),
+    OP_BNOT: lambda a: ~a,
+}
+
+
+def optimize_program(program):
+    """Run all cleanup passes over every function of ``program`` in place."""
+    for func in program.funcs:
+        fold_constants(func)
+        thread_jumps(func)
+        prune_unreachable(func)
+
+
+def fold_constants(cfg):
+    """Per-block forward constant folding (conservative, no cross-block info).
+
+    Division and modulo are never folded: a constant zero divisor must still
+    trap at run time with its original site.  Shifts are folded only for
+    in-range shift amounts.
+    """
+    for block in cfg.blocks:
+        known = {}
+        new_instrs = []
+        for instr in block.instrs:
+            op = instr[0]
+            if op == CONST:
+                known[instr[1]] = instr[2]
+                new_instrs.append(instr)
+                continue
+            if op == MOV:
+                if instr[2] in known:
+                    known[instr[1]] = known[instr[2]]
+                    new_instrs.append((CONST, instr[1], known[instr[2]]))
+                    continue
+                known.pop(instr[1], None)
+                new_instrs.append(instr)
+                continue
+            if op == BIN and instr[3] in known and instr[4] in known:
+                folded = _fold_bin(instr[1], known[instr[3]], known[instr[4]])
+                if folded is not None:
+                    known[instr[2]] = folded
+                    new_instrs.append((CONST, instr[2], folded))
+                    continue
+                known.pop(instr[2], None)
+                new_instrs.append(instr)
+                continue
+            if op == UN and instr[3] in known:
+                folded = wrap_int(_FOLDABLE_UN[instr[1]](known[instr[3]]))
+                known[instr[2]] = folded
+                new_instrs.append((CONST, instr[2], folded))
+                continue
+            dst = _dest_register(instr)
+            if dst is not None:
+                known.pop(dst, None)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+
+def _fold_bin(binop, a, b):
+    if binop in (OP_DIV, OP_MOD):
+        return None
+    if binop in (OP_SHL, OP_SHR):
+        if not 0 <= b < 64:
+            return None
+        return wrap_int(a << b) if binop == OP_SHL else wrap_int(a >> b)
+    return wrap_int(_FOLDABLE_BIN[binop](a, b))
+
+
+# LOAD/CALL/BUILTIN/STR write instr[1]; BIN/UN write instr[2]; STORE none.
+_DEST_AT_1 = frozenset([CONST, MOV, LOAD, CALL, BUILTIN, STR])
+_DEST_AT_2 = frozenset([BIN, UN])
+
+
+def _dest_register(instr):
+    """The register an instruction writes, or None (STORE writes memory)."""
+    op = instr[0]
+    if op in _DEST_AT_1:
+        return instr[1]
+    if op in _DEST_AT_2:
+        return instr[2]
+    return None
+
+
+def thread_jumps(cfg):
+    """Bypass empty blocks whose terminator is an unconditional jump.
+
+    A block is bypassable when it has no instructions and ends in ``jmp``.
+    Chains are followed to a fixed point (with cycle protection: a
+    self-reaching chain, i.e. an empty infinite loop, is left alone).
+    """
+    forward = {}
+    for block in cfg.blocks:
+        if not block.instrs and block.term is not None and block.term[0] == JMP:
+            forward[block.id] = block.term[1]
+
+    def resolve(block_id):
+        seen = set()
+        while block_id in forward and block_id not in seen:
+            seen.add(block_id)
+            block_id = forward[block_id]
+        return block_id
+
+    for block in cfg.blocks:
+        term = block.term
+        if term is None:
+            continue
+        if term[0] == JMP:
+            block.term = (JMP, resolve(term[1]))
+        elif term[0] == BR:
+            block.term = (BR, term[1], resolve(term[2]), resolve(term[3]))
+
+
+def prune_unreachable(cfg):
+    """Drop unreachable blocks and renumber the survivors densely."""
+    reachable = set()
+    stack = [0]
+    while stack:
+        block_id = stack.pop()
+        if block_id in reachable:
+            continue
+        reachable.add(block_id)
+        stack.extend(cfg.blocks[block_id].successors())
+    keep = [b for b in cfg.blocks if b.id in reachable]
+    mapping = {block.id: new_id for new_id, block in enumerate(keep)}
+    for block in keep:
+        block.id = mapping[block.id]
+    cfg.blocks = keep
+    remap_targets(cfg, mapping)

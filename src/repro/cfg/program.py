@@ -1,0 +1,56 @@
+"""Linked multi-function program units."""
+
+
+class ProgramCFG(object):
+    """A compiled MiniC program: function CFGs + the string-constant pool.
+
+    ``funcs`` is indexed by function index (as used by CALL instructions);
+    ``main_index`` designates the fuzzing entry point ``main(input)``.
+    """
+
+    __slots__ = ("funcs", "func_index", "strings", "main_index", "source_name")
+
+    def __init__(self, funcs, strings, source_name="<program>"):
+        self.funcs = funcs
+        self.func_index = {f.name: f.index for f in funcs}
+        self.strings = strings
+        self.main_index = self.func_index.get("main")
+        self.source_name = source_name
+
+    def func(self, name):
+        """Look up a function CFG by name (KeyError if absent)."""
+        return self.funcs[self.func_index[name]]
+
+    def validate(self):
+        """Validate every function; raise ValueError on a malformed CFG."""
+        for func in self.funcs:
+            func.validate()
+        if self.main_index is None:
+            raise ValueError("%s: no main function" % self.source_name)
+        main = self.funcs[self.main_index]
+        if main.nparams != 1:
+            raise ValueError(
+                "%s: main must take exactly one parameter (the input)"
+                % self.source_name
+            )
+
+    def all_edges(self):
+        """Every intra-function edge as (func_index, src_block, dst_block)."""
+        result = []
+        for func in self.funcs:
+            for src, dst in func.edges():
+                result.append((func.index, src, dst))
+        return result
+
+    def stats(self):
+        """Summary dict: functions, blocks, edges, registers."""
+        return {
+            "functions": len(self.funcs),
+            "blocks": sum(len(f.blocks) for f in self.funcs),
+            "edges": len(self.all_edges()),
+            "registers": sum(f.nregs for f in self.funcs),
+        }
+
+    def pretty(self):
+        """Listing of the whole program."""
+        return "\n\n".join(f.pretty() for f in self.funcs)

@@ -1,0 +1,109 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro show cflow
+    python -m repro fuzz gdk --config cull --hours 4 --run-seed 1
+    python -m repro report table2 fig2
+
+``fuzz`` runs one campaign of any registered configuration and prints the
+summary plus the triaged crashes; ``report`` regenerates the paper's
+tables/figures (see :mod:`repro.experiments.report`).
+"""
+
+import argparse
+
+from repro.experiments.config import FUZZER_CONFIGS, run_config
+from repro.fuzzer.clock import hours_to_ticks
+from repro.subjects import all_subject_names, get_subject
+
+
+def build_arg_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path-aware coverage-guided fuzzing (CGO 2026) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list benchmark subjects")
+
+    show = commands.add_parser("show", help="describe one subject")
+    show.add_argument("subject", choices=all_subject_names())
+
+    fuzz = commands.add_parser("fuzz", help="run one fuzzing campaign")
+    fuzz.add_argument("subject", choices=all_subject_names())
+    fuzz.add_argument("--config", default="path", choices=sorted(FUZZER_CONFIGS))
+    fuzz.add_argument("--hours", type=float, default=2.0,
+                      help="virtual campaign hours (default 2)")
+    fuzz.add_argument("--scale", type=float, default=1.0,
+                      help="virtual-clock scale (default 1.0)")
+    fuzz.add_argument("--run-seed", type=int, default=0)
+
+    report = commands.add_parser("report", help="regenerate paper artifacts")
+    report.add_argument("artifacts", nargs="*", help="table1..table10, fig2, ...")
+    return parser
+
+
+def cmd_list(_args):
+    for name in all_subject_names():
+        subject = get_subject(name)
+        print("%-12s %2d bugs  %s" % (name, len(subject.bugs), subject.description))
+    return 0
+
+
+def cmd_show(args):
+    subject = get_subject(args.subject)
+    stats = subject.program.stats()
+    print("subject: %s" % subject.name)
+    print("  %s" % subject.description)
+    print("  program: %(functions)d functions, %(blocks)d blocks, "
+          "%(edges)d edges" % stats)
+    print("  seeds: %d, dictionary tokens: %d, max input: %d bytes"
+          % (len(subject.seeds), len(subject.tokens), subject.max_input_len))
+    print("  bug census (%d):" % len(subject.bugs))
+    for bug in subject.bugs:
+        function, line, kind = bug.bug_id
+        print("    %-11s %s:%d %s — %s" % (
+            "[%s]" % bug.difficulty, function, line, kind, bug.description))
+    return 0
+
+
+def cmd_fuzz(args):
+    subject = get_subject(args.subject)
+    budget = hours_to_ticks(args.hours, args.scale)
+    print("fuzzing %s with %r for %.1f virtual hours (%d ticks)..."
+          % (subject.name, args.config, args.hours, budget))
+    result = run_config(subject, args.config, args.run_seed, budget)
+    print("executions: %d (%d hangs), throughput %.0f exec/vh"
+          % (result.execs, result.hangs, result.throughput))
+    print("queue: %d entries; edge coverage: %d" % (result.queue_size, len(result.edges)))
+    print("crashes: %d raw, %d unique stacks, %d unique bugs"
+          % (result.crash_count, len(result.crash_records), len(result.bugs)))
+    for record in sorted(result.crash_records, key=lambda r: r.found_at):
+        function, line, kind = record.bug
+        print("  bug %s:%d (%s), first seen at tick %d, %d crashes"
+              % (function, line, kind, record.found_at, record.count))
+    return 0
+
+
+def cmd_report(args):
+    from repro.experiments.report import main as report_main
+
+    report_main(args.artifacts)
+    return 0
+
+
+def main(argv=None):
+    args = build_arg_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "show": cmd_show,
+        "fuzz": cmd_fuzz,
+        "report": cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Coverage maps and pluggable feedbacks."""
+
+from repro.coverage.bitmap import (
+    MAP_MASK,
+    MAP_SIZE,
+    MAP_SIZE_BITS,
+    VirginMap,
+    classify_count,
+    classify_hits,
+)
+from repro.coverage.feedback import (
+    BlockFeedback,
+    EdgeFeedback,
+    Feedback,
+    Instrumentation,
+    NGramFeedback,
+    PathAFLFeedback,
+    PathFeedback,
+    PathPairFeedback,
+    feedback_by_name,
+)
+
+__all__ = [
+    "MAP_SIZE_BITS",
+    "MAP_SIZE",
+    "MAP_MASK",
+    "VirginMap",
+    "classify_count",
+    "classify_hits",
+    "Feedback",
+    "Instrumentation",
+    "EdgeFeedback",
+    "PathFeedback",
+    "BlockFeedback",
+    "NGramFeedback",
+    "PathAFLFeedback",
+    "PathPairFeedback",
+    "feedback_by_name",
+]

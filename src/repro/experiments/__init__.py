@@ -1,0 +1,6 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from repro.experiments.config import FUZZER_CONFIGS, run_config
+from repro.experiments.runner import campaign, run_matrix
+
+__all__ = ["FUZZER_CONFIGS", "run_config", "campaign", "run_matrix"]

@@ -1,0 +1,122 @@
+"""Fuzzer configurations and the single-campaign entry point.
+
+``FUZZER_CONFIGS`` names every configuration evaluated in the paper plus
+the extensions:
+
+==============  ============================================================
+``pcguard``     AFL++-like engine, edge-coverage feedback (the baseline)
+``path``        same engine, Ball-Larus path-aware feedback (Sec. III-A)
+``cull``        path + round-based edge-preserving culling (Sec. III-B1)
+``cull_r``      path + random culling (Appendix D ablation)
+``cull_paths``  path + path-identity culling (the footnote's inferior pick)
+``opp``         edge phase then path phase, 50/50 split (Sec. III-B2)
+``pathafl``     AFL-like engine + PathAFL-style h-path feedback (App. C)
+``afl``         AFL-like engine + edge feedback (App. C baseline)
+``ngram4``      AFL++-like engine + 4-gram feedback (related work)
+``block``       AFL++-like engine + block coverage (weakest feedback)
+``path2gram``   path + 2-grams of consecutive acyclic paths (Sec. VII)
+==============  ============================================================
+
+The paper's timing ratios are preserved: 48-hour campaigns, 6-hour culling
+rounds, a 24 h/24 h opportunistic split.
+"""
+
+import hashlib
+import random
+
+from repro.coverage.feedback import (
+    BlockFeedback,
+    EdgeFeedback,
+    NGramFeedback,
+    PathAFLFeedback,
+    PathFeedback,
+    PathPairFeedback,
+)
+from repro.fuzzer.campaign import result_from_engines
+from repro.fuzzer.engine import EngineConfig, FuzzEngine, afl_engine_config
+from repro.strategies.culling import run_culling_campaign
+from repro.strategies.opportunistic import run_opportunistic_campaign
+
+# Paper timing: 48 h campaigns, 6 h culling rounds -> 8 rounds.
+CULL_ROUND_FRACTION = 6.0 / 48.0
+OPP_SWITCH_FRACTION = 0.5
+
+
+class ConfigSpec(object):
+    """How to build and drive one fuzzer configuration."""
+
+    def __init__(self, name, kind, feedback_factory=None, engine_style="aflpp",
+                 criterion=None):
+        self.name = name
+        self.kind = kind  # "plain" | "cull" | "opp"
+        self.feedback_factory = feedback_factory
+        self.engine_style = engine_style  # "aflpp" | "afl"
+        self.criterion = criterion
+
+    def engine_config(self, subject):
+        kwargs = dict(
+            max_input_len=subject.max_input_len,
+            exec_instr_budget=subject.exec_instr_budget,
+            call_depth_limit=subject.call_depth_limit,
+        )
+        if self.engine_style == "afl":
+            return afl_engine_config(**kwargs)
+        return EngineConfig(**kwargs)
+
+
+FUZZER_CONFIGS = {
+    "pcguard": ConfigSpec("pcguard", "plain", EdgeFeedback),
+    "path": ConfigSpec("path", "plain", PathFeedback),
+    "cull": ConfigSpec("cull", "cull", PathFeedback, criterion="edges"),
+    "cull_r": ConfigSpec("cull_r", "cull", PathFeedback, criterion="random"),
+    "cull_paths": ConfigSpec("cull_paths", "cull", PathFeedback, criterion="paths"),
+    "opp": ConfigSpec("opp", "opp"),
+    "pathafl": ConfigSpec("pathafl", "plain", PathAFLFeedback, engine_style="afl"),
+    "afl": ConfigSpec("afl", "plain", EdgeFeedback, engine_style="afl"),
+    "ngram4": ConfigSpec("ngram4", "plain", lambda: NGramFeedback(4)),
+    "block": ConfigSpec("block", "plain", BlockFeedback),
+    "path2gram": ConfigSpec("path2gram", "plain", PathPairFeedback),
+}
+
+
+def campaign_rng(subject_name, config_name, run_seed):
+    """A deterministic RNG unique to (subject, config, run)."""
+    digest = hashlib.sha256(
+        ("%s|%s|%d" % (subject_name, config_name, run_seed)).encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "little"))
+
+
+def run_config(subject, config_name, run_seed, budget_ticks):
+    """Run one campaign and return its CampaignResult."""
+    spec = FUZZER_CONFIGS[config_name]
+    rng = campaign_rng(subject.name, config_name, run_seed)
+    engine_config = spec.engine_config(subject)
+    if spec.kind == "plain":
+        engine = FuzzEngine(
+            subject.program,
+            spec.feedback_factory(),
+            subject.seeds,
+            rng,
+            engine_config,
+            subject.tokens,
+        )
+        engine.run(budget_ticks)
+        engines, final = [engine], engine
+    elif spec.kind == "cull":
+        engines, final = run_culling_campaign(
+            subject,
+            spec.feedback_factory,
+            budget_ticks,
+            max(1, int(budget_ticks * CULL_ROUND_FRACTION)),
+            rng,
+            engine_config,
+            criterion=spec.criterion,
+        )
+    elif spec.kind == "opp":
+        engines, final, _ = run_opportunistic_campaign(
+            subject, budget_ticks, rng, engine_config, OPP_SWITCH_FRACTION
+        )
+    else:  # pragma: no cover
+        raise ValueError("unknown config kind %r" % spec.kind)
+    return result_from_engines(subject, config_name, run_seed, engines, final)

@@ -1,0 +1,75 @@
+"""Full evaluation report: regenerate every table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.report            # all artifacts
+    python -m repro.experiments.report table2 fig2
+
+Honours the REPRO_SCALE / REPRO_RUNS / REPRO_SUBJECTS environment knobs and
+shares campaigns across tables through the runner cache.
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    fig2,
+    opp_recovery,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7_9,
+    table10,
+)
+
+
+def _table2_block():
+    data = table2.collect()
+    return table2.render(data) + "\n\n" + table2.render_venn(data)
+
+
+def _table7_9_block():
+    data = table7_9.collect()
+    return "\n\n".join(
+        [
+            table7_9.render_table7(data),
+            table7_9.render_table8(data),
+            table7_9.render_table9(data),
+        ]
+    )
+
+
+ARTIFACTS = {
+    "table1": lambda: table1.render(),
+    "table2": _table2_block,
+    "table3": lambda: table3.render(),
+    "table4": lambda: table4.render(),
+    "table5": lambda: table5.render(),
+    "table6": lambda: table6.render(),
+    "table7_9": _table7_9_block,
+    "table10": lambda: table10.render(),
+    "fig2": lambda: fig2.render(),
+    "sensitivity": lambda: sensitivity.render(),
+    "opp_recovery": lambda: opp_recovery.render(),
+}
+
+
+def main(argv):
+    wanted = argv or list(ARTIFACTS)
+    for name in wanted:
+        if name not in ARTIFACTS:
+            raise SystemExit("unknown artifact %r (choose from %s)" % (name, list(ARTIFACTS)))
+    for name in wanted:
+        start = time.time()
+        print("=" * 72)
+        print(ARTIFACTS[name]())
+        print("[%s took %.1fs]" % (name, time.time() - start))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,148 @@
+"""Campaign runner with memoization.
+
+Tables II, III, IV and VI all consume the *same* campaigns (the paper
+derives them from one set of 10 x 48 h runs per subject/fuzzer), so the
+runner caches results both in-process and on disk.  The disk cache key
+includes a fingerprint of the package sources, so code changes invalidate
+it automatically.
+
+Scaling knobs (environment):
+
+- ``REPRO_SCALE``    virtual-hours multiplier (default 0.25: one paper hour
+  is 100 000 ticks — a few thousand executions);
+- ``REPRO_RUNS``     repetitions per (subject, config) pair (default 3;
+  the paper used 10);
+- ``REPRO_SUBJECTS`` comma-separated subject allowlist (default: all 18);
+- ``REPRO_NO_CACHE`` set to disable the on-disk cache.
+"""
+
+import hashlib
+import os
+import pickle
+
+from repro.experiments.config import run_config
+from repro.fuzzer.clock import hours_to_ticks
+from repro.subjects import get_subject, subject_names
+
+_MEMORY_CACHE = {}
+_SOURCE_FINGERPRINT = None
+
+
+def profile_scale():
+    return float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+def profile_runs():
+    return int(os.environ.get("REPRO_RUNS", "3"))
+
+
+def profile_subjects():
+    names = os.environ.get("REPRO_SUBJECTS")
+    if not names:
+        return subject_names()
+    return [n.strip() for n in names.split(",") if n.strip()]
+
+
+def _cache_dir():
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    return os.path.join(root, ".repro_cache")
+
+
+def _source_fingerprint():
+    """Hash of (path, size, mtime) for every package source file."""
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is not None:
+        return _SOURCE_FINGERPRINT
+    package_root = os.path.dirname(os.path.dirname(__file__))
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            stat = os.stat(path)
+            hasher.update(
+                ("%s|%d|%d" % (path, stat.st_size, int(stat.st_mtime))).encode()
+            )
+    _SOURCE_FINGERPRINT = hasher.hexdigest()[:16]
+    return _SOURCE_FINGERPRINT
+
+
+def campaign(subject_name, config_name, run_seed, hours, scale=None):
+    """One (possibly cached) campaign; ``hours`` are paper-campaign hours."""
+    scale = profile_scale() if scale is None else scale
+    key = (subject_name, config_name, run_seed, hours, scale)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    use_disk = not os.environ.get("REPRO_NO_CACHE")
+    disk_path = None
+    if use_disk:
+        token = "%s-%s-%d-%s-%s-%s" % (
+            subject_name,
+            config_name,
+            run_seed,
+            hours,
+            scale,
+            _source_fingerprint(),
+        )
+        digest = hashlib.sha256(token.encode()).hexdigest()[:24]
+        disk_path = os.path.join(_cache_dir(), digest + ".pkl")
+        if os.path.exists(disk_path):
+            with open(disk_path, "rb") as handle:
+                result = pickle.load(handle)
+            _MEMORY_CACHE[key] = result
+            return result
+    subject = get_subject(subject_name)
+    budget = hours_to_ticks(hours, scale)
+    result = run_config(subject, config_name, run_seed, budget)
+    _MEMORY_CACHE[key] = result
+    if disk_path is not None:
+        os.makedirs(_cache_dir(), exist_ok=True)
+        tmp_path = disk_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp_path, disk_path)
+    return result
+
+
+def run_matrix(config_names, hours, subjects=None, runs=None, scale=None):
+    """Campaigns for every (subject, config, run-seed) combination.
+
+    Returns {(subject_name, config_name, run_seed): CampaignResult}.
+    """
+    subjects = profile_subjects() if subjects is None else subjects
+    runs = profile_runs() if runs is None else runs
+    results = {}
+    for subject_name in subjects:
+        for config_name in config_names:
+            for run_seed in range(runs):
+                results[(subject_name, config_name, run_seed)] = campaign(
+                    subject_name, config_name, run_seed, hours, scale
+                )
+    return results
+
+
+def cumulative_bugs(results, subjects, config_names, runs):
+    """Per-(subject, config) union of bugs across runs — the paper's
+    "cumulatively across the 10 runs" aggregation."""
+    out = {}
+    for subject_name in subjects:
+        for config_name in config_names:
+            bugs = set()
+            for run_seed in range(runs):
+                bugs |= results[(subject_name, config_name, run_seed)].bugs
+            out[(subject_name, config_name)] = bugs
+    return out
+
+
+def cumulative_crashes(results, subjects, config_names, runs):
+    """Per-(subject, config) union of unique-crash stack hashes across runs."""
+    out = {}
+    for subject_name in subjects:
+        for config_name in config_names:
+            hashes = set()
+            for run_seed in range(runs):
+                hashes |= results[(subject_name, config_name, run_seed)].unique_crash_hashes
+            out[(subject_name, config_name)] = hashes
+    return out

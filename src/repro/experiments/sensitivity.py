@@ -1,0 +1,78 @@
+"""Culling-round sensitivity study (the paper's footnote 2).
+
+Sweeps the culling-round length over {3, 6, 12} hours of a 48-hour budget.
+The paper found 3 h and 6 h comparable (6 h slightly ahead) and 12 h
+detrimental.  This uses dedicated configs outside FUZZER_CONFIGS so the
+main tables stay untouched.
+"""
+
+from repro.coverage.feedback import PathFeedback
+from repro.experiments.config import campaign_rng
+from repro.experiments.runner import profile_runs, profile_scale
+from repro.experiments.tables import render_table
+from repro.fuzzer.campaign import result_from_engines
+from repro.fuzzer.clock import hours_to_ticks
+from repro.fuzzer.engine import EngineConfig
+from repro.strategies.culling import run_culling_campaign
+from repro.subjects import get_subject
+
+HOURS = 48
+ROUND_HOURS = (3, 6, 12)
+DEFAULT_SUBJECTS = ("pdftotext", "gdk", "objdump", "cflow")
+
+
+def run_one(subject_name, round_hours, run_seed):
+    subject = get_subject(subject_name)
+    scale = profile_scale()
+    config = EngineConfig(
+        max_input_len=subject.max_input_len,
+        exec_instr_budget=subject.exec_instr_budget,
+    )
+    rng = campaign_rng(subject_name, "cull%dh" % round_hours, run_seed)
+    engines, final = run_culling_campaign(
+        subject,
+        PathFeedback,
+        hours_to_ticks(HOURS, scale),
+        hours_to_ticks(round_hours, scale),
+        rng,
+        config,
+        criterion="edges",
+    )
+    return result_from_engines(
+        subject, "cull%dh" % round_hours, run_seed, engines, final
+    )
+
+
+def collect(subjects=DEFAULT_SUBJECTS, runs=None):
+    runs = profile_runs() if runs is None else runs
+    data = {}
+    for subject_name in subjects:
+        per_round = {}
+        for round_hours in ROUND_HOURS:
+            bugs = set()
+            for run_seed in range(runs):
+                bugs |= run_one(subject_name, round_hours, run_seed).bugs
+            per_round[round_hours] = bugs
+        data[subject_name] = per_round
+    return data
+
+
+def render(data=None):
+    data = collect() if data is None else data
+    rows = []
+    totals = {h: 0 for h in ROUND_HOURS}
+    for subject, per_round in data.items():
+        row = [subject] + [len(per_round[h]) for h in ROUND_HOURS]
+        for h in ROUND_HOURS:
+            totals[h] += len(per_round[h])
+        rows.append(row)
+    rows.append(["TOTAL"] + [totals[h] for h in ROUND_HOURS])
+    return render_table(
+        ["Benchmark"] + ["%dh rounds" % h for h in ROUND_HOURS],
+        rows,
+        title="Sensitivity: culling-round length (cumulative unique bugs)",
+    )
+
+
+if __name__ == "__main__":
+    print(render())

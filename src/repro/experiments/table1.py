@@ -1,0 +1,55 @@
+"""Table I: subject statistics — queue items after 24-hour fuzzing.
+
+For every subject: function count, and the queue size after a 24 h campaign
+with the edge feedback vs. the path-aware feedback (median across runs).
+The paper's observation: path queues range from slightly larger to
+dramatically larger depending on the subject's loop/branch structure.
+"""
+
+from repro.experiments.runner import profile_runs, profile_subjects, run_matrix
+from repro.experiments.tables import median, render_table
+from repro.subjects import get_subject
+
+HOURS = 24
+CONFIGS = ["pcguard", "path"]
+
+
+def collect(subjects=None, runs=None):
+    """Raw data: {subject: (functions, edge_queue, path_queue)}."""
+    subjects = profile_subjects() if subjects is None else subjects
+    runs = profile_runs() if runs is None else runs
+    results = run_matrix(CONFIGS, HOURS, subjects, runs)
+    data = {}
+    for name in subjects:
+        functions = get_subject(name).program.stats()["functions"]
+        edge_q = median(
+            [results[(name, "pcguard", r)].queue_size for r in range(runs)]
+        )
+        path_q = median([results[(name, "path", r)].queue_size for r in range(runs)])
+        data[name] = (functions, edge_q, path_q)
+    return data
+
+
+def render(data=None):
+    data = collect() if data is None else data
+    rows = []
+    for name, (functions, edge_q, path_q) in data.items():
+        rows.append([name, functions, edge_q, path_q, path_q / max(edge_q, 1)])
+    rows.append(
+        [
+            "TOTAL",
+            sum(r[1] for r in rows),
+            sum(r[2] for r in rows),
+            sum(r[3] for r in rows),
+            sum(r[3] for r in rows) / max(sum(r[2] for r in rows), 1),
+        ]
+    )
+    return render_table(
+        ["Benchmark", "Functions", "Queue (edge)", "Queue (path)", "ratio"],
+        rows,
+        title="Table I: queue items after 24-hour fuzzing (median of runs)",
+    )
+
+
+if __name__ == "__main__":
+    print(render())

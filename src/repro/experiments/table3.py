@@ -1,0 +1,56 @@
+"""Table III: median queue sizes and ratios against pcguard.
+
+Queue explosion quantified: the paper measures path at a 4.46x geometric-
+mean queue inflation, cull at 2.22x, opp at 3.15x — the ordering
+path > opp > cull > 1 is the shape this table must reproduce.
+"""
+
+from repro.experiments.runner import profile_runs, profile_subjects, run_matrix
+from repro.experiments.tables import geomean, median, render_table
+
+HOURS = 48
+CONFIGS = ["path", "pcguard", "cull", "opp"]
+
+
+def collect(subjects=None, runs=None):
+    subjects = profile_subjects() if subjects is None else subjects
+    runs = profile_runs() if runs is None else runs
+    results = run_matrix(CONFIGS, HOURS, subjects, runs)
+    data = {}
+    for subject in subjects:
+        sizes = {
+            config: median(
+                [results[(subject, config, r)].queue_size for r in range(runs)]
+            )
+            for config in CONFIGS
+        }
+        data[subject] = sizes
+    return data
+
+
+def render(data=None):
+    data = collect() if data is None else data
+    rows = []
+    ratios = {"path": [], "cull": [], "opp": []}
+    for subject, sizes in data.items():
+        base = max(sizes["pcguard"], 1)
+        row = [subject] + [sizes[c] for c in CONFIGS]
+        for config in ("path", "cull", "opp"):
+            ratio = sizes[config] / base
+            ratios[config].append(ratio)
+            row.append(ratio)
+        rows.append(row)
+    rows.append(
+        ["GEOMEAN", "", "", "", ""]
+        + [geomean(ratios[c]) for c in ("path", "cull", "opp")]
+    )
+    return render_table(
+        ["Benchmark", "path", "pcguard", "cull", "opp",
+         "path/pcg", "cull/pcg", "opp/pcg"],
+        rows,
+        title="Table III: median queue sizes and ratios vs pcguard",
+    )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,62 @@
+"""Table IV: edge coverage attained by each fuzzer (afl-showmap replay).
+
+Cumulative (union across runs) edges covered by each fuzzer's final queue,
+measured by replaying every retained test case under edge instrumentation —
+independent of the campaign's own feedback, as the paper does with
+``afl-showmap`` on a pcguard binary.  The shape to reproduce: pcguard >=
+opp >= {path, cull} in totals, while each path-aware fuzzer still reaches
+some edges pcguard misses (the "occasionally unlocks code" observation).
+"""
+
+from repro.experiments.runner import profile_runs, profile_subjects, run_matrix
+from repro.experiments.tables import render_table
+
+HOURS = 48
+CONFIGS = ["path", "pcguard", "cull", "opp"]
+
+
+def collect(subjects=None, runs=None):
+    subjects = profile_subjects() if subjects is None else subjects
+    runs = profile_runs() if runs is None else runs
+    results = run_matrix(CONFIGS, HOURS, subjects, runs)
+    data = {}
+    for subject in subjects:
+        edges = {}
+        for config in CONFIGS:
+            union = set()
+            for r in range(runs):
+                union |= results[(subject, config, r)].edges
+            edges[config] = union
+        data[subject] = edges
+    return data
+
+
+def render(data=None):
+    data = collect() if data is None else data
+    rows = []
+    totals = {config: 0 for config in CONFIGS}
+    total_diffs = {"path": 0, "cull": 0, "opp": 0}
+    for subject, edges in data.items():
+        row = [subject] + [len(edges[c]) for c in CONFIGS]
+        for config in ("path", "cull", "opp"):
+            diff = len(edges[config] - edges["pcguard"])
+            total_diffs[config] += diff
+            row.append(diff)
+        rows.append(row)
+        for config in CONFIGS:
+            totals[config] += len(edges[config])
+    rows.append(
+        ["TOTAL"]
+        + [totals[c] for c in CONFIGS]
+        + [total_diffs[c] for c in ("path", "cull", "opp")]
+    )
+    return render_table(
+        ["Benchmark", "path", "pcguard", "cull", "opp",
+         "path\\pcg", "cull\\pcg", "opp\\pcg"],
+        rows,
+        title="Table IV: cumulative edge coverage and edges missed by pcguard",
+    )
+
+
+if __name__ == "__main__":
+    print(render())

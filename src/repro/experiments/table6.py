@@ -1,0 +1,69 @@
+"""Table VI (Appendix B): median per-run unique bugs.
+
+The paper complements the cumulative Table II with per-run medians; the
+trends (cull ahead, path close behind pcguard) should survive, if less
+crisply.  Pairwise intersection/subtraction cells are computed per run and
+then the median across runs is reported.
+"""
+
+from repro.experiments.runner import profile_runs, profile_subjects, run_matrix
+from repro.experiments.tables import median, render_table
+
+HOURS = 48
+CONFIGS = ["path", "pcguard", "cull", "opp"]
+
+PAIR_COLUMNS = [
+    ("cap", "path", "pcguard"),
+    ("cap", "cull", "pcguard"),
+    ("cap", "opp", "pcguard"),
+    ("diff", "path", "pcguard"),
+    ("diff", "pcguard", "path"),
+    ("diff", "cull", "pcguard"),
+    ("diff", "pcguard", "cull"),
+    ("diff", "opp", "pcguard"),
+    ("diff", "cull", "opp"),
+]
+
+
+def collect(subjects=None, runs=None):
+    subjects = profile_subjects() if subjects is None else subjects
+    runs = profile_runs() if runs is None else runs
+    results = run_matrix(CONFIGS, HOURS, subjects, runs)
+    return results, subjects, runs
+
+
+def render(data=None):
+    if data is None:
+        data = collect()
+    results, subjects, runs = data
+    headers = ["Benchmark"] + CONFIGS + [
+        ("%s∩%s" if op == "cap" else "%s\\%s") % (a, b) for op, a, b in PAIR_COLUMNS
+    ]
+    rows = []
+    col_totals = [0] * (len(CONFIGS) + len(PAIR_COLUMNS))
+    for subject in subjects:
+        row = [subject]
+        values = []
+        for config in CONFIGS:
+            values.append(
+                median([len(results[(subject, config, r)].bugs) for r in range(runs)])
+            )
+        for op, a, b in PAIR_COLUMNS:
+            per_run = []
+            for r in range(runs):
+                sa = results[(subject, a, r)].bugs
+                sb = results[(subject, b, r)].bugs
+                per_run.append(len(sa & sb) if op == "cap" else len(sa - sb))
+            values.append(median(per_run))
+        row.extend(values)
+        rows.append(row)
+        for i, v in enumerate(values):
+            col_totals[i] += v
+    rows.append(["TOTAL"] + col_totals)
+    return render_table(
+        headers, rows, title="Table VI: median unique bugs per run"
+    )
+
+
+if __name__ == "__main__":
+    print(render())

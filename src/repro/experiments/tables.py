@@ -1,0 +1,55 @@
+"""ASCII table rendering + small statistics helpers for the experiments."""
+
+import math
+
+
+def render_table(headers, rows, title=None):
+    """Fixed-width table; numeric cells are right-aligned."""
+    columns = [[str(h) for h in headers]] + [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [max(len(col[i]) for col in columns) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(columns[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        cells = []
+        for text, width in zip(row, widths):
+            if _is_number(text):
+                cells.append(text.rjust(width))
+            else:
+                cells.append(text.ljust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)
+
+
+def _is_number(text):
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def geomean(values):
+    """Geometric mean of positive values (0.0 for an empty list)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
+
+
+def median(values):
+    """Median (lower of the two middles for even counts, like AFL stats)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0
+    return ordered[(len(ordered) - 1) // 2]

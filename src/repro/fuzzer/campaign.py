@@ -1,0 +1,178 @@
+"""Campaign results and the afl-showmap-style coverage replay.
+
+A :class:`CampaignResult` is the durable record of one fuzzing run —
+everything the paper's tables consume: ground-truth unique bugs, stack-hash
+unique crashes, raw crash counts, final queue size, the *edge* coverage of
+the final queue (measured by replaying it under edge instrumentation with a
+separate pcguard-instrumented binary, exactly as the paper does with
+``afl-showmap``), execution counts, and the queue-size timeline.
+"""
+
+from repro.coverage.feedback import EdgeFeedback
+from repro.runtime.interpreter import execute
+
+
+class CrashInfo(object):
+    """Plain (picklable) record of one deduplicated crash bucket."""
+
+    __slots__ = ("bug", "hash5", "kind", "count", "afl_unique", "found_at", "stack")
+
+    def __init__(self, bug, hash5, kind, count, afl_unique, found_at, stack):
+        self.bug = bug  # (function, line, kind) ground-truth identity
+        self.hash5 = hash5  # top-5-frame stack hash (the "unique crash" id)
+        self.kind = kind
+        self.count = count
+        self.afl_unique = afl_unique
+        self.found_at = found_at
+        self.stack = stack  # ((function, line), ...) innermost first
+
+    def bug_id(self):
+        return self.bug
+
+    def __repr__(self):
+        return "CrashInfo(%s x%d)" % (self.bug, self.count)
+
+
+class CampaignResult(object):
+    """Outcome of one (subject, fuzzer-config, run-seed) campaign."""
+
+    __slots__ = (
+        "subject_name",
+        "config_name",
+        "run_seed",
+        "bugs",
+        "crash_records",
+        "crash_count",
+        "afl_unique_crash_count",
+        "queue_size",
+        "edges",
+        "execs",
+        "hangs",
+        "ticks",
+        "throughput",
+        "timeline",
+    )
+
+    def __init__(
+        self,
+        subject_name,
+        config_name,
+        run_seed,
+        bugs,
+        crash_records,
+        crash_count,
+        afl_unique_crash_count,
+        queue_size,
+        edges,
+        execs,
+        hangs,
+        ticks,
+        throughput,
+        timeline,
+    ):
+        self.subject_name = subject_name
+        self.config_name = config_name
+        self.run_seed = run_seed
+        self.bugs = bugs
+        self.crash_records = crash_records
+        self.crash_count = crash_count
+        self.afl_unique_crash_count = afl_unique_crash_count
+        self.queue_size = queue_size
+        self.edges = edges
+        self.execs = execs
+        self.hangs = hangs
+        self.ticks = ticks
+        self.throughput = throughput
+        self.timeline = timeline
+
+    @property
+    def unique_crash_hashes(self):
+        """Stack-hash identities of the clustered crashes."""
+        return {record.hash5 for record in self.crash_records}
+
+    def __repr__(self):
+        return "CampaignResult(%s/%s#%d: bugs=%d, crashes=%d, queue=%d)" % (
+            self.subject_name,
+            self.config_name,
+            self.run_seed,
+            len(self.bugs),
+            len(self.crash_records),
+            self.queue_size,
+        )
+
+
+def replay_edge_coverage(program, inputs, instr_budget=200_000):
+    """Union of edge-map indices covered by ``inputs`` (afl-showmap analogue).
+
+    The replay always uses :class:`EdgeFeedback`, independent of the
+    feedback the campaign fuzzed with — the paper's Table IV methodology.
+    """
+    instrumentation = EdgeFeedback().instrument(program)
+    covered = set()
+    for data in inputs:
+        result = execute(program, data, instrumentation, instr_budget=instr_budget)
+        covered.update(result.hits)
+    return covered
+
+
+def result_from_engines(subject, config_name, run_seed, engines, final_engine):
+    """Assemble a CampaignResult from one or more engine phases.
+
+    ``engines`` lists every phase that contributed crashes (culling rounds,
+    the opportunistic path phase, ...); ``final_engine`` supplies the final
+    queue, whose inputs are replayed for edge coverage.  Crash records are
+    merged across phases by stack hash (counts accumulate).
+    """
+    merged = {}
+    crash_count = 0
+    afl_unique = 0
+    execs = 0
+    hangs = 0
+    ticks = 0
+    timeline = []
+    for engine in engines:
+        crash_count += engine.crash_count
+        afl_unique += engine.afl_unique_crash_count
+        execs += engine.execs
+        hangs += engine.hangs
+        for hash5, record in engine.unique_crashes.items():
+            existing = merged.get(hash5)
+            if existing is None:
+                merged[hash5] = CrashInfo(
+                    bug=record.trap.bug_id(),
+                    hash5=hash5,
+                    kind=record.trap.kind,
+                    count=record.count,
+                    afl_unique=record.afl_unique,
+                    found_at=ticks + record.found_at,
+                    stack=tuple(f.key() for f in record.trap.stack),
+                )
+            else:
+                existing.count += record.count
+        phase_ticks = engine.clock.ticks if engine.clock else 0
+        for sample in engine.timeline:
+            timeline.append((ticks + sample[0],) + sample[1:])
+        ticks += phase_ticks
+    records = list(merged.values())
+    bugs = {record.bug_id() for record in records}
+    edges = replay_edge_coverage(subject.program, final_engine.corpus_inputs())
+    from repro.fuzzer.clock import TICKS_PER_HOUR
+
+    # Executions per virtual hour, the clock's native campaign unit.
+    throughput = execs / (ticks / TICKS_PER_HOUR) if ticks else 0.0
+    return CampaignResult(
+        subject_name=subject.name,
+        config_name=config_name,
+        run_seed=run_seed,
+        bugs=bugs,
+        crash_records=records,
+        crash_count=crash_count,
+        afl_unique_crash_count=afl_unique,
+        queue_size=len(final_engine.queue.entries),
+        edges=frozenset(edges),
+        execs=execs,
+        hangs=hangs,
+        ticks=ticks,
+        throughput=throughput,
+        timeline=timeline,
+    )

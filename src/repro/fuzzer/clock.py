@@ -1,0 +1,50 @@
+"""Virtual time.
+
+Real fuzzing campaigns are budgeted in wall-clock hours; this reproduction
+runs on a deterministic *virtual clock* whose ticks are proportional to the
+work performed: interpreted instructions, probe actions, and fixed per-
+execution overheads (process setup, novelty checking, queue maintenance).
+Relative throughput effects — the heart of the paper's queue-explosion
+story — are preserved while campaigns stay laptop-scale and reproducible.
+
+The calibration constant :data:`TICKS_PER_HOUR` maps "paper hours" onto
+ticks; experiment configs scale it via the ``REPRO_SCALE`` environment knob.
+"""
+
+# One "campaign hour" of the paper corresponds to this many virtual ticks at
+# scale 1.0.  At roughly 150-400 ticks per execution this yields a few
+# thousand executions per hour — enough for the fuzzing dynamics to play out.
+TICKS_PER_HOUR = 400_000
+
+# Fixed per-execution overhead: fork-server round trip, harness dispatch,
+# coverage novelty checking (AFL's run_target + save_if_interesting
+# envelope).  For fast targets this dominates the execution itself, exactly
+# as process setup does for real fuzzers.
+EXEC_OVERHEAD = 250
+
+
+class VirtualClock(object):
+    """Monotonic tick counter with a budget."""
+
+    __slots__ = ("ticks", "budget")
+
+    def __init__(self, budget):
+        self.ticks = 0
+        self.budget = budget
+
+    def charge(self, amount):
+        self.ticks += amount
+
+    def expired(self):
+        return self.ticks >= self.budget
+
+    def remaining(self):
+        return max(0, self.budget - self.ticks)
+
+    def __repr__(self):
+        return "VirtualClock(%d/%d)" % (self.ticks, self.budget)
+
+
+def hours_to_ticks(hours, scale=1.0):
+    """Convert paper-campaign hours to virtual ticks at ``scale``."""
+    return int(hours * TICKS_PER_HOUR * scale)

@@ -1,0 +1,75 @@
+"""Input-to-state mutation (a cmplog/RedQueen analogue).
+
+The paper enables AFL++'s cmplog instrumentation for every fuzzer
+configuration.  Our VM can execute a test case with comparison logging; the
+harvested operand pairs — integer comparisons and ``memcmp`` byte windows —
+drive direct substitutions: wherever one operand's encoding occurs in the
+input, the other operand is patched in.  This solves magic-number and
+keyword checks without symbolic execution, matching the "input-to-state
+correspondence" of Redqueen (NDSS'19) in spirit.
+"""
+
+_WIDTHS = (1, 2, 4, 8)
+
+
+def _encodings(value):
+    """All byte encodings of an integer operand worth searching for."""
+    result = []
+    for width in _WIDTHS:
+        masked = value & ((1 << (8 * width)) - 1)
+        for order in ("big", "little"):
+            encoded = masked.to_bytes(width, order)
+            if encoded not in result:
+                result.append(encoded)
+    return result
+
+
+def _substitutions(data, pattern, replacement, cap):
+    """Inputs with each occurrence of ``pattern`` replaced by ``replacement``."""
+    if not pattern or len(pattern) != len(replacement):
+        return []
+    out = []
+    start = 0
+    while len(out) < cap:
+        pos = data.find(pattern, start)
+        if pos < 0:
+            break
+        out.append(data[:pos] + replacement + data[pos + len(pattern) :])
+        start = pos + 1
+    return out
+
+
+def candidates_from_log(data, cmp_log, max_candidates=64):
+    """Derive substitution candidates for ``data`` from a comparison log.
+
+    ``cmp_log`` holds ``(a, b)`` pairs: two ints (scalar comparisons) or two
+    bytes objects (memcmp windows).  For every pair, occurrences of one
+    side's encoding in ``data`` are patched to the other side.  Deduplicated
+    and capped to keep the stage's execution budget bounded.
+    """
+    seen = set()
+    out = []
+    for a, b in cmp_log:
+        if len(out) >= max_candidates:
+            break
+        if isinstance(a, bytes):
+            pairs = [(a, b), (b, a)]
+            for pattern, replacement in pairs:
+                for cand in _substitutions(data, pattern, replacement, 4):
+                    if cand not in seen and cand != data:
+                        seen.add(cand)
+                        out.append(cand)
+        else:
+            if a == b:
+                continue
+            for pattern, replacement_value in ((a, b), (b, a)):
+                for encoded in _encodings(pattern):
+                    width = len(encoded)
+                    masked = replacement_value & ((1 << (8 * width)) - 1)
+                    for order in ("big", "little"):
+                        repl = masked.to_bytes(width, order)
+                        for cand in _substitutions(data, encoded, repl, 2):
+                            if cand not in seen and cand != data:
+                                seen.add(cand)
+                                out.append(cand)
+    return out[:max_candidates]

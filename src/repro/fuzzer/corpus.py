@@ -1,0 +1,124 @@
+"""Queue (corpus) management.
+
+Mirrors AFL's queue mechanics:
+
+- every interesting test case becomes a :class:`QueueEntry` carrying its
+  coverage trace and execution cost;
+- ``top_rated`` keeps, per coverage-map index, the cheapest entry covering
+  it (AFL's ``update_bitmap_score``, score = exec cost x input length);
+- :meth:`Queue.cull` greedily marks a *favored* subset of entries that
+  together cover every index — the fast set-cover approximation the paper
+  reuses both for scheduling and as its culling criterion.
+"""
+
+
+class QueueEntry(object):
+    """One retained test case."""
+
+    __slots__ = (
+        "entry_id",
+        "data",
+        "exec_cost",
+        "trace",
+        "classified",
+        "favored",
+        "was_fuzzed",
+        "depth",
+        "handicap",
+        "found_at",
+        "cmplog_done",
+    )
+
+    def __init__(self, entry_id, data, exec_cost, classified, depth, found_at):
+        self.entry_id = entry_id
+        self.data = data
+        self.exec_cost = exec_cost
+        self.classified = classified
+        self.trace = frozenset(classified)
+        self.favored = False
+        self.was_fuzzed = False
+        self.depth = depth
+        self.handicap = 0
+        self.found_at = found_at
+        self.cmplog_done = False
+
+    def score_key(self):
+        """AFL's top_rated ordering: cheaper-to-run x shorter wins."""
+        return self.exec_cost * max(len(self.data), 1)
+
+    def __repr__(self):
+        return "QueueEntry(#%d, %dB, cost=%d, trace=%d%s)" % (
+            self.entry_id,
+            len(self.data),
+            self.exec_cost,
+            len(self.trace),
+            ", favored" if self.favored else "",
+        )
+
+
+class Queue(object):
+    """The fuzzer's corpus with AFL-style favored-entry culling."""
+
+    __slots__ = ("entries", "top_rated", "_dirty", "pending_favored", "_next_id")
+
+    def __init__(self):
+        self.entries = []
+        self.top_rated = {}
+        self._dirty = False
+        self.pending_favored = 0
+        self._next_id = 0
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def make_entry(self, data, exec_cost, classified, depth, found_at):
+        entry = QueueEntry(self._next_id, data, exec_cost, classified, depth, found_at)
+        self._next_id += 1
+        return entry
+
+    def add(self, entry):
+        """Append ``entry`` and update per-index champions."""
+        self.entries.append(entry)
+        key = entry.score_key()
+        top = self.top_rated
+        for idx in entry.trace:
+            champion = top.get(idx)
+            if champion is None or key < champion.score_key():
+                top[idx] = entry
+        self._dirty = True
+
+    def cull(self):
+        """Recompute the favored subset (AFL's ``cull_queue``).
+
+        Greedy set cover over ``top_rated``: walk the covered indices; any
+        index not yet covered by a previously chosen favorite promotes its
+        champion.  Cheap, deterministic, and exactly the approximation the
+        paper's culling strategy reuses.
+        """
+        if not self._dirty:
+            return
+        self._dirty = False
+        for entry in self.entries:
+            entry.favored = False
+        uncovered = set(self.top_rated)
+        for idx in sorted(self.top_rated):
+            if idx not in uncovered:
+                continue
+            champion = self.top_rated[idx]
+            champion.favored = True
+            uncovered.difference_update(champion.trace)
+        self.pending_favored = sum(
+            1 for e in self.entries if e.favored and not e.was_fuzzed
+        )
+
+    def favored_entries(self):
+        """The current favored subset (culling if stale)."""
+        self.cull()
+        return [e for e in self.entries if e.favored]
+
+    def covered_indices(self):
+        """Every coverage-map index covered by some entry."""
+        return set(self.top_rated)

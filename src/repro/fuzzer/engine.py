@@ -1,0 +1,323 @@
+"""The greybox fuzzing engine.
+
+:class:`FuzzEngine` is an AFL++-shaped loop: seed dry-run, queue cycling
+with favored-entry skipping, power-scheduled havoc + splice stages, an
+optional cmplog (input-to-state) stage, crash collection with eager
+stack-hash dedup, and timeline sampling — all on the deterministic virtual
+clock.  The *coverage feedback is a plug-in*: the engine never looks inside
+map indices, so swapping :class:`~repro.coverage.feedback.EdgeFeedback` for
+:class:`~repro.coverage.feedback.PathFeedback` changes exactly one component,
+as in the paper.
+
+:func:`afl_engine_config` yields the reduced configuration (legacy mutation
+repertoire, no cmplog) approximating the AFL 2.52b base of PathAFL.
+"""
+
+from repro.coverage.bitmap import VirginMap, classify_hits
+from repro.fuzzer.clock import EXEC_OVERHEAD, VirtualClock
+from repro.fuzzer.cmplog import candidates_from_log
+from repro.fuzzer.corpus import Queue
+from repro.fuzzer.mutators import deterministic_mutations, havoc, splice
+from repro.fuzzer.schedule import havoc_iterations, performance_score
+from repro.runtime.interpreter import execute
+from repro.triage.stacktrace import stack_hash
+
+
+class EngineConfig(object):
+    """Tunables of the fuzzing loop (defaults model AFL++ 4.07a)."""
+
+    __slots__ = (
+        "max_input_len",
+        "use_cmplog",
+        "use_splice",
+        "use_det",
+        "legacy_havoc",
+        "havoc_multiplier",
+        "exec_instr_budget",
+        "call_depth_limit",
+        "timeline_interval",
+        "cmplog_max_candidates",
+    )
+
+    def __init__(
+        self,
+        max_input_len=512,
+        use_cmplog=True,
+        use_splice=True,
+        use_det=False,
+        legacy_havoc=False,
+        havoc_multiplier=0.32,
+        exec_instr_budget=60_000,
+        call_depth_limit=64,
+        timeline_interval=256,
+        cmplog_max_candidates=48,
+    ):
+        self.max_input_len = max_input_len
+        self.use_cmplog = use_cmplog
+        self.use_splice = use_splice
+        self.use_det = use_det
+        self.legacy_havoc = legacy_havoc
+        self.havoc_multiplier = havoc_multiplier
+        self.exec_instr_budget = exec_instr_budget
+        self.call_depth_limit = call_depth_limit
+        self.timeline_interval = timeline_interval
+        self.cmplog_max_candidates = cmplog_max_candidates
+
+
+def afl_engine_config(**overrides):
+    """The AFL 2.52b-flavoured configuration used by the Appendix C baselines."""
+    defaults = dict(
+        use_cmplog=False,
+        legacy_havoc=True,
+        use_det=False,
+        havoc_multiplier=0.32,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+class CrashRecord(object):
+    """A deduplicated crash bucket (first witness + occurrence count)."""
+
+    __slots__ = ("data", "trap", "found_at", "afl_unique", "hash5", "count")
+
+    def __init__(self, data, trap, found_at, afl_unique, hash5):
+        self.data = data
+        self.trap = trap
+        self.found_at = found_at
+        self.afl_unique = afl_unique
+        self.hash5 = hash5
+        self.count = 1
+
+    def bug_id(self):
+        return self.trap.bug_id()
+
+    def __repr__(self):
+        return "CrashRecord(%s, x%d)" % (self.trap.bug_id(), self.count)
+
+
+class FuzzEngine(object):
+    """One fuzzing campaign phase over a single program and feedback."""
+
+    def __init__(self, program, feedback, seeds, rng, config=None, tokens=()):
+        self.program = program
+        self.feedback = feedback
+        self.instrumentation = feedback.instrument(program)
+        self.rng = rng
+        self.config = config or EngineConfig()
+        self.tokens = tuple(bytes(t) for t in tokens)
+        self.queue = Queue()
+        self.virgin = VirginMap()
+        self.crash_virgin = VirginMap()
+        self.unique_crashes = {}  # stack hash -> CrashRecord
+        self.crash_count = 0
+        self.afl_unique_crash_count = 0
+        self.execs = 0
+        self.hangs = 0
+        self.cycle = 0
+        self.timeline = []
+        self.clock = None
+        self._seeds = [bytes(s) for s in seeds]
+
+    # -- the outer loop ------------------------------------------------------
+
+    def run(self, budget_ticks):
+        """Fuzz until the virtual budget expires; returns self for chaining."""
+        self.clock = VirtualClock(budget_ticks)
+        self._dry_run_seeds()
+        queue_index = 0
+        while not self.clock.expired():
+            if not self.queue.entries:
+                # Every seed crashed or hung; fall back to random inputs.
+                self._run_and_process(
+                    bytes(self.rng.randrange(256) for _ in range(16)), depth=0
+                )
+                continue
+            if queue_index >= len(self.queue.entries):
+                queue_index = 0
+                self.cycle += 1
+            entry = self.queue.entries[queue_index]
+            queue_index += 1
+            self.queue.cull()
+            if self._should_skip(entry):
+                continue
+            self._fuzz_one(entry)
+            entry.was_fuzzed = True
+        self._snapshot()
+        return self
+
+    def _dry_run_seeds(self):
+        for seed in self._seeds:
+            if self.clock.expired():
+                break
+            result = self._execute(seed)
+            if result.timeout:
+                self.hangs += 1
+                continue
+            if result.crashed:
+                self._record_crash(seed, result)
+                continue
+            classified = classify_hits(result.hits)
+            entry = self.queue.make_entry(
+                seed, result.virtual_cost, classified, depth=0, found_at=self.clock.ticks
+            )
+            self.queue.add(entry)
+            self.virgin.merge(classified)
+
+    def _should_skip(self, entry):
+        """AFL's probabilistic skipping of non-favored entries."""
+        if entry.favored:
+            return False
+        self.queue.cull()
+        if self.queue.pending_favored > 0:
+            return self.rng.random() < 0.99
+        if len(self.queue.entries) > 10:
+            if entry.was_fuzzed:
+                return self.rng.random() < 0.95
+            return self.rng.random() < 0.75
+        return False
+
+    # -- per-entry stages ------------------------------------------------------
+
+    def _fuzz_one(self, entry):
+        config = self.config
+        avg_cost, avg_trace = self._averages()
+        score = performance_score(entry, avg_cost, avg_trace)
+        iterations = havoc_iterations(score, config.havoc_multiplier)
+        if config.use_cmplog and not entry.cmplog_done:
+            self._cmplog_stage(entry)
+            entry.cmplog_done = True
+        if config.use_det and entry.favored and not entry.was_fuzzed:
+            for candidate in deterministic_mutations(entry.data, self.tokens):
+                if self.clock.expired():
+                    return
+                self._run_and_process(candidate[: config.max_input_len], entry.depth + 1)
+        for _ in range(iterations):
+            if self.clock.expired():
+                return
+            mutated = havoc(
+                self.rng,
+                entry.data,
+                config.max_input_len,
+                self.tokens,
+                legacy=config.legacy_havoc,
+            )
+            self._run_and_process(mutated, entry.depth + 1)
+        if config.use_splice and len(self.queue.entries) > 1:
+            for _ in range(max(2, iterations // 4)):
+                if self.clock.expired():
+                    return
+                other = self.rng.choice(self.queue.entries)
+                spliced = splice(self.rng, entry.data, other.data)
+                mutated = havoc(
+                    self.rng,
+                    spliced,
+                    config.max_input_len,
+                    self.tokens,
+                    legacy=config.legacy_havoc,
+                )
+                self._run_and_process(mutated, entry.depth + 1)
+
+    def _cmplog_stage(self, entry):
+        """Harvest comparison operands, then try direct substitutions."""
+        result = self._execute(entry.data, cmplog=True)
+        if result.crashed or result.timeout:
+            return
+        candidates = candidates_from_log(
+            entry.data, result.cmp_log, self.config.cmplog_max_candidates
+        )
+        for candidate in candidates:
+            if self.clock.expired():
+                return
+            self._run_and_process(
+                candidate[: self.config.max_input_len], entry.depth + 1
+            )
+
+    def _averages(self):
+        entries = self.queue.entries
+        if not entries:
+            return 0, 0
+        total_cost = sum(e.exec_cost for e in entries)
+        total_trace = sum(len(e.trace) for e in entries)
+        return total_cost / len(entries), total_trace / len(entries)
+
+    # -- execution plumbing ----------------------------------------------------
+
+    def _execute(self, data, cmplog=False):
+        result = execute(
+            self.program,
+            data,
+            self.instrumentation,
+            instr_budget=self.config.exec_instr_budget,
+            call_depth_limit=self.config.call_depth_limit,
+            cmplog=cmplog,
+        )
+        # Virtual cost: the run itself + the novelty scan over its trace.
+        self.clock.charge(EXEC_OVERHEAD + result.virtual_cost + len(result.hits) // 4)
+        self.execs += 1
+        if self.execs % self.config.timeline_interval == 0:
+            self._snapshot()
+        return result
+
+    def _run_and_process(self, data, depth):
+        """Execute a candidate; queue it if novel.  Returns the new entry."""
+        result = self._execute(data)
+        if result.timeout:
+            self.hangs += 1
+            return None
+        if result.crashed:
+            self._record_crash(data, result)
+            return None
+        classified = classify_hits(result.hits)
+        new_indices, new_buckets = self.virgin.probe(classified)
+        if not (new_indices or new_buckets):
+            return None
+        entry = self.queue.make_entry(
+            data, result.virtual_cost, classified, depth, found_at=self.clock.ticks
+        )
+        entry.handicap = self.cycle
+        self.queue.add(entry)
+        self.virgin.merge(classified)
+        return entry
+
+    def _record_crash(self, data, result):
+        self.crash_count += 1
+        classified = classify_hits(result.hits)
+        new_indices, new_buckets = self.crash_virgin.probe(classified)
+        afl_unique = new_indices or new_buckets
+        if afl_unique:
+            self.afl_unique_crash_count += 1
+            self.crash_virgin.merge(classified)
+        hash5 = stack_hash(result.trap.stack)
+        record = self.unique_crashes.get(hash5)
+        if record is None:
+            self.unique_crashes[hash5] = CrashRecord(
+                data, result.trap, self.clock.ticks, afl_unique, hash5
+            )
+        else:
+            record.count += 1
+
+    def _snapshot(self):
+        self.timeline.append(
+            (
+                self.clock.ticks,
+                len(self.queue.entries),
+                self.virgin.coverage_count(),
+                self.crash_count,
+                self.execs,
+            )
+        )
+
+    # -- results ---------------------------------------------------------------
+
+    def corpus_inputs(self):
+        """The raw bytes of every queue entry (for strategies and replay)."""
+        return [entry.data for entry in self.queue.entries]
+
+    def throughput(self):
+        """Executions per virtual hour (the clock's native campaign unit)."""
+        if self.clock is None or self.clock.ticks == 0:
+            return 0.0
+        from repro.fuzzer.clock import TICKS_PER_HOUR
+
+        return self.execs / (self.clock.ticks / TICKS_PER_HOUR)

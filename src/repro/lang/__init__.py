@@ -1,0 +1,36 @@
+"""MiniC front-end: lexer, parser, semantic checks, and compilation driver."""
+
+from repro.cfg.lowering import lower_program
+from repro.cfg.optimize import optimize_program
+from repro.lang.errors import LexError, MiniCError, ParseError, SemaError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import check_program
+
+__all__ = [
+    "compile_source",
+    "tokenize",
+    "parse",
+    "check_program",
+    "MiniCError",
+    "LexError",
+    "ParseError",
+    "SemaError",
+]
+
+
+def compile_source(source, name="<program>", optimize=True):
+    """Compile MiniC ``source`` into a validated ProgramCFG.
+
+    Pipeline: lex -> parse -> semantic checks -> CFG lowering ->
+    (optionally) middle-end cleanups -> validation.  This mirrors the paper's
+    setup where path instrumentation runs after the optimizer, on the final
+    CFG shape.
+    """
+    program_ast = parse(source)
+    check_program(program_ast)
+    program = lower_program(program_ast, name)
+    if optimize:
+        optimize_program(program)
+    program.validate()
+    return program

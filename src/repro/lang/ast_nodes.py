@@ -1,0 +1,277 @@
+"""AST node classes for MiniC.
+
+Every node records the 1-based source ``line`` of the token that introduced
+it; the CFG lowering propagates lines onto instructions so that crash sites
+(and hence ground-truth bug identities) are stable source locations.
+"""
+
+
+class Node(object):
+    """Base class for AST nodes (equality by type + fields, for tests)."""
+
+    __slots__ = ("line",)
+    _fields = ()
+
+    def __init__(self, line):
+        self.line = line
+
+    def children(self):
+        """Yield the values of this node's declared fields (for traversals)."""
+        for name in self._fields:
+            yield getattr(self, name)
+
+    def __eq__(self, other):
+        if type(self) is not type(other):
+            return False
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self._fields
+        )
+
+    def __hash__(self):
+        return hash((type(self),) + tuple(repr(c) for c in self.children()))
+
+    def __repr__(self):
+        parts = ", ".join("%s=%r" % (n, getattr(self, n)) for n in self._fields)
+        return "%s(%s)" % (type(self).__name__, parts)
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+class Program(Node):
+    """A whole translation unit: a list of :class:`FuncDef`."""
+
+    __slots__ = ("funcs",)
+    _fields = ("funcs",)
+
+    def __init__(self, funcs, line=1):
+        super().__init__(line)
+        self.funcs = funcs
+
+
+class FuncDef(Node):
+    """``fn name(params) { body }``; ``body`` is a :class:`Block`."""
+
+    __slots__ = ("name", "params", "body")
+    _fields = ("name", "params", "body")
+
+    def __init__(self, name, params, body, line):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Block(Node):
+    """A brace-delimited statement list."""
+
+    __slots__ = ("stmts",)
+    _fields = ("stmts",)
+
+    def __init__(self, stmts, line):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class VarDecl(Node):
+    """``var name = init;`` — introduces ``name`` in the enclosing scope."""
+
+    __slots__ = ("name", "init")
+    _fields = ("name", "init")
+
+    def __init__(self, name, init, line):
+        super().__init__(line)
+        self.name = name
+        self.init = init
+
+
+class Assign(Node):
+    """``name = value;``"""
+
+    __slots__ = ("name", "value")
+    _fields = ("name", "value")
+
+    def __init__(self, name, value, line):
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+class IndexAssign(Node):
+    """``array[index] = value;``"""
+
+    __slots__ = ("array", "index", "value")
+    _fields = ("array", "index", "value")
+
+    def __init__(self, array, index, value, line):
+        super().__init__(line)
+        self.array = array
+        self.index = index
+        self.value = value
+
+
+class If(Node):
+    """``if (cond) then_block else else_part`` (``else_part`` may be None)."""
+
+    __slots__ = ("cond", "then_block", "else_block")
+    _fields = ("cond", "then_block", "else_block")
+
+    def __init__(self, cond, then_block, else_block, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+
+class While(Node):
+    """``while (cond) body``"""
+
+    __slots__ = ("cond", "body")
+    _fields = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    """``for (init; cond; step) body`` — each header part may be None."""
+
+    __slots__ = ("init", "cond", "step", "body")
+    _fields = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Break(Node):
+    """``break;``"""
+
+    __slots__ = ()
+
+
+class Continue(Node):
+    """``continue;``"""
+
+    __slots__ = ()
+
+
+class Return(Node):
+    """``return expr;`` or ``return;`` (value None)."""
+
+    __slots__ = ("value",)
+    _fields = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class ExprStmt(Node):
+    """An expression evaluated for its side effects (typically a call)."""
+
+    __slots__ = ("expr",)
+    _fields = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class IntLit(Node):
+    """Integer (or character) literal."""
+
+    __slots__ = ("value",)
+    _fields = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Node):
+    """Byte-string literal; evaluates to a read-only global byte array."""
+
+    __slots__ = ("value",)
+    _fields = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Node):
+    """A variable reference."""
+
+    __slots__ = ("name",)
+    _fields = ("name",)
+
+    def __init__(self, name, line):
+        super().__init__(line)
+        self.name = name
+
+
+class BinOp(Node):
+    """``left op right`` — op is the surface spelling (``+``, ``&&``, ...)."""
+
+    __slots__ = ("op", "left", "right")
+    _fields = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnOp(Node):
+    """``op operand`` — op is one of ``-``, ``!``, ``~``."""
+
+    __slots__ = ("op", "operand")
+    _fields = ("op", "operand")
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Index(Node):
+    """``array[index]`` load."""
+
+    __slots__ = ("array", "index")
+    _fields = ("array", "index")
+
+    def __init__(self, array, index, line):
+        super().__init__(line)
+        self.array = array
+        self.index = index
+
+
+class Call(Node):
+    """``callee(args...)`` — a user function or a builtin."""
+
+    __slots__ = ("callee", "args")
+    _fields = ("callee", "args")
+
+    def __init__(self, callee, args, line):
+        super().__init__(line)
+        self.callee = callee
+        self.args = args

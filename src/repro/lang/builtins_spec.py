@@ -1,0 +1,35 @@
+"""The MiniC builtin-function surface.
+
+Builtins are the VM's "libc": array allocation, bounded memory helpers, and
+small arithmetic utilities.  Each entry maps the surface name to its arity.
+All memory-touching builtins are bounds-checked by the runtime and therefore
+are potential crash sites, exactly like a C program under AddressSanitizer.
+
+``memcmp`` additionally feeds the cmplog (input-to-state) channel when the
+engine runs a logging execution, mirroring AFL++'s cmplog shared library.
+"""
+
+# name -> number of arguments.  All builtins produce a value (possibly 0).
+BUILTINS = {
+    # core
+    "alloc": 1,  # alloc(n) -> fresh zeroed array of n bytes/ints
+    "len": 1,  # len(a) -> element count
+    "abs": 1,
+    "min": 2,
+    "max": 2,
+    # bounded memory helpers (each a potential ASan-style trap site)
+    "memcmp": 5,  # memcmp(a, aoff, b, boff, n) -> 0 if equal else 1
+    "copy": 5,  # copy(dst, doff, src, soff, n) -> 0
+    "fill": 4,  # fill(a, off, n, value) -> 0
+    # big/little-endian scalar reads
+    "read16": 2,
+    "read32": 2,
+    "read16le": 2,
+    "read32le": 2,
+    # explicit abort (models assert()/abort() reachable defects)
+    "trap": 1,
+}
+
+# Stable small integer codes used by the instruction encoding and the VM.
+BUILTIN_CODES = {name: code for code, name in enumerate(sorted(BUILTINS))}
+BUILTIN_NAMES = {code: name for name, code in BUILTIN_CODES.items()}

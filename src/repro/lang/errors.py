@@ -1,0 +1,27 @@
+"""Diagnostics for the MiniC front-end."""
+
+
+class MiniCError(Exception):
+    """Base class for every front-end diagnostic.
+
+    Carries the 1-based source ``line`` the diagnostic points at (0 when the
+    location is unknown, e.g. an end-of-file error discovered past the last
+    token).
+    """
+
+    def __init__(self, message, line=0):
+        super().__init__(message if not line else "line %d: %s" % (line, message))
+        self.message = message
+        self.line = line
+
+
+class LexError(MiniCError):
+    """Raised on malformed input at the character level."""
+
+
+class ParseError(MiniCError):
+    """Raised on a syntax error."""
+
+
+class SemaError(MiniCError):
+    """Raised on a semantic error (unknown names, bad arity, misplaced break)."""

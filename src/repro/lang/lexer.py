@@ -1,0 +1,150 @@
+"""Hand-written lexer for MiniC.
+
+Supports decimal and hexadecimal integer literals, character literals with
+the usual escapes, double-quoted byte-string literals, ``//`` line comments
+and ``/* */`` block comments.
+"""
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import EOF, IDENT, INT, KEYWORDS, PUNCT, STRING, Token
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+}
+
+
+def tokenize(source):
+    """Convert MiniC ``source`` text into a list of tokens ending with EOF.
+
+    Raises :class:`~repro.lang.errors.LexError` on malformed input.
+    """
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            tok, pos = _lex_number(source, pos, line)
+            tokens.append(tok)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            name = source[start:pos]
+            if name in KEYWORDS:
+                tokens.append(Token(name, name, line))
+            else:
+                tokens.append(Token(IDENT, name, line))
+            continue
+        if ch == "'":
+            value, pos = _lex_char(source, pos, line)
+            tokens.append(Token(INT, value, line))
+            continue
+        if ch == '"':
+            value, pos, line = _lex_string(source, pos, line)
+            tokens.append(Token(STRING, value, line))
+            continue
+        punct = _match_punct(source, pos)
+        if punct is not None:
+            tokens.append(Token(punct, punct, line))
+            pos += len(punct)
+            continue
+        raise LexError("unexpected character %r" % ch, line)
+    tokens.append(Token(EOF, None, line))
+    return tokens
+
+
+def _match_punct(source, pos):
+    for punct in PUNCT:
+        if source.startswith(punct, pos):
+            return punct
+    return None
+
+
+def _lex_number(source, pos, line):
+    length = len(source)
+    start = pos
+    if source.startswith("0x", pos) or source.startswith("0X", pos):
+        pos += 2
+        while pos < length and source[pos] in "0123456789abcdefABCDEF":
+            pos += 1
+        if pos == start + 2:
+            raise LexError("malformed hex literal", line)
+        return Token(INT, int(source[start:pos], 16), line), pos
+    while pos < length and source[pos].isdigit():
+        pos += 1
+    if pos < length and (source[pos].isalpha() or source[pos] == "_"):
+        raise LexError("malformed number %r" % source[start : pos + 1], line)
+    return Token(INT, int(source[start:pos]), line), pos
+
+
+def _lex_char(source, pos, line):
+    # pos points at the opening quote.
+    pos += 1
+    if pos >= len(source):
+        raise LexError("unterminated character literal", line)
+    ch = source[pos]
+    if ch == "\\":
+        pos += 1
+        if pos >= len(source) or source[pos] not in _ESCAPES:
+            raise LexError("bad escape in character literal", line)
+        value = _ESCAPES[source[pos]]
+    else:
+        value = ord(ch)
+        if value > 255:
+            raise LexError("non-byte character literal", line)
+    pos += 1
+    if pos >= len(source) or source[pos] != "'":
+        raise LexError("unterminated character literal", line)
+    return value, pos + 1
+
+
+def _lex_string(source, pos, line):
+    # pos points at the opening quote.
+    pos += 1
+    out = bytearray()
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == '"':
+            return bytes(out), pos + 1, line
+        if ch == "\n":
+            raise LexError("unterminated string literal", line)
+        if ch == "\\":
+            pos += 1
+            if pos >= length or source[pos] not in _ESCAPES:
+                raise LexError("bad escape in string literal", line)
+            out.append(_ESCAPES[source[pos]])
+        else:
+            code = ord(ch)
+            if code > 255:
+                raise LexError("non-byte character in string literal", line)
+            out.append(code)
+        pos += 1
+    raise LexError("unterminated string literal", line)

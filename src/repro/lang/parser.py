@@ -1,0 +1,282 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = optional)::
+
+    program   = { funcdef } ;
+    funcdef   = "fn" IDENT "(" [ IDENT { "," IDENT } ] ")" block ;
+    block     = "{" { stmt } "}" ;
+    stmt      = "var" IDENT "=" expr ";"
+              | "if" "(" expr ")" block [ "else" ( block | if-stmt ) ]
+              | "while" "(" expr ")" block
+              | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" block
+              | "break" ";" | "continue" ";"
+              | "return" [ expr ] ";"
+              | simple ";" ;
+    simple    = IDENT "=" expr
+              | postfix "[" expr "]" "=" expr
+              | expr ;
+    expr      = precedence-climbing over || && | ^ & == != < <= > >=
+                << >> + - * / % ;
+    unary     = ( "-" | "!" | "~" ) unary | postfix ;
+    postfix   = primary { "[" expr "]" | "(" args ")" } ;
+    primary   = INT | STRING | IDENT | "(" expr ")" ;
+
+Operator precedence matches C.  ``&&`` and ``||`` short-circuit (the lowering
+gives them genuine control flow).
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, IDENT, INT, STRING
+
+# Binary operator precedence, highest binds tightest.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_UNARY_OPS = ("-", "!", "~")
+
+
+def parse(source):
+    """Parse MiniC ``source`` into an :class:`~repro.lang.ast_nodes.Program`.
+
+    Raises :class:`~repro.lang.errors.ParseError` (or ``LexError``) on
+    malformed input.
+    """
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser(object):
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        tok = self._tokens[self._pos]
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind):
+        return self._peek().kind == kind
+
+    def _accept(self, kind):
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind):
+        tok = self._peek()
+        if tok.kind != kind:
+            raise ParseError(
+                "expected %r, found %r" % (kind, tok.value if tok.value is not None else tok.kind),
+                tok.line,
+            )
+        return self._advance()
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self):
+        funcs = []
+        while not self._check(EOF):
+            funcs.append(self._funcdef())
+        return ast.Program(funcs)
+
+    def _funcdef(self):
+        start = self._expect("fn")
+        name = self._expect(IDENT).value
+        self._expect("(")
+        params = []
+        if not self._check(")"):
+            params.append(self._expect(IDENT).value)
+            while self._accept(","):
+                params.append(self._expect(IDENT).value)
+        self._expect(")")
+        body = self._block()
+        return ast.FuncDef(name, params, body, start.line)
+
+    def _block(self):
+        start = self._expect("{")
+        stmts = []
+        while not self._check("}"):
+            if self._check(EOF):
+                raise ParseError("unterminated block", start.line)
+            stmts.append(self._stmt())
+        self._expect("}")
+        return ast.Block(stmts, start.line)
+
+    def _stmt(self):
+        tok = self._peek()
+        if tok.kind == "var":
+            return self._var_decl()
+        if tok.kind == "if":
+            return self._if_stmt()
+        if tok.kind == "while":
+            self._advance()
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            body = self._block()
+            return ast.While(cond, body, tok.line)
+        if tok.kind == "for":
+            return self._for_stmt()
+        if tok.kind == "break":
+            self._advance()
+            self._expect(";")
+            node = ast.Break(tok.line)
+            return node
+        if tok.kind == "continue":
+            self._advance()
+            self._expect(";")
+            return ast.Continue(tok.line)
+        if tok.kind == "return":
+            self._advance()
+            value = None if self._check(";") else self._expr()
+            self._expect(";")
+            return ast.Return(value, tok.line)
+        stmt = self._simple_stmt()
+        self._expect(";")
+        return stmt
+
+    def _var_decl(self):
+        start = self._expect("var")
+        name = self._expect(IDENT).value
+        self._expect("=")
+        init = self._expr()
+        self._expect(";")
+        return ast.VarDecl(name, init, start.line)
+
+    def _if_stmt(self):
+        start = self._expect("if")
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        then_block = self._block()
+        else_block = None
+        if self._accept("else"):
+            if self._check("if"):
+                nested = self._if_stmt()
+                else_block = ast.Block([nested], nested.line)
+            else:
+                else_block = self._block()
+        return ast.If(cond, then_block, else_block, start.line)
+
+    def _for_stmt(self):
+        start = self._expect("for")
+        self._expect("(")
+        init = None
+        if not self._check(";"):
+            if self._check("var"):
+                tok = self._advance()
+                name = self._expect(IDENT).value
+                self._expect("=")
+                init = ast.VarDecl(name, self._expr(), tok.line)
+            else:
+                init = self._simple_stmt()
+        self._expect(";")
+        cond = None if self._check(";") else self._expr()
+        self._expect(";")
+        step = None if self._check(")") else self._simple_stmt()
+        self._expect(")")
+        body = self._block()
+        return ast.For(init, cond, step, body, start.line)
+
+    def _simple_stmt(self):
+        """An assignment or a bare expression (no trailing semicolon)."""
+        tok = self._peek()
+        expr = self._expr()
+        if self._accept("="):
+            value = self._expr()
+            if isinstance(expr, ast.Name):
+                return ast.Assign(expr.name, value, tok.line)
+            if isinstance(expr, ast.Index):
+                return ast.IndexAssign(expr.array, expr.index, value, tok.line)
+            raise ParseError("invalid assignment target", tok.line)
+        return ast.ExprStmt(expr, tok.line)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, min_prec=1):
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            prec = _PRECEDENCE.get(tok.kind)
+            if prec is None or prec < min_prec:
+                return left
+            self._advance()
+            right = self._expr(prec + 1)
+            left = ast.BinOp(tok.kind, left, right, tok.line)
+
+    def _unary(self):
+        tok = self._peek()
+        if tok.kind in _UNARY_OPS:
+            self._advance()
+            return ast.UnOp(tok.kind, self._unary(), tok.line)
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            tok = self._peek()
+            if tok.kind == "[":
+                self._advance()
+                index = self._expr()
+                self._expect("]")
+                expr = ast.Index(expr, index, tok.line)
+            elif tok.kind == "(":
+                if not isinstance(expr, ast.Name):
+                    raise ParseError("only named functions can be called", tok.line)
+                self._advance()
+                args = []
+                if not self._check(")"):
+                    args.append(self._expr())
+                    while self._accept(","):
+                        args.append(self._expr())
+                self._expect(")")
+                expr = ast.Call(expr.name, args, tok.line)
+            else:
+                return expr
+
+    def _primary(self):
+        tok = self._peek()
+        if tok.kind == INT:
+            self._advance()
+            return ast.IntLit(tok.value, tok.line)
+        if tok.kind == STRING:
+            self._advance()
+            return ast.StrLit(tok.value, tok.line)
+        if tok.kind == IDENT:
+            self._advance()
+            return ast.Name(tok.value, tok.line)
+        if tok.kind == "(":
+            self._advance()
+            expr = self._expr()
+            self._expect(")")
+            return expr
+        raise ParseError(
+            "expected expression, found %r" % (tok.value if tok.value is not None else tok.kind),
+            tok.line,
+        )

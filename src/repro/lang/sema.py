@@ -1,0 +1,163 @@
+"""Semantic analysis for MiniC.
+
+Checks performed before lowering:
+
+- function names are unique and do not collide with builtins;
+- every call resolves to a user function or builtin with matching arity;
+- every variable is declared (``var``) before use; block scoping with
+  shadowing is allowed, but re-declaring a name in the same block is not;
+- assignment targets are declared variables;
+- ``break``/``continue`` appear only inside loops;
+- function parameters are unique.
+
+Raises :class:`~repro.lang.errors.SemaError` on the first violation.
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins_spec import BUILTINS
+from repro.lang.errors import SemaError
+
+
+def check_program(program):
+    """Validate ``program`` (an :class:`ast.Program`).  Returns None."""
+    funcs = {}
+    for func in program.funcs:
+        if func.name in BUILTINS:
+            raise SemaError(
+                "function %r shadows a builtin" % func.name, func.line
+            )
+        if func.name in funcs:
+            raise SemaError("duplicate function %r" % func.name, func.line)
+        funcs[func.name] = func
+    for func in program.funcs:
+        _FuncChecker(func, funcs).run()
+
+
+class _FuncChecker(object):
+    def __init__(self, func, funcs):
+        self._func = func
+        self._funcs = funcs
+        self._scopes = []
+        self._loop_depth = 0
+
+    def run(self):
+        seen = set()
+        for param in self._func.params:
+            if param in seen:
+                raise SemaError(
+                    "duplicate parameter %r in %r" % (param, self._func.name),
+                    self._func.line,
+                )
+            seen.add(param)
+        self._scopes.append(set(self._func.params))
+        self._check_block(self._func.body, new_scope=False)
+        self._scopes.pop()
+
+    # -- scope helpers -----------------------------------------------------
+
+    def _declare(self, name, line):
+        if name in self._scopes[-1]:
+            raise SemaError("re-declaration of %r" % name, line)
+        self._scopes[-1].add(name)
+
+    def _is_declared(self, name):
+        return any(name in scope for scope in self._scopes)
+
+    # -- statements --------------------------------------------------------
+
+    def _check_block(self, block, new_scope=True):
+        if new_scope:
+            self._scopes.append(set())
+        for stmt in block.stmts:
+            self._check_stmt(stmt)
+        if new_scope:
+            self._scopes.pop()
+
+    def _check_stmt(self, stmt):
+        if isinstance(stmt, ast.VarDecl):
+            self._check_expr(stmt.init)
+            self._declare(stmt.name, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            if not self._is_declared(stmt.name):
+                raise SemaError("assignment to undeclared %r" % stmt.name, stmt.line)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.IndexAssign):
+            self._check_expr(stmt.array)
+            self._check_expr(stmt.index)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond)
+            self._check_block(stmt.then_block)
+            if stmt.else_block is not None:
+                self._check_block(stmt.else_block)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond)
+            self._loop_depth += 1
+            self._check_block(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._scopes.append(set())
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            self._loop_depth += 1
+            self._check_block(stmt.body)
+            self._loop_depth -= 1
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self._scopes.pop()
+        elif isinstance(stmt, ast.Break):
+            if self._loop_depth == 0:
+                raise SemaError("break outside loop", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise SemaError("continue outside loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        else:  # pragma: no cover - parser produces no other statement kinds
+            raise SemaError("unknown statement %r" % stmt, stmt.line)
+
+    # -- expressions -------------------------------------------------------
+
+    def _check_expr(self, expr):
+        if isinstance(expr, (ast.IntLit, ast.StrLit)):
+            return
+        if isinstance(expr, ast.Name):
+            if not self._is_declared(expr.name):
+                raise SemaError("use of undeclared %r" % expr.name, expr.line)
+            return
+        if isinstance(expr, ast.BinOp):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            return
+        if isinstance(expr, ast.UnOp):
+            self._check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Index):
+            self._check_expr(expr.array)
+            self._check_expr(expr.index)
+            return
+        if isinstance(expr, ast.Call):
+            self._check_call(expr)
+            return
+        raise SemaError("unknown expression %r" % expr, expr.line)
+
+    def _check_call(self, call):
+        if call.callee in BUILTINS:
+            expected = BUILTINS[call.callee]
+        elif call.callee in self._funcs:
+            expected = len(self._funcs[call.callee].params)
+        else:
+            raise SemaError("call to unknown function %r" % call.callee, call.line)
+        if len(call.args) != expected:
+            raise SemaError(
+                "%r expects %d argument(s), got %d"
+                % (call.callee, expected, len(call.args)),
+                call.line,
+            )
+        for arg in call.args:
+            self._check_expr(arg)

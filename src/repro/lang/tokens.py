@@ -1,0 +1,48 @@
+"""Token definitions for MiniC.
+
+A token is a lightweight value object ``Token(kind, value, line)``.  Kinds are
+interned strings; keyword and punctuation kinds equal their spelling (so the
+parser can say ``expect("while")`` or ``expect("{")``).
+"""
+
+# Token kinds that carry a payload.
+INT = "INT"  # integer literal; value is the int
+STRING = "STRING"  # string literal; value is the bytes
+IDENT = "IDENT"  # identifier; value is the name
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    ["fn", "var", "if", "else", "while", "for", "break", "continue", "return"]
+)
+
+# Multi-character punctuation, longest first so the lexer can greedily match.
+PUNCT = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~",
+    "&", "|", "^", "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class Token(object):
+    """One lexical token: ``kind`` (see module docstring), ``value``, ``line``."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%r, %r, line=%d)" % (self.kind, self.value, self.line)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Token)
+            and self.kind == other.kind
+            and self.value == other.value
+            and self.line == other.line
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.value, self.line))

@@ -1,0 +1,15 @@
+"""Execution runtime: values, heap, traps, and the interpreting VM."""
+
+from repro.runtime.interpreter import ExecutionResult, execute
+from repro.runtime.traps import Frame, Timeout, Trap
+from repro.runtime.values import ArrayRef, wrap_int
+
+__all__ = [
+    "execute",
+    "ExecutionResult",
+    "Trap",
+    "Timeout",
+    "Frame",
+    "ArrayRef",
+    "wrap_int",
+]

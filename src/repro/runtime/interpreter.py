@@ -1,0 +1,609 @@
+"""The MiniC virtual machine.
+
+A tuple-dispatch interpreter over :class:`~repro.cfg.program.ProgramCFG`.
+Coverage instrumentation is supplied as *edge action tables* (see
+:mod:`repro.coverage.instrumenter`): when control moves from block ``src`` to
+block ``dst`` the VM executes the small action tuples attached to that edge.
+Action kinds::
+
+    (HIT, map_idx)                    raw-hit a coverage map index
+    (ADD, delta)                      pathreg += delta          (Ball-Larus)
+    (END_RESET, inc, reset, fxor)     emit path id, reset pathreg (back edge)
+    (END, inc, fxor)                  emit path id (function return)
+    (NGRAM, ehash)                    fold edge hash into n-gram state + hit
+    (HPATH, ehash)                    PathAFL-style rolling whole-program hash
+
+The VM additionally counts executed instructions (the virtual-time basis) and
+executed probe actions, enforces an instruction budget (hangs), a call-depth
+limit (stack overflow), and — when ``cmplog`` is requested — harvests
+comparison operands for the input-to-state mutation stage.
+"""
+
+from repro.cfg.instructions import (
+    BIN,
+    BR,
+    BUILTIN,
+    CALL,
+    COMPARISON_OPS,
+    CONST,
+    JMP,
+    LOAD,
+    MOV,
+    OP_ADD,
+    OP_AND,
+    OP_DIV,
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LT,
+    OP_MOD,
+    OP_MUL,
+    OP_NE,
+    OP_OR,
+    OP_SHL,
+    OP_SHR,
+    OP_SUB,
+    OP_XOR,
+    OP_BNOT,
+    OP_LNOT,
+    OP_NEG,
+    RET,
+    STORE,
+    STR,
+    UN,
+)
+from repro.lang.builtins_spec import BUILTIN_CODES
+from repro.runtime.memory import Heap
+from repro.runtime import traps
+from repro.runtime.traps import Frame, Timeout, Trap
+from repro.runtime.values import ArrayRef, wrap_int
+
+# Action kinds (see module docstring).
+ACT_HIT = 0
+ACT_ADD = 1
+ACT_END_RESET = 2
+ACT_END = 3
+ACT_NGRAM = 4
+ACT_HPATH = 5
+
+DEFAULT_INSTR_BUDGET = 400_000
+DEFAULT_CALL_DEPTH = 64
+CMPLOG_CAP = 2048
+
+_U64 = (1 << 64) - 1
+
+# Virtual-time cost of each probe action kind, indexed by the ACT_* code.
+# Edge/block hits are a single map increment; path terminations hash, index,
+# update the (cache-unfriendly, sparsely indexed) map and reset the state —
+# the dominant cost the paper measures as its 1.26x seed-processing ratio;
+# n-gram and h-path updates carry their rolling-state arithmetic.
+PROBE_COSTS = (1, 1, 9, 9, 4, 3)
+
+
+class ExecutionResult(object):
+    """Outcome of one test-case execution."""
+
+    __slots__ = (
+        "retval",
+        "trap",
+        "timeout",
+        "instr_count",
+        "probe_count",
+        "probe_cost",
+        "hits",
+        "cmp_log",
+    )
+
+    def __init__(
+        self, retval, trap, timeout, instr_count, probe_count, probe_cost, hits, cmp_log
+    ):
+        self.retval = retval
+        self.trap = trap
+        self.timeout = timeout
+        self.instr_count = instr_count
+        self.probe_count = probe_count
+        self.probe_cost = probe_cost
+        self.hits = hits
+        self.cmp_log = cmp_log
+
+    @property
+    def virtual_cost(self):
+        """Virtual-clock ticks this execution consumed (work + probes)."""
+        return self.instr_count + self.probe_cost
+
+    @property
+    def crashed(self):
+        return self.trap is not None
+
+    def __repr__(self):
+        status = "crash" if self.crashed else ("timeout" if self.timeout else "ok")
+        return "ExecutionResult(%s, instrs=%d, hits=%d)" % (
+            status,
+            self.instr_count,
+            len(self.hits),
+        )
+
+
+def execute(
+    program,
+    input_bytes,
+    instrumentation=None,
+    instr_budget=DEFAULT_INSTR_BUDGET,
+    call_depth_limit=DEFAULT_CALL_DEPTH,
+    cmplog=False,
+):
+    """Run ``program.main(input_bytes)`` and return an ExecutionResult."""
+    vm = _Exec(program, instrumentation, instr_budget, call_depth_limit, cmplog)
+    return vm.run(input_bytes)
+
+
+class _Exec(object):
+    def __init__(self, program, instrumentation, instr_budget, call_depth_limit, cmplog):
+        self._program = program
+        self._instr = instrumentation
+        self._budget = instr_budget
+        self._depth_limit = call_depth_limit
+        self._cmplog = cmplog
+        self._heap = Heap(program.strings)
+        self._count = 0
+        # [probe count, probe cost]: a list so inner loops can update it
+        # through one local alias instead of attribute writes.
+        self._probe_acc = [0, 0]
+        self._hits = {}
+        self._cmp_log = []
+        self._stack = []  # (caller function name, call-site line)
+        self._ngram_ring = []
+        self._ngram_n = instrumentation.ngram_n if instrumentation else 1
+        self._pair_paths = bool(instrumentation and getattr(instrumentation, "pair_paths", False))
+        self._last_path_idx = 0x1505
+        self._hpath_state = 0x811C9DC5
+
+    def run(self, input_bytes):
+        input_ref = self._heap.alloc(len(input_bytes))
+        storage = self._heap.storage(input_ref)
+        for i, byte in enumerate(input_bytes):
+            storage[i] = byte
+        retval, trap, timeout = 0, None, False
+        try:
+            retval = self._call(self._program.main_index, [input_ref])
+        except Trap as caught:
+            trap = caught
+        except Timeout:
+            timeout = True
+        return ExecutionResult(
+            retval,
+            trap,
+            timeout,
+            self._count,
+            self._probe_acc[0],
+            self._probe_acc[1],
+            self._hits,
+            self._cmp_log,
+        )
+
+    # -- trap helpers --------------------------------------------------------
+
+    def _trace(self, func_name, line):
+        frames = [Frame(func_name, line)]
+        for caller, callsite in reversed(self._stack):
+            frames.append(Frame(caller, callsite))
+        return frames
+
+    def _trap(self, kind, func_name, line, detail):
+        raise Trap(kind, func_name, line, detail, self._trace(func_name, line))
+
+    # -- the interpreter loop ------------------------------------------------
+
+    def _call(self, func_index, args):
+        program = self._program
+        func = program.funcs[func_index]
+        fname = func.name
+        heap = self._heap
+        hits = self._hits
+        probe_acc = self._probe_acc
+        probe_costs = PROBE_COSTS
+        regs = [0] * func.nregs
+        regs[: len(args)] = args
+        if self._instr is not None:
+            erows = self._instr.edge_rows[func_index]
+            racts = self._instr.ret_actions[func_index]
+            enacts = self._instr.entry_actions[func_index]
+            mask = self._instr.map_mask
+            if enacts:
+                self._run_actions(enacts, 0, mask)
+        else:
+            erows = racts = None
+            mask = 0
+        pathreg = 0
+        blocks = func.blocks
+        cur = 0
+        budget = self._budget
+        while True:
+            block = blocks[cur]
+            instrs = block.instrs
+            self._count += len(instrs) + 1
+            if self._count > budget:
+                raise Timeout(budget)
+            for ins in instrs:
+                op = ins[0]
+                if op == BIN:
+                    binop = ins[1]
+                    try:
+                        a = regs[ins[3]]
+                        b = regs[ins[4]]
+                        if binop == OP_EQ:
+                            value = 1 if a == b else 0
+                        elif binop == OP_NE:
+                            value = 1 if a != b else 0
+                        elif binop == OP_ADD:
+                            value = wrap_int(a + b)
+                        elif binop == OP_SUB:
+                            value = wrap_int(a - b)
+                        elif binop == OP_LT:
+                            value = 1 if a < b else 0
+                        elif binop == OP_LE:
+                            value = 1 if a <= b else 0
+                        elif binop == OP_GT:
+                            value = 1 if a > b else 0
+                        elif binop == OP_GE:
+                            value = 1 if a >= b else 0
+                        elif binop == OP_MUL:
+                            value = wrap_int(a * b)
+                        elif binop == OP_AND:
+                            value = a & b
+                        elif binop == OP_OR:
+                            value = a | b
+                        elif binop == OP_XOR:
+                            value = a ^ b
+                        elif binop == OP_DIV:
+                            if b == 0:
+                                self._trap(traps.DIV_BY_ZERO, fname, ins[5], "division by zero")
+                            value = wrap_int(_c_div(a, b))
+                        elif binop == OP_MOD:
+                            if b == 0:
+                                self._trap(traps.DIV_BY_ZERO, fname, ins[5], "modulo by zero")
+                            value = wrap_int(_c_mod(a, b))
+                        elif binop == OP_SHL:
+                            if b < 0 or b > 63:
+                                self._trap(
+                                    traps.SHIFT_RANGE, fname, ins[5], "shift by %d" % b
+                                )
+                            value = wrap_int(a << b)
+                        else:  # OP_SHR
+                            if b < 0 or b > 63:
+                                self._trap(
+                                    traps.SHIFT_RANGE, fname, ins[5], "shift by %d" % b
+                                )
+                            value = a >> b
+                    except TypeError:
+                        self._trap(
+                            traps.TYPE_CONFUSION, fname, ins[5], "array used as integer"
+                        )
+                    if self._cmplog and binop in COMPARISON_OPS:
+                        if len(self._cmp_log) < CMPLOG_CAP:
+                            self._cmp_log.append((a, b))
+                    regs[ins[2]] = value
+                elif op == CONST:
+                    regs[ins[1]] = ins[2]
+                elif op == MOV:
+                    regs[ins[1]] = regs[ins[2]]
+                elif op == LOAD:
+                    arr = regs[ins[2]]
+                    idx = regs[ins[3]]
+                    if not isinstance(arr, ArrayRef):
+                        self._trap(
+                            traps.TYPE_CONFUSION, fname, ins[4], "indexing a non-array"
+                        )
+                    storage = heap.storage(arr)
+                    if isinstance(idx, ArrayRef) or idx < 0 or idx >= len(storage):
+                        self._trap(
+                            traps.OOB_READ,
+                            fname,
+                            ins[4],
+                            "index %r of %d" % (idx, len(storage)),
+                        )
+                    regs[ins[1]] = storage[idx]
+                elif op == STORE:
+                    arr = regs[ins[1]]
+                    idx = regs[ins[2]]
+                    if not isinstance(arr, ArrayRef):
+                        self._trap(
+                            traps.TYPE_CONFUSION, fname, ins[4], "indexing a non-array"
+                        )
+                    if heap.is_readonly(arr):
+                        self._trap(
+                            traps.READONLY_WRITE, fname, ins[4], "write to constant"
+                        )
+                    storage = heap.storage(arr)
+                    if isinstance(idx, ArrayRef) or idx < 0 or idx >= len(storage):
+                        self._trap(
+                            traps.OOB_WRITE,
+                            fname,
+                            ins[4],
+                            "index %r of %d" % (idx, len(storage)),
+                        )
+                    storage[idx] = regs[ins[3]]
+                elif op == UN:
+                    unop = ins[1]
+                    a = regs[ins[3]]
+                    try:
+                        if unop == OP_NEG:
+                            regs[ins[2]] = wrap_int(-a)
+                        elif unop == OP_LNOT:
+                            regs[ins[2]] = 1 if a == 0 else 0
+                        else:
+                            regs[ins[2]] = wrap_int(~a)
+                    except TypeError:
+                        self._trap(traps.TYPE_CONFUSION, fname, 0, "array in arithmetic")
+                elif op == CALL:
+                    if len(self._stack) + 1 >= self._depth_limit:
+                        self._trap(
+                            traps.STACK_OVERFLOW, fname, ins[4], "call depth exceeded"
+                        )
+                    self._stack.append((fname, ins[4]))
+                    regs[ins[1]] = self._call(ins[2], [regs[r] for r in ins[3]])
+                    self._stack.pop()
+                elif op == BUILTIN:
+                    regs[ins[1]] = self._builtin(
+                        ins[2], [regs[r] for r in ins[3]], fname, ins[4]
+                    )
+                else:  # STR
+                    regs[ins[1]] = heap.string_ref(ins[2])
+            term = block.term
+            top = term[0]
+            if top == BR:
+                nxt = term[2] if regs[term[1]] else term[3]
+            elif top == JMP:
+                nxt = term[1]
+            else:  # RET
+                if racts is not None:
+                    acts = racts.get(cur)
+                    if acts:
+                        self._run_actions(acts, pathreg, mask)
+                value = term[1]
+                return 0 if value == -1 else regs[value]
+            if erows is not None:
+                row = erows[cur]
+                if row is not None:
+                    acts = row.get(nxt)
+                    if acts:
+                        # Inlined action dispatch: the two hot kinds (edge
+                        # hit, Ball-Larus increment) avoid a function call.
+                        for act in acts:
+                            kind = act[0]
+                            probe_acc[0] += 1
+                            probe_acc[1] += probe_costs[kind]
+                            if kind == 0:  # ACT_HIT
+                                idx = act[1]
+                                if idx in hits:
+                                    hits[idx] += 1
+                                else:
+                                    hits[idx] = 1
+                            elif kind == 1:  # ACT_ADD
+                                pathreg += act[1]
+                            elif kind == 2:  # ACT_END_RESET
+                                idx = ((pathreg + act[1]) ^ act[3]) & mask
+                                if idx in hits:
+                                    hits[idx] += 1
+                                else:
+                                    hits[idx] = 1
+                                pathreg = act[2]
+                                if self._pair_paths:
+                                    pair = (
+                                        (self._last_path_idx * 0x9E3779B1) ^ idx
+                                    ) & mask
+                                    hits[pair] = hits.get(pair, 0) + 1
+                                    self._last_path_idx = idx
+                            else:  # rare kinds: ngram / hpath / ret-end
+                                probe_acc[0] -= 1
+                                probe_acc[1] -= probe_costs[kind]
+                                pathreg = self._run_one_action(act, pathreg, mask)
+            cur = nxt
+
+    def _run_actions(self, acts, pathreg, mask):
+        """Execute probe actions; returns the (possibly updated) path register."""
+        for act in acts:
+            pathreg = self._run_one_action(act, pathreg, mask)
+        return pathreg
+
+    def _pair_hit(self, idx, mask):
+        """Fold consecutive path-id emissions into a 2-gram map hit.
+
+        Implements the paper's Sec. VII future-work feedback: 2-grams of
+        acyclic paths across path terminations (loop exits and function
+        boundaries).  No-op unless the instrumentation enables it.
+        """
+        if not self._pair_paths:
+            return
+        pair = ((self._last_path_idx * 0x9E3779B1) ^ idx) & mask
+        hits = self._hits
+        hits[pair] = hits.get(pair, 0) + 1
+        self._last_path_idx = idx
+
+    def _run_one_action(self, act, pathreg, mask):
+        """Execute one probe action (the out-of-line path for rare kinds)."""
+        hits = self._hits
+        kind = act[0]
+        self._probe_acc[0] += 1
+        self._probe_acc[1] += PROBE_COSTS[kind]
+        if kind == ACT_HIT:
+            idx = act[1]
+            hits[idx] = hits.get(idx, 0) + 1
+        elif kind == ACT_ADD:
+            pathreg += act[1]
+        elif kind == ACT_END_RESET:
+            idx = ((pathreg + act[1]) ^ act[3]) & mask
+            hits[idx] = hits.get(idx, 0) + 1
+            pathreg = act[2]
+            self._pair_hit(idx, mask)
+        elif kind == ACT_END:
+            idx = ((pathreg + act[1]) ^ act[2]) & mask
+            hits[idx] = hits.get(idx, 0) + 1
+            self._pair_hit(idx, mask)
+        elif kind == ACT_NGRAM:
+            # Rolling window over the last n edge hashes, each weighted
+            # by its position (AFL++'s ngram instrumentation analogue).
+            ring = self._ngram_ring
+            ring.append(act[1])
+            if len(ring) > self._ngram_n:
+                ring.pop(0)
+            state = 0
+            for pos, ehash in enumerate(ring):
+                state ^= (ehash << pos) & _U64
+            idx = (state ^ (state >> 32)) & mask
+            hits[idx] = hits.get(idx, 0) + 1
+        else:  # ACT_HPATH
+            self._hpath_state = ((self._hpath_state * 33) ^ act[1]) & _U64
+            state = self._hpath_state
+            idx = (state ^ (state >> 32)) & mask
+            hits[idx] = hits.get(idx, 0) + 1
+        return pathreg
+
+    # -- builtins --------------------------------------------------------------
+
+    def _builtin(self, code, args, fname, line):
+        name = _BUILTIN_DISPATCH[code]
+        return name(self, args, fname, line)
+
+    def _array_arg(self, value, fname, line):
+        if not isinstance(value, ArrayRef):
+            self._trap(traps.TYPE_CONFUSION, fname, line, "expected an array")
+        return value
+
+    def _int_arg(self, value, fname, line):
+        if isinstance(value, ArrayRef):
+            self._trap(traps.TYPE_CONFUSION, fname, line, "expected an integer")
+        return value
+
+    def _bounded_slice(self, ref, off, n, fname, line, kind):
+        storage = self._heap.storage(ref)
+        if off < 0 or n < 0 or off + n > len(storage):
+            self._trap(
+                kind, fname, line, "range [%d, %d) of %d" % (off, off + n, len(storage))
+            )
+        return storage
+
+    def _bi_alloc(self, args, fname, line):
+        size = self._int_arg(args[0], fname, line)
+        ref = self._heap.alloc(size)
+        if ref is None:
+            self._trap(traps.BAD_ALLOC, fname, line, "alloc(%d)" % size)
+        self._count += max(size, 0) >> 4  # allocation cost in virtual time
+        return ref
+
+    def _bi_len(self, args, fname, line):
+        ref = self._array_arg(args[0], fname, line)
+        return self._heap.length(ref)
+
+    def _bi_abs(self, args, fname, line):
+        return wrap_int(abs(self._int_arg(args[0], fname, line)))
+
+    def _bi_min(self, args, fname, line):
+        return min(
+            self._int_arg(args[0], fname, line), self._int_arg(args[1], fname, line)
+        )
+
+    def _bi_max(self, args, fname, line):
+        return max(
+            self._int_arg(args[0], fname, line), self._int_arg(args[1], fname, line)
+        )
+
+    def _bi_memcmp(self, args, fname, line):
+        a = self._array_arg(args[0], fname, line)
+        aoff = self._int_arg(args[1], fname, line)
+        b = self._array_arg(args[2], fname, line)
+        boff = self._int_arg(args[3], fname, line)
+        n = self._int_arg(args[4], fname, line)
+        sa = self._bounded_slice(a, aoff, n, fname, line, traps.OOB_READ)
+        sb = self._bounded_slice(b, boff, n, fname, line, traps.OOB_READ)
+        self._count += n
+        left = sa[aoff : aoff + n]
+        right = sb[boff : boff + n]
+        if self._cmplog and len(self._cmp_log) < CMPLOG_CAP:
+            self._cmp_log.append(
+                (bytes(v & 0xFF for v in left), bytes(v & 0xFF for v in right))
+            )
+        return 0 if left == right else 1
+
+    def _bi_copy(self, args, fname, line):
+        dst = self._array_arg(args[0], fname, line)
+        doff = self._int_arg(args[1], fname, line)
+        src = self._array_arg(args[2], fname, line)
+        soff = self._int_arg(args[3], fname, line)
+        n = self._int_arg(args[4], fname, line)
+        if self._heap.is_readonly(dst):
+            self._trap(traps.READONLY_WRITE, fname, line, "copy into constant")
+        sdst = self._bounded_slice(dst, doff, n, fname, line, traps.OOB_WRITE)
+        ssrc = self._bounded_slice(src, soff, n, fname, line, traps.OOB_READ)
+        self._count += n
+        sdst[doff : doff + n] = ssrc[soff : soff + n]
+        return 0
+
+    def _bi_fill(self, args, fname, line):
+        ref = self._array_arg(args[0], fname, line)
+        off = self._int_arg(args[1], fname, line)
+        n = self._int_arg(args[2], fname, line)
+        value = self._int_arg(args[3], fname, line)
+        if self._heap.is_readonly(ref):
+            self._trap(traps.READONLY_WRITE, fname, line, "fill into constant")
+        storage = self._bounded_slice(ref, off, n, fname, line, traps.OOB_WRITE)
+        self._count += n
+        storage[off : off + n] = [value] * n
+        return 0
+
+    def _read_scalar(self, args, fname, line, width, big_endian):
+        ref = self._array_arg(args[0], fname, line)
+        off = self._int_arg(args[1], fname, line)
+        storage = self._bounded_slice(ref, off, width, fname, line, traps.OOB_READ)
+        value = 0
+        window = storage[off : off + width]
+        if not big_endian:
+            window = list(reversed(window))
+        for byte in window:
+            value = (value << 8) | (byte & 0xFF)
+        return value
+
+    def _bi_read16(self, args, fname, line):
+        return self._read_scalar(args, fname, line, 2, True)
+
+    def _bi_read32(self, args, fname, line):
+        return self._read_scalar(args, fname, line, 4, True)
+
+    def _bi_read16le(self, args, fname, line):
+        return self._read_scalar(args, fname, line, 2, False)
+
+    def _bi_read32le(self, args, fname, line):
+        return self._read_scalar(args, fname, line, 4, False)
+
+    def _bi_trap(self, args, fname, line):
+        code = self._int_arg(args[0], fname, line)
+        self._trap(traps.ASSERT_FAIL, fname, line, "trap(%d)" % code)
+
+
+def _c_div(a, b):
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a, b):
+    """C-style remainder (sign follows the dividend)."""
+    return a - _c_div(a, b) * b
+
+
+_BUILTIN_DISPATCH = {
+    BUILTIN_CODES["alloc"]: _Exec._bi_alloc,
+    BUILTIN_CODES["len"]: _Exec._bi_len,
+    BUILTIN_CODES["abs"]: _Exec._bi_abs,
+    BUILTIN_CODES["min"]: _Exec._bi_min,
+    BUILTIN_CODES["max"]: _Exec._bi_max,
+    BUILTIN_CODES["memcmp"]: _Exec._bi_memcmp,
+    BUILTIN_CODES["copy"]: _Exec._bi_copy,
+    BUILTIN_CODES["fill"]: _Exec._bi_fill,
+    BUILTIN_CODES["read16"]: _Exec._bi_read16,
+    BUILTIN_CODES["read32"]: _Exec._bi_read32,
+    BUILTIN_CODES["read16le"]: _Exec._bi_read16le,
+    BUILTIN_CODES["read32le"]: _Exec._bi_read32le,
+    BUILTIN_CODES["trap"]: _Exec._bi_trap,
+}

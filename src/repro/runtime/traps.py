@@ -1,0 +1,92 @@
+"""Crash taxonomy and stack traces.
+
+A :class:`Trap` is the VM's analogue of an AddressSanitizer report: it names
+the defect kind, the faulting source site, and the call stack.  The faulting
+``(function, line, kind)`` triple is the *ground-truth bug identity* used by
+the triage oracle (standing in for the paper's manual root-cause analysis),
+while the stack trace feeds the stack-hash "unique crash" clustering.
+"""
+
+# Trap kinds (strings for readable reports; compared by identity in sets).
+OOB_READ = "heap-buffer-overflow-read"
+OOB_WRITE = "heap-buffer-overflow-write"
+READONLY_WRITE = "readonly-write"
+DIV_BY_ZERO = "division-by-zero"
+SHIFT_RANGE = "shift-out-of-range"
+BAD_ALLOC = "bad-allocation-size"
+TYPE_CONFUSION = "type-confusion"
+STACK_OVERFLOW = "stack-overflow"
+ASSERT_FAIL = "assertion-failure"
+
+ALL_KINDS = (
+    OOB_READ,
+    OOB_WRITE,
+    READONLY_WRITE,
+    DIV_BY_ZERO,
+    SHIFT_RANGE,
+    BAD_ALLOC,
+    TYPE_CONFUSION,
+    STACK_OVERFLOW,
+    ASSERT_FAIL,
+)
+
+
+class Frame(object):
+    """One stack-trace frame: the function plus the relevant source line."""
+
+    __slots__ = ("function", "line")
+
+    def __init__(self, function, line):
+        self.function = function
+        self.line = line
+
+    def key(self):
+        return (self.function, self.line)
+
+    def __repr__(self):
+        return "%s:%d" % (self.function, self.line)
+
+    def __eq__(self, other):
+        return isinstance(other, Frame) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+
+class Trap(Exception):
+    """A crashing execution.
+
+    ``kind``       one of the module-level kind constants;
+    ``function``   the function containing the faulting site;
+    ``line``       the faulting source line;
+    ``detail``     free-form description (index, size, ...);
+    ``stack``      innermost-first list of :class:`Frame` (the faulting frame
+                   first, then each caller at its call-site line).
+    """
+
+    def __init__(self, kind, function, line, detail, stack):
+        super().__init__("%s at %s:%d (%s)" % (kind, function, line, detail))
+        self.kind = kind
+        self.function = function
+        self.line = line
+        self.detail = detail
+        self.stack = stack
+
+    def bug_id(self):
+        """Ground-truth bug identity: the faulting site plus defect kind."""
+        return (self.function, self.line, self.kind)
+
+    def report(self):
+        """An ASan-style multi-line textual report."""
+        lines = ["ERROR: %s (%s)" % (self.kind, self.detail)]
+        for depth, frame in enumerate(self.stack):
+            lines.append("    #%d %s:%d" % (depth, frame.function, frame.line))
+        return "\n".join(lines)
+
+
+class Timeout(Exception):
+    """Execution exceeded its instruction budget (a hang, not a crash)."""
+
+    def __init__(self, budget):
+        super().__init__("execution exceeded %d instructions" % budget)
+        self.budget = budget

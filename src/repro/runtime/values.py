@@ -1,0 +1,41 @@
+"""Runtime value model.
+
+MiniC has two runtime value kinds:
+
+- integers — signed 64-bit with silent wraparound, like optimized C on the
+  paper's x86-64 targets;
+- array handles — :class:`ArrayRef` objects pointing into the VM heap.
+
+Registers hold either kind; using an array where an int is required (or vice
+versa) is a runtime type trap, standing in for the memory corruption a
+confused C program would exhibit.
+"""
+
+_U64_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def wrap_int(value):
+    """Wrap a Python int to signed 64-bit two's complement."""
+    value &= _U64_MASK
+    if value & _SIGN_BIT:
+        value -= 1 << 64
+    return value
+
+
+class ArrayRef(object):
+    """A handle to a heap array.
+
+    ``array_id`` indexes the VM heap; ``readonly`` marks string-pool
+    constants (writes through them trap, like writing to ``.rodata``).
+    """
+
+    __slots__ = ("array_id", "readonly")
+
+    def __init__(self, array_id, readonly=False):
+        self.array_id = array_id
+        self.readonly = readonly
+
+    def __repr__(self):
+        tag = "ro" if self.readonly else "rw"
+        return "ArrayRef(#%d, %s)" % (self.array_id, tag)

@@ -1,0 +1,21 @@
+"""Exploration-biasing strategies: culling, opportunistic, random culling."""
+
+from repro.strategies.culling import (
+    edge_preserving_subset,
+    path_preserving_subset,
+    random_subset,
+    run_culling_campaign,
+)
+from repro.strategies.opportunistic import (
+    preprocess_queue,
+    run_opportunistic_campaign,
+)
+
+__all__ = [
+    "run_culling_campaign",
+    "run_opportunistic_campaign",
+    "edge_preserving_subset",
+    "path_preserving_subset",
+    "random_subset",
+    "preprocess_queue",
+]

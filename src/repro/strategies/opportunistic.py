@@ -1,0 +1,78 @@
+"""The opportunistic exploration-biasing method (paper Sec. III-B2, IV).
+
+The campaign starts under the coarse edge feedback to amass code coverage
+quickly, then switches to the path-aware feedback for the remaining budget.
+Before the switch, the edge-phase queue is pre-processed as the paper
+prescribes:
+
+1. crashing inputs found by the less sensitive phase are removed (they are
+   never queued by construction, and the phase's crashes are *not* credited
+   to the opportunistic fuzzer);
+2. the queue is trimmed to a smaller set preserving all exercised edges
+   (the favored-corpus construction), so the path phase starts from a
+   compact, coverage-complete corpus without inherited path diversity.
+"""
+
+from repro.coverage.feedback import EdgeFeedback, PathFeedback
+from repro.fuzzer.engine import FuzzEngine
+
+
+def preprocess_queue(edge_engine):
+    """The paper's pre-switch queue processing (drop crashers, edge trim).
+
+    Crashing inputs never enter the queue, so step 1 amounts to ignoring
+    the edge phase's crash corpus; step 2 is the favored-subset selection,
+    which for an edge-feedback engine preserves exactly the exercised
+    edges.
+    """
+    return [entry.data for entry in edge_engine.queue.favored_entries()]
+
+
+def run_opportunistic_campaign(
+    subject,
+    total_budget,
+    rng,
+    config,
+    switch_fraction=0.5,
+    edge_feedback_factory=EdgeFeedback,
+    path_feedback_factory=PathFeedback,
+    prepared_queue=None,
+):
+    """Run the two-phase opportunistic campaign.
+
+    ``prepared_queue`` lets callers reuse an existing saturated edge-phase
+    corpus (the paper reuses 24-hour pcguard queues); when given, the whole
+    budget goes to the path phase.  Returns ``(engines, final_engine,
+    edge_engine)`` where ``engines`` holds only the phases whose crashes are
+    credited to the opportunistic fuzzer (the path phase).
+    """
+    program = subject.program
+    edge_engine = None
+    if prepared_queue is None:
+        edge_budget = int(total_budget * switch_fraction)
+        edge_engine = FuzzEngine(
+            program,
+            edge_feedback_factory(),
+            subject.seeds,
+            rng,
+            config,
+            subject.tokens,
+        )
+        edge_engine.run(edge_budget)
+        seeds = preprocess_queue(edge_engine)
+        path_budget = total_budget - edge_engine.clock.ticks
+    else:
+        seeds = list(prepared_queue)
+        path_budget = total_budget
+    if not seeds:
+        seeds = list(subject.seeds)
+    path_engine = FuzzEngine(
+        program,
+        path_feedback_factory(),
+        seeds,
+        rng,
+        config,
+        subject.tokens,
+    )
+    path_engine.run(max(path_budget, 1))
+    return [path_engine], path_engine, edge_engine

@@ -1,0 +1,60 @@
+"""The synthetic UNIFUZZ-like benchmark suite.
+
+Eighteen subjects named after the paper's evaluation programs (Table I),
+plus the ``motivating`` example from Figure 1.  Each subject module exposes
+``build() -> Subject``; built subjects are cached here (compilation is
+deterministic, so sharing is safe).
+"""
+
+import importlib
+
+# The 18 evaluation subjects, in the paper's Table I order.
+SUITE_NAMES = [
+    "cflow",
+    "exiv2",
+    "ffmpeg",
+    "flvmeta",
+    "gdk",
+    "imginfo",
+    "infotocap",
+    "jhead",
+    "jq",
+    "lame",
+    "mp3gain",
+    "mp42aac",
+    "mujs",
+    "nm_new",
+    "objdump",
+    "pdftotext",
+    "sqlite3",
+    "tiffsplit",
+]
+
+EXTRA_NAMES = ["motivating"]
+
+_CACHE = {}
+
+
+def subject_names():
+    """The 18 evaluation subject names (Table I order)."""
+    return list(SUITE_NAMES)
+
+
+def all_subject_names():
+    """Evaluation subjects plus the motivating example."""
+    return SUITE_NAMES + EXTRA_NAMES
+
+
+def get_subject(name):
+    """Build (or fetch the cached) Subject called ``name``."""
+    if name not in _CACHE:
+        if name not in SUITE_NAMES and name not in EXTRA_NAMES:
+            raise KeyError("unknown subject %r" % name)
+        module = importlib.import_module("repro.subjects." + name)
+        _CACHE[name] = module.build()
+    return _CACHE[name]
+
+
+def load_suite():
+    """All 18 evaluation subjects, built."""
+    return [get_subject(name) for name in SUITE_NAMES]

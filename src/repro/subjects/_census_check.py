@@ -1,0 +1,48 @@
+"""Development helper: verify a subject's bug census and print corrections.
+
+Run as a module with subject module names, e.g.::
+
+    python -m repro.subjects._census_check cflow flvmeta
+
+For each census witness the actual trap site is printed, so declared
+(function, line, kind) triples can be fixed up quickly while authoring
+subjects.  Not part of the public API.
+"""
+
+import importlib
+import sys
+
+
+def check(module_name):
+    module = importlib.import_module("repro.subjects." + module_name)
+    subject = module.build()
+    print("== %s ==" % subject.name)
+    for seed in subject.seeds:
+        result = subject.run(seed)
+        status = "ok"
+        if result.crashed:
+            status = "CRASH %s" % (result.trap.bug_id(),)
+        elif result.timeout:
+            status = "HANG"
+        print("  seed %-28r %s (instrs=%d)" % (seed[:24], status, result.instr_count))
+    for bug in subject.bugs:
+        result = subject.run(bug.witness)
+        if result.crashed:
+            actual = result.trap.bug_id()
+            mark = "OK " if actual == bug.bug_id else "FIX"
+            print(
+                "  %s declared=%r actual=%r" % (mark, bug.bug_id, actual)
+            )
+        elif result.timeout:
+            print("  HANG witness for %r" % (bug.bug_id,))
+        else:
+            print("  NO-CRASH witness for %r (ret=%d)" % (bug.bug_id, result.retval))
+    problems = subject.verify_census()
+    print("  census: %s" % ("CLEAN" if not problems else "%d problems" % len(problems)))
+    stats = subject.program.stats()
+    print("  program: %(functions)d funcs, %(blocks)d blocks, %(edges)d edges" % stats)
+
+
+if __name__ == "__main__":
+    for name in sys.argv[1:]:
+        check(name)

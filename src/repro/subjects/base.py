@@ -1,0 +1,99 @@
+"""Subject (program-under-test) abstraction.
+
+A :class:`Subject` bundles a MiniC source, fuzzing seeds, a dictionary of
+format tokens, per-subject engine limits, and a *bug census*: the planted
+defects with crashing witness inputs.  The census makes the synthetic suite
+honest — tests assert every census bug is real (its witness crashes at
+exactly the declared site) and distinct.
+"""
+
+from repro.lang import compile_source
+from repro.runtime.interpreter import execute
+from repro.triage.bugs import Bug
+
+
+class Subject(object):
+    """One benchmark program."""
+
+    def __init__(
+        self,
+        name,
+        source,
+        seeds,
+        bugs,
+        tokens=(),
+        max_input_len=256,
+        exec_instr_budget=60_000,
+        call_depth_limit=64,
+        description="",
+    ):
+        self.name = name
+        self.source = source
+        self.seeds = [bytes(s) for s in seeds]
+        self.bugs = list(bugs)
+        self.tokens = tuple(bytes(t) for t in tokens)
+        self.max_input_len = max_input_len
+        self.exec_instr_budget = exec_instr_budget
+        self.call_depth_limit = call_depth_limit
+        self.description = description
+        self._program = None
+
+    @property
+    def program(self):
+        """The compiled ProgramCFG (compiled once, cached)."""
+        if self._program is None:
+            self._program = compile_source(self.source, self.name)
+        return self._program
+
+    def run(self, data, **kwargs):
+        """Execute the subject on ``data`` without instrumentation."""
+        kwargs.setdefault("instr_budget", self.exec_instr_budget)
+        kwargs.setdefault("call_depth_limit", self.call_depth_limit)
+        return execute(self.program, bytes(data), None, **kwargs)
+
+    def verify_census(self):
+        """Check the bug census against the implementation.
+
+        Returns a list of problem strings (empty when the census is sound):
+        each witness must crash, at the declared (function, line, kind).
+        Seeds must not crash or hang.
+        """
+        problems = []
+        for seed in self.seeds:
+            result = self.run(seed)
+            if result.crashed:
+                problems.append(
+                    "%s: seed %r crashes (%s)" % (self.name, seed[:16], result.trap)
+                )
+            if result.timeout:
+                problems.append("%s: seed %r hangs" % (self.name, seed[:16]))
+        seen = set()
+        for bug in self.bugs:
+            result = self.run(bug.witness)
+            if not result.crashed:
+                problems.append(
+                    "%s: witness for %r does not crash" % (self.name, bug.bug_id)
+                )
+                continue
+            actual = result.trap.bug_id()
+            if actual != bug.bug_id:
+                problems.append(
+                    "%s: witness for %r crashes at %r instead"
+                    % (self.name, bug.bug_id, actual)
+                )
+            if bug.bug_id in seen:
+                problems.append("%s: duplicate census entry %r" % (self.name, bug.bug_id))
+            seen.add(bug.bug_id)
+        return problems
+
+    def __repr__(self):
+        return "Subject(%s: %d seeds, %d bugs)" % (
+            self.name,
+            len(self.seeds),
+            len(self.bugs),
+        )
+
+
+def make_bug(function, line, kind, description, witness, difficulty="medium"):
+    """Convenience constructor matching Trap.bug_id() layout."""
+    return Bug((function, line, kind), description, witness, difficulty)

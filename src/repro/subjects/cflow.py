@@ -1,0 +1,153 @@
+"""Subject ``cflow`` — a C control-flow extractor lookalike.
+
+A scanner tokenizes C-ish source and a parser tracks function declarations,
+maintaining a fixed-capacity token stack.  The flagship defect reproduces
+the paper's zero-day narrative: the stack cursor creeps toward its limit
+only while a *rare in-iteration path combination* (identifier directly
+followed by another identifier, i.e. skipping unexpected tokens) repeats —
+an accumulation that edge coverage has no reason to keep stepping stones
+for, but whose Ball-Larus iteration path (plus hit-count buckets) registers
+as novelty.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn classify(ch) {
+    if (ch == '(') { return 1; }
+    if (ch == ')') { return 2; }
+    if (ch == '{') { return 3; }
+    if (ch == '}') { return 4; }
+    if (ch == ';') { return 5; }
+    if (ch >= 'a') {
+        if (ch <= 'z') { return 6; }
+    }
+    if (ch >= 'A') {
+        if (ch <= 'Z') { return 6; }
+    }
+    if (ch >= '0') {
+        if (ch <= '9') { return 7; }
+    }
+    return 0;
+}
+
+fn parse_function_declaration(input, pos, n, stack, curs) {
+    // Scans one declaration; skips unexpected tokens, pushing them on the
+    // token stack.  curs only grows when an identifier is directly followed
+    // by another identifier with no separator (the rare path combination).
+    var depth = 0;
+    var prev_kind = 0;
+    while (pos < n) {
+        var kind = classify(input[pos]);
+        pos = pos + 1;
+        if (kind == 1) { depth = depth + 1; }
+        if (kind == 2) {
+            if (depth == 0) { return 0 - pos; }
+            depth = depth - 1;
+        }
+        if (kind == 6) {
+            if (prev_kind == 6) {
+                stack[curs] = pos;      // BUG: no bound check on curs
+                curs = curs + 1;
+            }
+        }
+        if (kind == 5) {
+            if (depth == 0) { return curs; }
+        }
+        prev_kind = kind;
+    }
+    return curs;
+}
+
+fn count_braces(input, n) {
+    var level = 0;
+    var maxlevel = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        var k = classify(input[i]);
+        if (k == 3) {
+            level = level + 1;
+            if (level > maxlevel) { maxlevel = level; }
+        }
+        if (k == 4) { level = level - 1; }
+    }
+    if (level != 0) { return 0 - 1; }
+    return maxlevel;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 4) { return 0; }
+    var stack = alloc(24);
+    var curs = 0;
+    var pos = 0;
+    var decls = 0;
+    while (pos < n) {
+        var r = parse_function_declaration(input, pos, n, stack, curs);
+        if (r < 0) {
+            pos = 0 - r;
+        } else {
+            curs = r;
+            decls = decls + 1;
+            pos = pos + 1;
+            var skip = 0;
+            while (pos < n) {
+                var k = classify(input[pos]);
+                if (k == 5) { skip = 1; }
+                pos = pos + 1;
+                if (skip == 1) { break; }
+            }
+        }
+        if (pos >= n) { break; }
+    }
+    var depth = count_braces(input, n);
+    if (depth > 11) {
+        var ratio = n / (depth - 12);      // BUG: div-by-zero at depth 12
+        return ratio;
+    }
+    return decls + curs;
+}
+"""
+
+SEEDS = [
+    b"int main() { return 0; }",
+    b"void f(int a); int g;",
+    b"a b; c d; { x y; }",
+]
+
+TOKENS = [b"{", b"}", b"(", b")", b";"]
+
+
+def build():
+    # Witness 1: 25+ adjacent-identifier pairs push curs past capacity 24.
+    overflow_witness = b"a" * 60 + b";"
+    # Witness 2: exactly 12 balanced brace levels -> depth-12 division.
+    brace_witness = b"{" * 12 + b"}" * 12
+    return Subject(
+        name="cflow",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "parse_function_declaration",
+                35,
+                "heap-buffer-overflow-write",
+                "token stack cursor creeps to capacity through repeated "
+                "identifier-identifier iterations (paper's cflow zero-day "
+                "analogue)",
+                overflow_witness,
+                difficulty="path-dependent",
+            ),
+            make_bug(
+                "main",
+                89,
+                "division-by-zero",
+                "brace-depth statistics divide by (depth - 12)",
+                brace_witness,
+                difficulty="medium",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=128,
+        exec_instr_budget=30_000,
+        description="C control-flow extractor: scanner + declaration parser",
+    )

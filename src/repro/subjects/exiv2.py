@@ -1,0 +1,193 @@
+"""Subject ``exiv2`` — an image-metadata toolkit lookalike.
+
+A TIFF-flavoured metadata store with typed IFD entries and several tag
+handlers (orientation, rational resolution, ASCII description, sub-IFD
+links).  The paper's exiv2 yields ~8 bugs with only mild queue explosion
+(1.06x): the CFGs here are branchy but loop-light, so path counts stay
+close to edge counts.  The census mixes shallow offset bugs, handler
+arithmetic, and one path-dependent type-size confusion.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn read_u16(input, off) {
+    return (input[off] << 8) + input[off + 1];
+}
+
+fn read_u32(input, off) {
+    return (read_u16(input, off) << 16) + read_u16(input, off + 2);
+}
+
+fn type_size(kind) {
+    if (kind == 1) { return 1; }
+    if (kind == 2) { return 1; }
+    if (kind == 3) { return 2; }
+    if (kind == 4) { return 4; }
+    if (kind == 5) { return 8; }
+    return 0;
+}
+
+fn handle_orientation(value, stats) {
+    if (value > 8) { return 0 - 1; }
+    stats[value] = stats[value] + 1;
+    if (value == 7) {
+        var rot = 360 / (value - 7);       // BUG: div 0 at value 7
+        return rot;
+    }
+    return value;
+}
+
+fn handle_rational(input, off, n, value) {
+    var numer = (input[value] << 8) + input[value + 1];   // BUG: raw offset
+    var denom = (input[value + 2] << 8) + input[value + 3];
+    if (denom == 0) { return 0; }
+    return numer / denom;
+}
+
+fn handle_ascii(input, off, count, out) {
+    // Path-dependent size confusion: the wide-copy branch is taken when
+    // the earlier unicode flag survived; combined with a large count it
+    // overruns the 40-byte description buffer.
+    var unicode = 0;
+    if (count > 15) {
+        if ((count & 1) == 0) { unicode = 1; }
+    }
+    var span = count;
+    if (unicode == 1) { span = count * 2; }
+    for (var i = 0; i < span; i = i + 1) {
+        out[i] = 65;                        // BUG: span vs 40
+        if (off + i >= len(input)) { break; }
+    }
+    return span;
+}
+
+fn handle_subifd(input, link, n, depth) {
+    if (depth > 3) { return 0 - 1; }
+    if (link + 2 > n) { return 0 - 1; }
+    return parse_ifd(input, link, n, depth + 1);
+}
+
+fn parse_ifd(input, ifd, n, depth) {
+    var entries = read_u16(input, ifd);    // BUG: ifd offset unchecked
+    if (entries > 12) { entries = 12; }
+    var stats = alloc(9);
+    var desc = alloc(40);
+    var acc = 0;
+    var cursor = ifd + 2;
+    for (var e = 0; e < entries; e = e + 1) {
+        if (cursor + 12 > n) { break; }
+        var tag = read_u16(input, cursor);
+        var kind = read_u16(input, cursor + 2);
+        var count = read_u32(input, cursor + 4);
+        var value = read_u32(input, cursor + 8);
+        var esize = type_size(kind);
+        if (esize == 0) { cursor = cursor + 12; continue; }
+        if (tag == 0x0112) {
+            acc = acc + handle_orientation(value, stats);
+        }
+        if (tag == 0x011a) {
+            acc = acc + handle_rational(input, cursor, n, value);
+        }
+        if (tag == 0x010e) {
+            acc = acc + handle_ascii(input, value, count, desc);
+        }
+        if (tag == 0x8769) {
+            acc = acc + handle_subifd(input, value, n, depth);
+        }
+        if (tag == 0x0128) {
+            var unit = value % 3;
+            acc = acc + 72 / (unit + value / 1000 - 1);  // BUG: unit algebra
+        }
+        cursor = cursor + 12;
+    }
+    return acc;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 12) { return 0; }
+    if (memcmp(input, 0, "MM", 0, 2) != 0) { return 1; }
+    if (read_u16(input, 2) != 42) { return 2; }
+    var ifd = read_u32(input, 4);
+    if (ifd >= n) { return 3; }
+    return parse_ifd(input, ifd, n, 0);
+}
+"""
+
+
+def _u16(v):
+    return bytes([(v >> 8) & 0xFF, v & 0xFF])
+
+
+def _u32(v):
+    return _u16((v >> 16) & 0xFFFF) + _u16(v & 0xFFFF)
+
+
+def _entry(tag, kind, count, value):
+    return _u16(tag) + _u16(kind) + _u32(count) + _u32(value)
+
+
+def _tiff(entries, pad=b""):
+    return b"MM" + _u16(42) + _u32(8) + _u16(len(entries)) + b"".join(entries) + pad
+
+
+SEEDS = [
+    _tiff([_entry(0x0112, 3, 1, 3), _entry(0x0128, 3, 1, 2)], b"\x00" * 16),
+    _tiff([_entry(0x011A, 5, 1, 24)], b"\x00" * 24),
+    _tiff([_entry(0x010E, 2, 8, 30), _entry(0x0112, 3, 1, 1)], b"\x00" * 24),
+]
+
+TOKENS = [b"MM", b"\x01\x12", b"\x01\x1a", b"\x01\x0e", b"\x87\x69", b"\x01\x28"]
+
+
+def build():
+    orient7 = _tiff([_entry(0x0112, 3, 1, 7)], b"\x00" * 8)
+    rational_oob = _tiff([_entry(0x011A, 5, 1, 9000)], b"\x00" * 8)
+    # count 46 (even, > 15) -> unicode span 92 > 40.
+    ascii_wide = _tiff([_entry(0x010E, 2, 46, 0)], b"\x00" * 64)
+    # Main IFD offset pointing at the last byte: the entry-count read runs
+    # one byte past the file (faults inside the read_u16 helper).
+    subifd_oob = b"MM" + _u16(42) + _u32(15) + b"\x00" * 8
+    # Resolution unit algebra: value 1000 -> unit 1, value/1000 = 1 -> 1+1-1
+    # = 1 ... need denominator 0: unit + value/1000 - 1 == 0 with value
+    # 1002 -> unit 0, 1002/1000 = 1 -> 0.
+    unit_div = _tiff([_entry(0x0128, 3, 1, 1002)], b"\x00" * 8)
+    return Subject(
+        name="exiv2",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "handle_orientation", 22, "division-by-zero",
+                "orientation 7 divides by (value - 7)",
+                orient7, difficulty="medium",
+            ),
+            make_bug(
+                "handle_rational", 29, "heap-buffer-overflow-read",
+                "rational tag value used as a raw file offset",
+                rational_oob, difficulty="shallow",
+            ),
+            make_bug(
+                "handle_ascii", 46, "heap-buffer-overflow-write",
+                "unicode flag doubles the copy span past the description "
+                "buffer (path-dependent flag + count combination)",
+                ascii_wide, difficulty="path-dependent",
+            ),
+            make_bug(
+                "read_u16", 2, "heap-buffer-overflow-read",
+                "IFD offsets are never bounds-checked before the entry-count "
+                "read (faults in the shared read_u16 helper)",
+                subifd_oob, difficulty="medium",
+            ),
+            make_bug(
+                "parse_ifd", 87, "division-by-zero",
+                "resolution-unit algebra cancels to zero",
+                unit_div, difficulty="deep",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=192,
+        exec_instr_budget=30_000,
+        description="TIFF metadata store with typed tag handlers",
+    )

@@ -1,0 +1,141 @@
+"""Subject ``ffmpeg`` — an AV container demuxer lookalike.
+
+A chunked container ("AVC1"): stream headers declare codec parameters,
+frame chunks run a small DCT-flavoured decode loop.  The paper's ffmpeg
+yields few bugs for everyone (path 2, pcguard 3, opp 0) despite the huge
+codebase; accordingly the census is small and deep — defects need a valid
+stream header *and* specific frame payloads.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn read_u16(input, off) {
+    return (input[off] << 8) + input[off + 1];
+}
+
+fn parse_stream_header(input, off, n, params) {
+    if (off + 6 > n) { return 0 - 1; }
+    var codec = input[off];
+    var width = read_u16(input, off + 1);
+    var height = read_u16(input, off + 3);
+    var depth = input[off + 5];
+    if (codec > 3) { return 0 - 1; }
+    if (width == 0) { return 0 - 1; }
+    if (width > 64) { return 0 - 1; }
+    if (height > 64) { return 0 - 1; }
+    params[0] = codec;
+    params[1] = width;
+    params[2] = height;
+    params[3] = depth;
+    return 0;
+}
+
+fn decode_frame(input, off, size, n, params) {
+    var codec = params[0];
+    var width = params[1];
+    var depth = params[3];
+    var block = alloc(64);
+    var coeffs = 0;
+    for (var i = 0; i < size; i = i + 1) {
+        if (off + i >= n) { break; }
+        var v = input[off + i];
+        if (codec == 2) {
+            // planar mode: depth scales the block index
+            var at = (v & 15) * (depth & 7);
+            block[at] = v;                 // BUG: depth 5+ overflows 64
+        } else {
+            block[v & 63] = v;
+        }
+        coeffs = coeffs + 1;
+    }
+    if (codec == 3) {
+        var quant = read_u16(input, off, );
+        return coeffs / (quant - 513);     // BUG: quant 513
+    }
+    return coeffs;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 12) { return 0; }
+    if (memcmp(input, 0, "AVC1", 0, 4) != 0) { return 1; }
+    var params = alloc(4);
+    params[1] = 8;
+    var pos = 4;
+    var frames = 0;
+    var got_header = 0;
+    while (pos + 3 <= n) {
+        var kind = input[pos];
+        var size = read_u16(input, pos + 1);
+        var body = pos + 3;
+        if (kind == 'S') {
+            if (parse_stream_header(input, body, n, params) == 0) {
+                got_header = 1;
+            }
+        }
+        if (kind == 'F') {
+            if (got_header == 1) {
+                var r = decode_frame(input, body, size, n, params);
+                if (r < 0) { return frames; }
+                frames = frames + 1;
+            }
+        }
+        pos = body + size;
+        if (frames > 12) { break; }
+    }
+    return frames;
+}
+"""
+
+SOURCE = SOURCE.replace("read_u16(input, off, )", "read_u16(input, off)")
+
+
+def _chunk(kind, payload):
+    return kind + bytes([(len(payload) >> 8) & 0xFF, len(payload) & 0xFF]) + payload
+
+
+def _header(codec=1, width=8, height=8, depth=2):
+    return _chunk(
+        b"S",
+        bytes([codec, (width >> 8) & 0xFF, width & 0xFF, (height >> 8) & 0xFF,
+               height & 0xFF, depth]),
+    )
+
+
+SEEDS = [
+    b"AVC1" + _header() + _chunk(b"F", bytes([1, 2, 3, 4, 60, 61])),
+    b"AVC1" + _header(codec=2, depth=3) + _chunk(b"F", bytes([15, 30, 45])),
+    b"AVC1" + _header(codec=3) + _chunk(b"F", bytes([0, 100, 7, 8])),
+]
+
+TOKENS = [b"AVC1", b"S", b"F"]
+
+
+def build():
+    # codec 2 + depth 7: (v&15)*7 up to 105 > 64.
+    planar = b"AVC1" + _header(codec=2, depth=7) + _chunk(b"F", bytes([15, 14]))
+    # codec 3 frame whose first two bytes read back as 513 (0x02 0x01).
+    quant = b"AVC1" + _header(codec=3) + _chunk(b"F", bytes([0x02, 0x01, 9]))
+    return Subject(
+        name="ffmpeg",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "decode_frame", 34, "heap-buffer-overflow-write",
+                "planar codec scales the block index by the declared bit "
+                "depth (header + frame combination)",
+                planar, difficulty="deep",
+            ),
+            make_bug(
+                "decode_frame", 42, "division-by-zero",
+                "quantizer 513 cancels the denominator",
+                quant, difficulty="deep",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=192,
+        exec_instr_budget=35_000,
+        description="chunked AV demuxer with per-codec frame decoding",
+    )

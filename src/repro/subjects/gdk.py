@@ -1,0 +1,193 @@
+"""Subject ``gdk`` — a pixbuf loader dispatcher lookalike.
+
+Sniffs the image format by magic (BMP / GIF / PNM), decodes a header per
+loader, and feeds everything into a shared scaler.  This subject carries
+the suite's largest bug census (the paper's gdk yields 7-11 bugs): per-
+loader arithmetic defects plus a *path-dependent* stride confusion in the
+shared scaler, whose trigger state (flip + palette mode) is set by two
+independent conditionals earlier in the same activation.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn read_u16le(buf, off) {
+    return buf[off] + (buf[off + 1] << 8);
+}
+
+fn scale_row(out, width, stride, flip, pal) {
+    // Path-dependent: flip shifts the base, palette doubles the stride.
+    var base = 0;
+    if (flip == 1) { base = width - 1; }
+    var step = stride;
+    if (pal == 1) { step = stride * 2; }
+    var limit = len(out);
+    for (var x = 0; x < width; x = x + 1) {
+        var at = base + x * step;
+        out[at] = x;          // BUG: flip+palette combination overflows
+    }
+    return 0;
+}
+
+fn load_bmp(input, n) {
+    if (n < 18) { return 0 - 1; }
+    var width = read_u16le(input, 4);
+    var height = read_u16le(input, 6);
+    var bpp = input[8];
+    var flip = 0;
+    if (input[9] == 1) { flip = 1; }
+    if (width == 0) { return 0 - 1; }
+    if (width > 24) { return 0 - 1; }
+    var pal = 0;
+    if (bpp == 8) { pal = 1; }
+    var row = alloc(width * 2);
+    scale_row(row, width, 1, flip, pal);
+    var body = 10 + width;
+    var acc = 0;
+    for (var y = 0; y < height; y = y + 1) {
+        acc = acc + input[body + y];       // BUG: height unchecked vs n
+    }
+    return acc;
+}
+
+fn load_gif(input, n) {
+    if (n < 13) { return 0 - 1; }
+    var width = read_u16le(input, 6);
+    var height = read_u16le(input, 8);
+    var flags = input[10];
+    var table_bits = flags & 7;
+    var table_size = 1 << table_bits;
+    var palette = alloc(128);
+    var cursor = 13;
+    for (var i = 0; i < table_size * 3; i = i + 1) {
+        palette[i] = input[cursor];        // BUG: palette fits only 2^5*3+
+        cursor = cursor + 1;
+        if (cursor >= n) { break; }
+    }
+    if (width * height > 4096) {
+        var denom = width - height;
+        return 4096 / denom;               // BUG: div 0 for square images
+    }
+    return table_size;
+}
+
+fn load_pnm(input, n) {
+    if (n < 8) { return 0 - 1; }
+    var width = 0;
+    var pos = 2;
+    while (pos < n) {
+        var c = input[pos];
+        if (c < '0') { break; }
+        if (c > '9') { break; }
+        width = width * 10 + (c - '0');
+        pos = pos + 1;
+    }
+    if (width == 0) { return 0 - 1; }
+    var maxval = input[pos];
+    var lut = alloc(256);
+    var span = 255 / maxval;               // BUG: div 0 when maxval == 0
+    for (var v = 0; v < 256; v = v + 1) {
+        lut[v] = v * span;
+    }
+    if (width > 250) {
+        lut[width] = 1;                    // BUG: width 256.. overflows lut
+    }
+    return width;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 4) { return 0; }
+    if (memcmp(input, 0, "BM", 0, 2) == 0) { return load_bmp(input, n); }
+    if (memcmp(input, 0, "GIF8", 0, 4) == 0) { return load_gif(input, n); }
+    if (input[0] == 'P') {
+        if (input[1] == '6') { return load_pnm(input, n); }
+    }
+    return 0 - 9;
+}
+"""
+
+
+def _u16le(v):
+    return bytes([v & 0xFF, (v >> 8) & 0xFF])
+
+
+def _bmp(width, height, bpp=24, flip=0, body=b""):
+    return (
+        b"BM\x00\x00" + _u16le(width) + _u16le(height) + bytes([bpp, flip]) + body
+    )
+
+
+SEEDS = [
+    _bmp(8, 2, body=b"\x10" * 24),
+    b"GIF89a" + _u16le(10) + _u16le(10) + b"\x82\x00\x00" + b"\x11" * 24,
+    b"P6 12 0xff " + b"\x40" * 12,
+]
+
+TOKENS = [b"BM", b"GIF8", b"P6", b"\x08"]
+
+
+def build():
+    # flip=1, pal=1 (bpp 8): base=width-1, step=2 -> at up to 3*(w-1) > 2w.
+    stride_bug = _bmp(8, 0, bpp=8, flip=1, body=b"\x00" * 16)
+    # BMP with large height walks past the buffer.
+    tall_bmp = _bmp(4, 4000, body=b"\x01" * 8)
+    # GIF with table_bits=7 -> 128*3 entries into a 128-byte palette.
+    gif_palette = b"GIF89a" + _u16le(3) + _u16le(3) + b"\x87\x00\x00" + b"\x22" * 200
+    # GIF of exactly 13 bytes: the first palette read is already past EOF.
+    gif_truncated = b"GIF89a" + _u16le(3) + _u16le(3) + b"\x80\x00\x00"
+    # Square image wider than 64: width*height>4096 and width==height.
+    gif_square = b"GIF89a" + _u16le(70) + _u16le(70) + b"\x80\x00\x00" + b"\x00" * 8
+    # PNM with maxval byte 0 right after the width digits.
+    pnm_maxval = b"P6" + b"12" + b"\x00" + b"\x00" * 8
+    # PNM with width 256 indexes the 256-entry LUT.
+    pnm_wide = b"P6" + b"256" + b"\x05" + b"\x00" * 8
+    return Subject(
+        name="gdk",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "scale_row", 14, "heap-buffer-overflow-write",
+                "flip base + doubled palette stride overflow the row "
+                "(combination set by two earlier conditionals: the "
+                "path-dependent defect)",
+                stride_bug, difficulty="path-dependent",
+            ),
+            make_bug(
+                "load_bmp", 35, "heap-buffer-overflow-read",
+                "row loop trusts the declared height",
+                tall_bmp, difficulty="shallow",
+            ),
+            make_bug(
+                "load_gif", 50, "heap-buffer-overflow-write",
+                "global color table size 2^bits*3 overflows the palette",
+                gif_palette, difficulty="medium",
+            ),
+            make_bug(
+                "load_gif", 50, "heap-buffer-overflow-read",
+                "palette copy reads the first table byte before checking "
+                "the cursor against EOF",
+                gif_truncated, difficulty="shallow",
+            ),
+            make_bug(
+                "load_gif", 56, "division-by-zero",
+                "large square images divide by (width - height)",
+                gif_square, difficulty="medium",
+            ),
+            make_bug(
+                "load_pnm", 75, "division-by-zero",
+                "LUT construction divides by maxval",
+                pnm_maxval, difficulty="shallow",
+            ),
+            make_bug(
+                "load_pnm", 80, "heap-buffer-overflow-write",
+                "width >= 256 indexes the 256-entry LUT",
+                pnm_wide, difficulty="medium",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=224,
+        exec_instr_budget=30_000,
+        description="image loader dispatch (BMP/GIF/PNM) with shared scaler",
+    )

@@ -1,0 +1,176 @@
+"""Subject ``infotocap`` — a terminfo-to-termcap translator lookalike.
+
+The paper's pathological queue-explosion subject (path queues 62x larger
+than pcguard's): the capability-string translator is a single hot loop with
+*many* independent per-iteration branch decisions (escape kinds, parameter
+forms, padding digits), so the number of distinct Ball-Larus iteration
+paths is enormous while the edge set saturates almost immediately.  Bugs
+skew toward the deeper marker handling, which the throughput-starved
+path-aware baseline tends to miss — matching the paper (pcguard 5, path 2).
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn translate_cap(input, pos, n, out, outpos) {
+    // Translate one capability value until ',' — the path-explosion loop:
+    // each iteration makes many independent decisions (the escape route
+    // plus five attribute bit tests), so the per-iteration acyclic path
+    // space is combinatorial while the edge set saturates immediately.
+    var params = 0;
+    var pad = 0;
+    var attrs = 0;
+    while (pos < n) {
+        var c = input[pos];
+        if (c == ',') { return pos + 1; }
+        if (c & 1) { attrs = attrs + 1; }
+        if (c & 2) { attrs = attrs + 2; }
+        if (c & 4) { params = params + 1; }
+        if (c & 8) { pad = pad + 1; }
+        if (c & 16) { attrs = attrs ^ pad; }
+        if (c == '%') {
+            pos = pos + 1;
+            if (pos >= n) { return n; }
+            var spec = input[pos];
+            if (spec == 'p') { params = params + 1; }
+            if (spec == 'd') { out[outpos % 64] = 'd'; outpos = outpos + 1; }
+            if (spec == 'i') { params = params + 2; }
+            if (spec == '+') { out[outpos] = '+'; outpos = outpos + 1; }
+            if (spec == '%') { out[outpos % 64] = '%'; outpos = outpos + 1; }
+            if (spec == '{') { pad = pad + 1; }
+            if (spec == '}') { pad = pad - 1; }
+        } else {
+            if (c == '$') {
+                pad = pad * 2 + 1;
+                if (pad > 500) {
+                    var rate = 1000 / (pad - 511);
+                }
+            } else {
+                if (c >= '0') {
+                    if (c <= '9') {
+                        pad = pad + (c - '0');
+                    } else {
+                        out[outpos % 64] = c;
+                        outpos = outpos + 1;
+                    }
+                } else {
+                    out[outpos % 64] = c;
+                    outpos = outpos + 1;
+                }
+            }
+        }
+        pos = pos + 1;
+    }
+    return n;
+}
+
+fn parse_name(input, pos, n) {
+    while (pos < n) {
+        var c = input[pos];
+        if (c == '=') { return pos + 1; }
+        if (c == ',') { return 0 - (pos + 1); }
+        if (c == 10) { return 0 - (pos + 1); }
+        pos = pos + 1;
+    }
+    return 0 - n;
+}
+
+fn handle_numeric(input, pos, n, table, slot) {
+    var value = 0;
+    while (pos < n) {
+        var c = input[pos];
+        if (c < '0') { break; }
+        if (c > '9') { break; }
+        value = value * 10 + (c - '0');
+        pos = pos + 1;
+    }
+    table[slot] = value;               // BUG: slot grows past 12 entries
+    if (value > 4000) {
+        var q = 100000 / (value - 4096);   // BUG: deep div at 4096
+        return q;
+    }
+    return value;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 3) { return 0; }
+    var out = alloc(64);
+    var table = alloc(12);
+    var pos = 0;
+    var caps = 0;
+    var numerics = 0;
+    while (pos < n) {
+        var eq = parse_name(input, pos, n);
+        if (eq < 0) { pos = 0 - eq; continue; }
+        pos = eq;
+        if (pos < n) {
+            var first = input[pos];
+            if (first == '#') {
+                handle_numeric(input, pos + 1, n, table, numerics);
+                numerics = numerics + 1;
+                while (pos < n) {
+                    if (input[pos] == ',') { break; }
+                    pos = pos + 1;
+                }
+                pos = pos + 1;
+            } else {
+                pos = translate_cap(input, pos, n, out, 0);
+            }
+        }
+        caps = caps + 1;
+        if (caps > 48) { break; }
+    }
+    return caps + numerics;
+}
+"""
+
+SEEDS = [
+    b"cup=%p1%d;%p2%d,clear=%{1}%+%%,cols=#80,",
+    b"bel=$07,lines=#24,home=%i%d,",
+    b"smso=%p1%{2}%+abc,rmso=xyz$9,",
+]
+
+TOKENS = [b"%p", b"%d", b"%{", b"%%", b"=#", b",", b"=%"]
+
+
+def build():
+    # 13 numeric capabilities overflow the 12-entry table.
+    many_numerics = b"".join(b"x%d=#%d," % (i, i) for i in range(14))
+    # A numeric value of exactly 4096 after the deep '#' route.
+    deep_div = b"pad=#4096,"
+    # 65+ '%+' emissions bypass the output wrap in one capability value.
+    plus_overflow = b"k=" + b"%+" * 70 + b","
+    # Nine '$' doublings land pad exactly on 511.
+    dollar_pad = b"k=" + b"$" * 9 + b","
+    return Subject(
+        name="infotocap",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "handle_numeric", 73, "heap-buffer-overflow-write",
+                "numeric-capability slots exceed the 12-entry table",
+                many_numerics, difficulty="medium",
+            ),
+            make_bug(
+                "handle_numeric", 75, "division-by-zero",
+                "large numeric capability divides by (value - 4096)",
+                deep_div, difficulty="deep",
+            ),
+            make_bug(
+                "translate_cap", 24, "heap-buffer-overflow-write",
+                "the '%+' emission skips the output-position wrap",
+                plus_overflow, difficulty="medium",
+            ),
+            make_bug(
+                "translate_cap", 32, "division-by-zero",
+                "padding-delay doubling divides at exactly 511",
+                dollar_pad, difficulty="medium",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=224,
+        exec_instr_budget=35_000,
+        description="terminfo capability translator (path explosion)",
+    )

@@ -1,0 +1,163 @@
+"""Subject ``jq`` — a recursive-descent JSON parser lookalike.
+
+The paper finds exactly one jq bug per fuzzer; here the single defect is a
+stack overflow on deeply nested arrays/objects (the parser recurses without
+a depth guard), which the VM reports as a stack-overflow trap at the
+recursive call site.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn skip_ws(input, pos, n) {
+    while (pos < n) {
+        var c = input[pos];
+        if (c != ' ') {
+            if (c != 10) {
+                if (c != 9) { break; }
+            }
+        }
+        pos = pos + 1;
+    }
+    return pos;
+}
+
+fn parse_string(input, pos, n) {
+    // pos points at the opening quote
+    pos = pos + 1;
+    while (pos < n) {
+        var c = input[pos];
+        if (c == '"') { return pos + 1; }
+        if (c == 92) { pos = pos + 1; }
+        pos = pos + 1;
+    }
+    return 0 - 1;
+}
+
+fn parse_number(input, pos, n) {
+    var seen = 0;
+    while (pos < n) {
+        var c = input[pos];
+        if (c >= '0') {
+            if (c <= '9') {
+                seen = 1;
+                pos = pos + 1;
+                continue;
+            }
+        }
+        if (c == '.') { pos = pos + 1; continue; }
+        if (c == '-') { pos = pos + 1; continue; }
+        break;
+    }
+    if (seen == 0) { return 0 - 1; }
+    return pos;
+}
+
+fn parse_value(input, pos, n) {
+    pos = skip_ws(input, pos, n);
+    if (pos >= n) { return 0 - 1; }
+    var c = input[pos];
+    if (c == '"') { return parse_string(input, pos, n); }
+    if (c == '[') {
+        pos = pos + 1;
+        pos = skip_ws(input, pos, n);
+        if (pos < n) {
+            if (input[pos] == ']') { return pos + 1; }
+        }
+        while (1) {
+            pos = parse_value(input, pos, n);    // BUG: unbounded recursion
+            if (pos < 0) { return 0 - 1; }
+            pos = skip_ws(input, pos, n);
+            if (pos >= n) { return 0 - 1; }
+            if (input[pos] == ']') { return pos + 1; }
+            if (input[pos] != ',') { return 0 - 1; }
+            pos = pos + 1;
+        }
+    }
+    if (c == '{') {
+        pos = pos + 1;
+        pos = skip_ws(input, pos, n);
+        if (pos < n) {
+            if (input[pos] == '}') { return pos + 1; }
+        }
+        while (1) {
+            pos = skip_ws(input, pos, n);
+            if (pos >= n) { return 0 - 1; }
+            if (input[pos] != '"') { return 0 - 1; }
+            pos = parse_string(input, pos, n);
+            if (pos < 0) { return 0 - 1; }
+            pos = skip_ws(input, pos, n);
+            if (pos >= n) { return 0 - 1; }
+            if (input[pos] != ':') { return 0 - 1; }
+            pos = parse_value(input, pos + 1, n);
+            if (pos < 0) { return 0 - 1; }
+            pos = skip_ws(input, pos, n);
+            if (pos >= n) { return 0 - 1; }
+            if (input[pos] == '}') { return pos + 1; }
+            if (input[pos] != ',') { return 0 - 1; }
+            pos = pos + 1;
+        }
+    }
+    if (c == 't') {
+        if (pos + 4 <= n) {
+            if (memcmp(input, pos, "true", 0, 4) == 0) { return pos + 4; }
+        }
+        return 0 - 1;
+    }
+    if (c == 'f') {
+        if (pos + 5 <= n) {
+            if (memcmp(input, pos, "false", 0, 5) == 0) { return pos + 5; }
+        }
+        return 0 - 1;
+    }
+    if (c == 'n') {
+        if (pos + 4 <= n) {
+            if (memcmp(input, pos, "null", 0, 4) == 0) { return pos + 4; }
+        }
+        return 0 - 1;
+    }
+    return parse_number(input, pos, n);
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n == 0) { return 0; }
+    var end = parse_value(input, 0, n);
+    if (end < 0) { return 1; }
+    end = skip_ws(input, end, n);
+    if (end != n) { return 2; }
+    return 0;
+}
+"""
+
+SEEDS = [
+    b'{"name": "value", "list": [1, 2, 3]}',
+    b"[true, false, null, 42]",
+    b'[[1, 2], {"a": [3]}]',
+]
+
+TOKENS = [b"true", b"false", b"null", b"[", b"{", b'"']
+
+
+def build():
+    deep = b"[" * 40
+    return Subject(
+        name="jq",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "parse_value",
+                46,
+                "stack-overflow",
+                "array parsing recurses without a depth guard",
+                deep,
+                difficulty="medium",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=128,
+        exec_instr_budget=25_000,
+        call_depth_limit=24,
+        description="recursive-descent JSON parser",
+    )

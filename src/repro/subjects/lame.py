@@ -1,0 +1,119 @@
+"""Subject ``lame`` — an MP3 encoder front-end lookalike.
+
+Decodes PCM-ish blocks through a psychoacoustic-flavoured analysis loop
+whose per-sample iteration makes several independent decisions (window
+switching, scalefactor bands, reservoir state) — the paper's second
+queue-explosion subject (37x).  Defects: a scalefactor band index creeping
+past its table only under a window-switch + high-energy combination, and a
+bit-reservoir division.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn window_kind(sample, prev) {
+    var kind = 0;
+    if (sample > 200) { kind = 2; } else {
+        if (sample > 96) { kind = 1; }
+    }
+    if (prev == 2) {
+        if (kind == 0) { kind = 3; }
+    }
+    return kind;
+}
+
+fn analyze_block(input, off, n, bands, reservoir) {
+    var prev = 0;
+    var band = 2;
+    var energy = 0;
+    for (var i = 0; i < 16; i = i + 1) {
+        if (off + i >= n) { break; }
+        var s = input[off + i];
+        var kind = window_kind(s, prev);
+        if (s & 1) { energy = energy + 1; }
+        if (s & 2) { energy = energy ^ 2; }
+        if (s & 4) { band = band + 0; }
+        if (s & 8) { energy = energy + prev; }
+        if (kind == 2) {
+            if (s & 1) { band = band + 2; } else { band = band + 1; }
+        }
+        if (kind == 3) { band = band - 1; }
+        if (kind == 1) { energy = energy + s; }
+        if (kind == 0) {
+            if (energy > 0) { energy = energy - 1; }
+        }
+        bands[band] = bands[band] + 1;     // BUG: band can pass 20
+        prev = kind;
+    }
+    var used = energy / 3 + band;
+    if (used > reservoir) { return reservoir; }
+    return used;
+}
+
+fn reservoir_rate(reservoir, frames) {
+    return reservoir / (frames - 12);      // BUG: div 0 at frame 12
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 8) { return 0; }
+    if (memcmp(input, 0, "PCM1", 0, 4) != 0) { return 1; }
+    var bands = alloc(20);
+    var reservoir = 64;
+    var frames = 0;
+    var pos = 4;
+    while (pos + 4 <= n) {
+        var used = analyze_block(input, pos, n, bands, reservoir);
+        reservoir = reservoir - used + 8;
+        if (reservoir < 0) { reservoir = 0; }
+        if (reservoir > 255) { reservoir = 255; }
+        frames = frames + 1;
+        if (frames >= 12) {
+            var rate = reservoir_rate(reservoir, frames);
+            if (rate > 40) { break; }
+        }
+        pos = pos + 16;
+    }
+    return frames + reservoir;
+}
+"""
+
+SEEDS = [
+    b"PCM1" + bytes(range(0, 120, 5)),
+    b"PCM1" + bytes([100, 210, 3, 99, 220, 10] * 8),
+    b"PCM1" + bytes([64] * 48),
+]
+
+TOKENS = [b"PCM1"]
+
+
+def build():
+    # Blocks dominated by odd high-energy samples: band += 2 per sample.
+    creep = b"PCM1" + bytes([211] * 40)
+    # Twelve quiet frames reach the reservoir-rate call with frames == 12,
+    # dividing by (frames - 12) == 0.
+    twelve_frames = b"PCM1" + bytes([3] * 184)
+    return Subject(
+        name="lame",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "analyze_block", 32, "heap-buffer-overflow-read",
+                "scalefactor band index creeps past the 20-entry table "
+                "under repeated window-switch + odd-sample iterations "
+                "(path-dependent accumulation)",
+                creep, difficulty="path-dependent",
+            ),
+            make_bug(
+                "reservoir_rate", 41, "division-by-zero",
+                "bit-reservoir rate divides by (frames - 12) on the first "
+                "rate check",
+                twelve_frames, difficulty="deep",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=224,
+        exec_instr_budget=35_000,
+        description="PCM analysis loop with window switching (path explosion)",
+    )

@@ -1,0 +1,76 @@
+"""The paper's motivating example (Figure 1).
+
+``foo`` hides a heap overflow that only triggers when execution reaches the
+write *via the rare block* (``j = 3``) **and** the input is long enough and
+starts with ``'h'``.  Edge coverage cannot tell the crucial path apart once
+all individual edges have been seen; the Ball-Larus path id distinguishes it
+(the red path in the paper's figure).
+
+The conditions intentionally use arithmetic conjunction/disjunction instead
+of ``&&``/``||`` so the CFG matches the figure: exactly five acyclic paths
+in ``foo``.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn foo(input, arr) {
+    var N = 54;
+    var n = len(input);
+    if ((n - 2 > N) + (n < 3)) {
+        return 0;
+    }
+    var j = 0;
+    if ((n % 4 == 0) * (n > 39)) {
+        j = 3;
+    } else {
+        j = 0 - 2;
+    }
+    var c = input[0];
+    if (c == 'h') {
+        arr[n + j] = 7;
+    } else {
+        j = abs(j);
+        arr[j] = 0;
+    }
+    return 0;
+}
+
+fn main(input) {
+    var arr = alloc(54);
+    return foo(input, arr);
+}
+"""
+
+# n = 52: n % 4 == 0 and n > 39 sets j = 3; 'h' leads to arr[55] of 54.
+BUG_WITNESS = b"h" + b"A" * 51
+
+SEEDS = [
+    b"hello world",
+    b"x" * 20,
+    b"h" + b"B" * 30,
+]
+
+
+def build():
+    """The motivating-example subject (used by examples and tests)."""
+    return Subject(
+        name="motivating",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "foo",
+                15,
+                "heap-buffer-overflow-write",
+                "write via the rare j=3 block with a long 'h' input "
+                "(the paper's Figure 1 red path)",
+                BUG_WITNESS,
+                difficulty="path-dependent",
+            )
+        ],
+        tokens=[b"h"],
+        max_input_len=80,
+        exec_instr_budget=20_000,
+        description="Paper Figure 1: path-dependent heap overflow",
+    )

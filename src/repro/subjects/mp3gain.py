@@ -1,0 +1,111 @@
+"""Subject ``mp3gain`` — an MP3 replay-gain analyzer lookalike.
+
+Walks MPEG audio frame headers (0xFFE sync), accumulates a loudness
+histogram, and applies a gain computation.  Defects: a histogram index that
+only drifts out of range while a rare in-frame path combination repeats
+(path-dependent accumulation), plus a samplerate-table division.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn frame_size(bitrate, samplerate) {
+    return (144 * bitrate) / samplerate;   // BUG: samplerate 0
+}
+
+fn analyze_frame(input, off, n, hist, level) {
+    // level creeps +2 only when the frame is both padded AND intensity-
+    // stereo (two independent header bits): the rare path combination.
+    var hdr2 = input[off + 2];
+    var hdr3 = input[off + 3];
+    var padded = (hdr2 >> 1) & 1;
+    var mode = (hdr3 >> 6) & 3;
+    var boost = 0;
+    if (padded == 1) {
+        if (mode == 1) {
+            boost = 2;
+        } else {
+            boost = 0;
+        }
+    } else {
+        if (mode == 2) { boost = 1; } else { boost = 0; }
+    }
+    level = level + boost - 1;
+    if (level < 0) { level = 0; }
+    hist[level] = hist[level] + 1;          // BUG: level can pass 16
+    return level;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 8) { return 0; }
+    var hist = alloc(16);
+    var pos = 0;
+    var level = 4;
+    var frames = 0;
+    while (pos + 4 <= n) {
+        if (input[pos] != 0xff) { pos = pos + 1; continue; }
+        if ((input[pos + 1] & 0xe0) != 0xe0) { pos = pos + 1; continue; }
+        var bitrate_index = input[pos + 2] >> 4;
+        var sr_index = (input[pos + 2] >> 2) & 3;
+        var samplerate = 44100;
+        if (sr_index == 1) { samplerate = 48000; }
+        if (sr_index == 2) { samplerate = 32000; }
+        if (sr_index == 3) { samplerate = 0; }
+        var size = frame_size(bitrate_index * 8 + 8, samplerate);
+        level = analyze_frame(input, pos, n, hist, level);
+        frames = frames + 1;
+        if (frames > 24) { break; }
+        pos = pos + 4 + size;
+    }
+    var gain = 0;
+    for (var i = 0; i < 16; i = i + 1) {
+        gain = gain + hist[i] * i;
+    }
+    return gain + frames;
+}
+"""
+
+
+def _frame(padded=0, mode=0, bitrate=4, sr=0, body=0):
+    b2 = (bitrate << 4) | (sr << 2) | (padded << 1)
+    b3 = mode << 6
+    return bytes([0xFF, 0xE2, b2, b3]) + b"\x00" * body
+
+
+SEEDS = [
+    _frame(bitrate=4) + _frame(bitrate=4) + _frame(bitrate=4),
+    _frame(padded=1, mode=2) + _frame(mode=2),
+    b"\x00\x12" + _frame(bitrate=2) + _frame(bitrate=2) + b"\x01",
+]
+
+TOKENS = [b"\xff\xe2", b"\xff\xe0"]
+
+
+def build():
+    # 14 consecutive padded+intensity frames push level from 4 past 16.
+    creep = b"".join(_frame(padded=1, mode=1, bitrate=0) for _ in range(16))
+    sr_zero = _frame(sr=3, body=8)
+    return Subject(
+        name="mp3gain",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "analyze_frame", 24, "heap-buffer-overflow-read",
+                "loudness level creeps past the 16-entry histogram only "
+                "while padded+intensity frames repeat (path-dependent "
+                "accumulation)",
+                creep, difficulty="path-dependent",
+            ),
+            make_bug(
+                "frame_size", 2, "division-by-zero",
+                "reserved samplerate index yields samplerate 0",
+                sr_zero, difficulty="shallow",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=160,
+        exec_instr_budget=25_000,
+        description="MPEG frame walker with loudness histogram",
+    )

@@ -1,0 +1,219 @@
+"""Subject ``mp42aac`` — an MP4-to-AAC extractor lookalike.
+
+Walks the MP4 box tree (size/fourcc headers, nested containers), tracks the
+audio track configuration, and extracts sample chunks.  The census mirrors
+the paper's mp42aac (7-8 bugs, two zero-days found by path-aware runs):
+box-size arithmetic defects, a recursion bomb, and a path-dependent sample-
+size confusion primed by the ordering of 'esds' vs 'stsz' handling inside
+one 'stbl' activation.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn read_u32(input, off) {
+    return (input[off] << 24) + (input[off + 1] << 16)
+         + (input[off + 2] << 8) + input[off + 3];
+}
+
+fn fourcc_is(input, off, name) {
+    return memcmp(input, off, name, 0, 4) == 0;
+}
+
+fn parse_esds(input, off, size, config) {
+    if (size < 4) { return 0 - 1; }
+    var object_type = input[off];
+    var freq_index = input[off + 1] >> 3;
+    config[0] = object_type;
+    config[1] = freq_index;
+    var table = alloc(13);
+    table[freq_index] = 1;                  // BUG: freq index 13..31
+    if (object_type == 31) {
+        var ext = input[off + 2] & 63;
+        var rate = 96000 >> ext;            // ok: ext <= 63
+        if (rate == 0) { return 0 - 1; }
+        return 96000 / rate;
+    }
+    return object_type;
+}
+
+fn parse_stsz(input, off, size, config, samples) {
+    if (size < 8) { return 0 - 1; }
+    var uniform = read_u32(input, off);
+    var count = read_u32(input, off + 4);
+    // Path-dependent: the wide-sample branch survives from the esds
+    // object type recorded earlier in this stbl activation.
+    var width = 1;
+    if (config[0] == 64) { width = 4; }
+    if (uniform == 0) {
+        for (var s = 0; s < count; s = s + 1) {
+            samples[s * width] = s;         // BUG: combo width overflow
+            if (s > 10) { break; }
+        }
+    }
+    return count;
+}
+
+fn parse_stbl(input, off, end, n, config, depth) {
+    var samples = alloc(24);
+    var acc = 0;
+    var pos = off;
+    while (pos + 8 <= end) {
+        var size = read_u32(input, pos);
+        if (size < 8) { return 0 - 1; }
+        var body = pos + 8;
+        if (fourcc_is(input, pos + 4, "esds")) {
+            acc = acc + parse_esds(input, body, size - 8, config);
+        }
+        if (fourcc_is(input, pos + 4, "stsz")) {
+            acc = acc + parse_stsz(input, body, size - 8, config, samples);
+        }
+        if (fourcc_is(input, pos + 4, "stco")) {
+            var chunk_off = read_u32(input, body);
+            acc = acc + input[chunk_off];   // BUG: raw chunk offset
+        }
+        pos = pos + size;
+    }
+    return acc;
+}
+
+fn parse_container(input, pos, n, config, depth) {
+    // Track-level containers route through this wrapper (as real demuxers
+    // layer stream setup), so each trak nesting costs two stack frames.
+    return parse_box(input, pos, n, config, depth);
+}
+
+fn parse_box(input, pos, n, config, depth) {
+    if (pos + 8 > n) { return 0 - 1; }
+    var size = read_u32(input, pos);
+    if (size < 8) { return 0 - 1; }
+    var end = pos + size;
+    if (end > n) { end = n; }
+    var body = pos + 8;
+    if (fourcc_is(input, pos + 4, "moov")) {
+        var acc = 0;
+        var child = body;
+        while (child + 8 <= end) {
+            var adv = parse_box(input, child, end, config, depth + 1);
+            if (adv < 8) { break; }
+            child = child + adv;
+        }
+        return size;
+    }
+    if (fourcc_is(input, pos + 4, "trak")) {
+        return 8 + parse_container(input, body, end, config, depth + 1);  // BUG: no depth cap
+    }
+    if (fourcc_is(input, pos + 4, "stbl")) {
+        var r = parse_stbl(input, body, end, n, config, depth);
+        if (r < 0) { return 0 - 1; }
+        return size;
+    }
+    if (fourcc_is(input, pos + 4, "mdat")) {
+        var declared = size - 8;
+        var payload = alloc(32);
+        copy(payload, 0, input, body, declared);   // BUG: declared vs 32
+        return size;
+    }
+    return size;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 16) { return 0; }
+    if (fourcc_is(input, 4, "ftyp") == 0) { return 1; }
+    var config = alloc(2);
+    var pos = read_u32(input, 0);
+    if (pos < 8) { return 2; }
+    var guard = 0;
+    while (pos + 8 <= n) {
+        var adv = parse_box(input, pos, n, config, 0);
+        if (adv < 8) { break; }
+        pos = pos + adv;
+        guard = guard + 1;
+        if (guard > 16) { break; }
+    }
+    return config[0] + config[1];
+}
+"""
+
+
+def _u32(v):
+    return bytes([(v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF])
+
+
+def _box(fourcc, payload):
+    return _u32(len(payload) + 8) + fourcc + payload
+
+
+def _ftyp():
+    return _box(b"ftyp", b"isom0000")
+
+
+SEEDS = [
+    _ftyp() + _box(b"moov", _box(b"trak", _box(b"stbl",
+        _box(b"esds", b"\x40\x20\x00\x00") + _box(b"stsz", _u32(1) + _u32(4))))),
+    _ftyp() + _box(b"mdat", b"\x00" * 12),
+    _ftyp() + _box(b"moov", _box(b"stbl", _box(b"stco", _u32(4) + b"\x00" * 4))),
+]
+
+TOKENS = [b"ftyp", b"moov", b"trak", b"stbl", b"esds", b"stsz", b"stco", b"mdat"]
+
+
+def build():
+    # freq index 13+ overflows the 13-entry frequency table.
+    freq_oob = _ftyp() + _box(b"moov", _box(b"stbl",
+        _box(b"esds", b"\x10\x70\x00\x00")))
+    # esds object type 64 primes width 4; stsz uniform 0 with 7+ samples
+    # writes samples[6*4] = 24 past the 24-entry buffer.
+    combo = _ftyp() + _box(b"moov", _box(b"stbl",
+        _box(b"esds", b"\x40\x18\x00\x00")
+        + _box(b"stsz", _u32(0) + _u32(8))))
+    # stco chunk offset pointing far outside the file.
+    stco_oob = _ftyp() + _box(b"moov", _box(b"stbl",
+        _box(b"stco", _u32(7000) + b"\x00" * 4)))
+    # Deep trak nesting recurses past the call-depth limit (two frames per
+    # level through parse_container).
+    deep = _ftyp()
+    inner = _box(b"stbl", b"")
+    for _ in range(32):
+        inner = _box(b"trak", inner)
+    deep = deep + inner
+    # mdat with a huge declared size copied into the 32-byte buffer.
+    mdat = _ftyp() + _box(b"mdat", b"\x00" * 40)
+    return Subject(
+        name="mp42aac",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "parse_esds", 17, "heap-buffer-overflow-write",
+                "sampling-frequency index indexes a 13-entry table",
+                freq_oob, difficulty="medium",
+            ),
+            make_bug(
+                "parse_stsz", 37, "heap-buffer-overflow-write",
+                "AAC-main object type widens the sample stride; with a "
+                "non-uniform stsz the combination overflows (path-dependent)",
+                combo, difficulty="path-dependent",
+            ),
+            make_bug(
+                "parse_stbl", 60, "heap-buffer-overflow-read",
+                "chunk offset used as a raw file offset",
+                stco_oob, difficulty="shallow",
+            ),
+            make_bug(
+                "parse_box", 75, "stack-overflow",
+                "trak containers recurse without a depth cap",
+                deep, difficulty="medium",
+            ),
+            make_bug(
+                "parse_box", 101, "heap-buffer-overflow-write",
+                "mdat copy trusts the declared box size",
+                mdat, difficulty="medium",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=300,
+        exec_instr_budget=35_000,
+        description="MP4 box-tree walker with AAC track extraction",
+    )

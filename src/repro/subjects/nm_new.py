@@ -1,0 +1,136 @@
+"""Subject ``nm_new`` — a symbol-table lister lookalike.
+
+The paper's nm-new yields *zero* bugs for every fuzzer; this subject mirrors
+that: its defects sit behind an 8-byte magic **and** a checksum over the
+header that random mutation essentially never satisfies (the seeds do not
+carry a valid checksum either).  The census documents the defects with
+hand-crafted witnesses; campaigns are expected to find none.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn checksum(input, off, count) {
+    var sum = 7;
+    for (var i = 0; i < count; i = i + 1) {
+        sum = (sum * 31 + input[off + i]) % 65521;
+    }
+    return sum;
+}
+
+fn parse_symbol(input, off, n, names) {
+    if (off + 8 > n) { return 0 - 1; }
+    var kind = input[off];
+    var nameoff = (input[off + 1] << 8) + input[off + 2];
+    var size = (input[off + 3] << 8) + input[off + 4];
+    if (kind == 0x7f) {
+        names[nameoff] = size;             // BUG: unchecked name offset
+        return 8;
+    }
+    if (kind == 0x2a) {
+        var weight = size / (nameoff - 77); // BUG: div 0 at nameoff 77
+        return 8 + weight % 4;
+    }
+    return 8;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 20) { return 0; }
+    if (memcmp(input, 0, "SYMT\\x7fELF", 0, 8) != 0) { return 1; }
+    // Self-referential gate: the checksum covers the whole 10-byte
+    // header region and must land on a fixed constant, so patching any
+    // observed operand back into the input (input-to-state) perturbs
+    // the sum itself -- the cmplog-resistant shape real checksums have.
+    var actual = checksum(input, 8, 10);
+    if (actual != 48879) { return 2; }
+    var names = alloc(64);
+    var pos = 18;
+    var count = 0;
+    while (pos + 8 <= n) {
+        var advance = parse_symbol(input, pos, n, names);
+        if (advance < 0) { break; }
+        pos = pos + advance;
+        count = count + 1;
+        if (count > 16) { break; }
+    }
+    return count;
+}
+"""
+
+# The MiniC lexer has no hex string escapes; build the magic comparison from
+# a 4-byte memcmp plus per-byte checks.
+SOURCE = SOURCE.replace(
+    'if (memcmp(input, 0, "SYMT\\x7fELF", 0, 8) != 0) { return 1; }',
+    'if (memcmp(input, 0, "SYMT", 0, 4) != 0) { return 1; }\n'
+    "    if (input[4] != 0x7f) { return 1; }\n"
+    "    if (input[5] != 'E') { return 1; }\n"
+    "    if (input[6] != 'L') { return 1; }\n"
+    "    if (input[7] != 'F') { return 1; }",
+)
+
+
+def _checksum(payload):
+    total = 7
+    for byte in payload:
+        total = (total * 31 + byte) % 65521
+    return total
+
+
+def _solve_header():
+    """Find a 10-byte header region whose rolling checksum is 48879."""
+    prefix = b"HDRDATA"
+    for a in range(256):
+        for b in range(256):
+            partial = _checksum(prefix + bytes([a, b]))
+            # Solve the final byte analytically: partial*31 + c == 48879.
+            c = (48879 - partial * 31) % 65521
+            if 0 <= c < 256:
+                return prefix + bytes([a, b, c])
+    raise AssertionError("no header satisfies the checksum")
+
+
+_HEADER = _solve_header()
+
+
+def _image(symbols, valid_checksum=True):
+    """Magic (8) + solved 10-byte checksummed header + symbol records."""
+    header = _HEADER if valid_checksum else b"HDRDATA1\x00\x00"
+    return b"SYMT\x7fELF" + header + symbols
+
+
+SEEDS = [
+    b"SYMT\x7fELF" + b"\x00\x00" + b"\x01" * 24,  # wrong checksum
+    b"SYMTxELF" + b"\x00" * 20,
+    b"\x7fELF" + b"\x00" * 24,
+]
+
+TOKENS = [b"SYMT", b"\x7fELF", b"\x7f", b"\x2a"]
+
+
+def build():
+    symbol_oob = _image(bytes([0x7F, 9, 99, 0, 2, 0, 0, 0]))
+    div_zero = _image(bytes([0x2A, 0, 77, 0, 5, 0, 0, 0]) + b"\x00" * 8)
+    return Subject(
+        name="nm_new",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "parse_symbol", 15, "heap-buffer-overflow-write",
+                "symbol name offset indexes the 64-entry name table "
+                "(behind magic + checksum: effectively unreachable)",
+                symbol_oob, difficulty="unreachable",
+            ),
+            make_bug(
+                "parse_symbol", 19, "division-by-zero",
+                "weak-symbol weight divides by (nameoff - 77) "
+                "(behind magic + checksum: effectively unreachable)",
+                div_zero, difficulty="unreachable",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=128,
+        exec_instr_budget=25_000,
+        description="symbol lister gated by magic + checksum (no findable bugs)",
+    )

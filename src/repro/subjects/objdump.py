@@ -1,0 +1,174 @@
+"""Subject ``objdump`` — an object-file disassembler lookalike.
+
+Parses a section table, then linearly decodes a toy instruction set with
+prefix bytes that change operand widths — the classic decoder shape where
+*mode state set on one path is consumed later in the same activation*.  The
+paper's objdump is a strong subject for the path-aware fuzzers (cull finds
+12 vs pcguard's 8, and 4 of the week-long zero-days live here); the census
+leans into decoder defects that need prefix combinations.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn read_u16le(input, off) {
+    return input[off] + (input[off + 1] << 8);
+}
+
+fn decode_insn(input, pos, n, regs) {
+    // One instruction: optional prefixes then opcode + operands.  The
+    // width/segment state set by prefixes is consumed by later operand
+    // decoding within this same call — prefix combinations are distinct
+    // Ball-Larus paths but share all edges.
+    var width = 1;
+    var seg = 0;
+    var rep = 0;
+    if (input[pos] == 0x66) { width = 2; pos = pos + 1; }
+    if (pos < n) {
+        if (input[pos] == 0x67) { seg = 4; pos = pos + 1; }
+    }
+    if (pos < n) {
+        if (input[pos] == 0xf3) { rep = 1; pos = pos + 1; }
+    }
+    if (pos >= n) { return 0 - 1; }
+    var op = input[pos];
+    pos = pos + 1;
+    if (op == 0x01) {
+        // reg-reg add: operand byte selects two of 8 registers
+        if (pos >= n) { return 0 - 1; }
+        var modrm = input[pos];
+        var dst = (modrm >> 4) + seg;
+        var src = modrm & 7;
+        regs[dst] = regs[dst] + regs[src];   // BUG: seg+high nibble > 15
+        return pos + 1;
+    }
+    if (op == 0x8b) {
+        // load: [imm] with prefix-scaled displacement
+        if (pos + width > n) { return 0 - 1; }
+        if (width == 2) {
+            var disp16 = read_u16le(input, pos);
+            regs[0] = input[disp16 + seg];   // BUG: 16-bit displacement
+            return pos + 2;
+        }
+        var disp = input[pos];
+        regs[1] = input[disp * 2];           // BUG: doubled displacement
+        return pos + 1;
+    }
+    if (op == 0xcd) {
+        if (pos >= n) { return 0 - 1; }
+        var vec = input[pos];
+        if (rep == 1) {
+            var slot = 256 / (vec - 128);    // BUG: rep + int 0x80
+            return pos + 1 + slot % 2;
+        }
+        return pos + 1;
+    }
+    if (op == 0xc3) { return 0 - 9; }
+    return pos;
+}
+
+fn parse_sections(input, n, offs) {
+    if (n < 8) { return 0 - 1; }
+    var count = input[5];
+    if (count > 4) { count = 4; }
+    var cursor = 6;
+    for (var s = 0; s < count; s = s + 1) {
+        if (cursor + 4 > n) { return s; }
+        var off = read_u16le(input, cursor);
+        var size = read_u16le(input, cursor + 2);
+        offs[s * 2] = off;
+        offs[s * 2 + 1] = size;
+        cursor = cursor + 4;
+    }
+    return count;
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 10) { return 0; }
+    if (memcmp(input, 0, "OBJ1", 0, 4) != 0) { return 1; }
+    var offs = alloc(8);
+    var regs = alloc(16);
+    var sections = parse_sections(input, n, offs);
+    if (sections < 1) { return 2; }
+    var decoded = 0;
+    for (var s = 0; s < sections; s = s + 1) {
+        var pos = offs[s * 2];
+        var end = pos + offs[s * 2 + 1];
+        if (end > n) { end = n; }
+        while (pos < end) {
+            if (pos >= n) { break; }
+            var next = decode_insn(input, pos, n, regs);
+            if (next < 0) { break; }
+            if (next <= pos) { break; }
+            pos = next;
+            decoded = decoded + 1;
+            if (decoded > 40) { return decoded; }
+        }
+    }
+    return decoded;
+}
+"""
+
+def _hdr(sections):
+    body = b"OBJ1\x00" + bytes([len(sections)])
+    cursor = 6 + 4 * len(sections)
+    table = b""
+    blobs = b""
+    for blob in sections:
+        table += bytes([cursor & 0xFF, cursor >> 8, len(blob) & 0xFF, len(blob) >> 8])
+        blobs += blob
+        cursor += len(blob)
+    return body + table + blobs
+
+
+SEEDS = [
+    _hdr([b"\x01\x23\x01\x45\xc3"]),
+    _hdr([b"\x66\x8b\x02\x00\xc3", b"\xcd\x10\xc3"]),
+    _hdr([b"\xf3\xcd\x40\x01\x11\xc3"]),
+]
+
+TOKENS = [b"OBJ1", b"\x66", b"\x67", b"\xf3", b"\x8b", b"\xcd", b"\x01", b"\xc3"]
+
+
+def build():
+    # seg prefix (0x67) + modrm high nibble 15: dst = 15 + 4 = 19 > 15.
+    seg_combo = _hdr([b"\x67\x01\xf0\xc3"])
+    # width prefix doubles the displacement scale: 0x66 0x8b disp16 weird.
+    wide_load = _hdr([b"\x66\x8b\xff\x7f\xc3"])
+    # rep prefix + int 0x80 divides by zero.
+    rep_int = _hdr([b"\xf3\xcd\x80\xc3"])
+    # plain load with big displacement reads past the file.
+    plain_load = _hdr([b"\x8b\xee\xc3"])
+    return Subject(
+        name="objdump",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "decode_insn", 29, "heap-buffer-overflow-read",
+                "segment prefix shifts the register index past the bank "
+                "(prefix + modrm path combination)",
+                seg_combo, difficulty="path-dependent",
+            ),
+            make_bug(
+                "decode_insn", 37, "heap-buffer-overflow-read",
+                "operand-width prefix scales the displacement past the file",
+                wide_load, difficulty="path-dependent",
+            ),
+            make_bug(
+                "decode_insn", 48, "division-by-zero",
+                "rep-prefixed interrupt 0x80 divides by (vec - 128)",
+                rep_int, difficulty="medium",
+            ),
+            make_bug(
+                "decode_insn", 41, "heap-buffer-overflow-read",
+                "plain load displacement unchecked against the file size",
+                plain_load, difficulty="shallow",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=160,
+        exec_instr_budget=30_000,
+        description="section parser + prefix-stateful instruction decoder",
+    )

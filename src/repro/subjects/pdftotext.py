@@ -1,0 +1,199 @@
+"""Subject ``pdftotext`` — a PDF text extractor lookalike.
+
+Scans indirect objects, string literals with escapes, dictionaries with
+nested depth, an xref table, and a font-encoding translator.  The paper's
+pdftotext is where culling shines brightest (cull 18 bugs vs pcguard 10);
+the census is correspondingly the suite's largest and most varied: shallow
+scanner defects, escape-state combinations, xref offset arithmetic, and
+font-flag interactions.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn parse_string_lit(input, pos, n, out) {
+    // (...) literal with backslash escapes and nested parens.
+    var depth = 1;
+    var outpos = 0;
+    var octal = 0;
+    while (pos < n) {
+        var c = input[pos];
+        pos = pos + 1;
+        if (c == 92) {
+            if (pos >= n) { break; }
+            var e = input[pos];
+            pos = pos + 1;
+            if (e >= '0') {
+                if (e <= '7') {
+                    octal = octal * 8 + (e - '0');
+                    out[octal] = 1;            // BUG: octal accumulates
+                    continue;
+                }
+            }
+            out[outpos] = e;
+            outpos = outpos + 1;
+            continue;
+        }
+        if (c == '(') { depth = depth + 1; }
+        if (c == ')') {
+            depth = depth - 1;
+            if (depth == 0) { return pos; }
+        }
+        outpos = outpos + 1;
+        if (outpos > 30) { outpos = 30; }
+    }
+    return 0 - 1;
+}
+
+fn parse_dict(input, pos, n, depth) {
+    // << /Name value ... >> with nesting
+    if (depth > 6) {
+        var probe = input[pos + 9000];          // BUG: depth-7 sentinel
+        return 0 - probe;
+    }
+    while (pos + 1 < n) {
+        var c = input[pos];
+        if (c == '<') {
+            if (input[pos + 1] == '<') {
+                pos = parse_dict(input, pos + 2, n, depth + 1);
+                if (pos < 0) { return 0 - 1; }
+                continue;
+            }
+        }
+        if (c == '>') {
+            if (input[pos + 1] == '>') { return pos + 2; }
+        }
+        pos = pos + 1;
+    }
+    return 0 - 1;
+}
+
+fn parse_xref(input, pos, n) {
+    // "xref" then pairs: offset generation
+    var entries = 0;
+    var total = 0;
+    while (pos + 4 <= n) {
+        var off = (input[pos] - '0') * 100 + (input[pos + 1] - '0') * 10
+                + (input[pos + 2] - '0');
+        if (off < 0) { break; }
+        var gen = input[pos + 3] - '0';
+        if (gen < 0) { break; }
+        if (gen > 6) {
+            total = total + input[off * gen];   // BUG: off*gen vs n
+        }
+        entries = entries + 1;
+        pos = pos + 4;
+        if (entries > 8) { break; }
+    }
+    return total + entries;
+}
+
+fn translate_font(flags, code, widths) {
+    // Two independent flag bits shift the width index; their combination
+    // lands past the table only when both are set (path-dependent).
+    var index = code & 31;
+    if (flags & 2) { index = index + 16; }
+    if (flags & 8) { index = index * 2; }
+    return widths[index];                       // BUG: both flags -> 94
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 9) { return 0; }
+    if (memcmp(input, 0, "%PDF-", 0, 5) != 0) { return 1; }
+    var out = alloc(32);
+    var widths = alloc(64);
+    var total = 0;
+    var pos = 5;
+    while (pos + 2 < n) {
+        var c = input[pos];
+        if (c == '(') {
+            var next = parse_string_lit(input, pos + 1, n, out);
+            if (next < 0) { break; }
+            pos = next;
+            continue;
+        }
+        if (c == '<') {
+            if (input[pos + 1] == '<') {
+                var after = parse_dict(input, pos + 2, n, 0);
+                if (after < 0) { break; }
+                pos = after;
+                continue;
+            }
+        }
+        if (c == 'x') {
+            if (pos + 4 <= n) {
+                if (memcmp(input, pos, "xref", 0, 4) == 0) {
+                    total = total + parse_xref(input, pos + 4, n);
+                    pos = pos + 4;
+                    continue;
+                }
+            }
+        }
+        if (c == '/') {
+            if (pos + 2 < n) {
+                if (input[pos + 1] == 'F') {
+                    var flags = input[pos + 2];
+                    total = total + translate_font(flags, input[pos + 2], widths);
+                    pos = pos + 3;
+                    continue;
+                }
+            }
+        }
+        pos = pos + 1;
+    }
+    return total;
+}
+"""
+
+SEEDS = [
+    b"%PDF-1.4 (hello \\n world) << /Type /Page >>",
+    b"%PDF-1.7 xref0011 0025 /Fa (text)",
+    b"%PDF-1.2 << /K << /V 3 >> >> (a\\101b)",
+]
+
+TOKENS = [b"%PDF-", b"xref", b"<<", b">>", b"(", b")", b"/F", b"\\"]
+
+
+def build():
+    # Repeated octal escapes accumulate: \7\7\7 -> octal 7, 63, 511.
+    octal = b"%PDF-1 (\\7\\7\\7\\7)"
+    # 8-deep dictionary nesting hits the depth sentinel probe.
+    deep_dict = b"%PDF-1 " + b"<<" * 9 + b">>" * 9
+    # xref entry with gen 9 and offset 900 reads input[8100].
+    xref = b"%PDF-1 xref9009"
+    # flags byte 0x1a has bits 2 and 8 set and code&31 = 26: (26+16)*2 = 84.
+    font = b"%PDF-1 /F\x1a"
+    return Subject(
+        name="pdftotext",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "parse_string_lit", 16, "heap-buffer-overflow-write",
+                "octal escape accumulator is used as an output index "
+                "(escape-sequence path accumulation)",
+                octal, difficulty="path-dependent",
+            ),
+            make_bug(
+                "parse_dict", 38, "heap-buffer-overflow-read",
+                "dictionary nesting deeper than 6 probes a wild offset",
+                deep_dict, difficulty="medium",
+            ),
+            make_bug(
+                "parse_xref", 69, "heap-buffer-overflow-read",
+                "xref offset times generation used as a raw file offset",
+                xref, difficulty="medium",
+            ),
+            make_bug(
+                "translate_font", 84, "heap-buffer-overflow-read",
+                "two independent font-flag shifts combine past the width "
+                "table (path-dependent flag combination)",
+                font, difficulty="path-dependent",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=160,
+        exec_instr_budget=30_000,
+        description="PDF object scanner: strings, dicts, xref, fonts",
+    )

@@ -1,0 +1,170 @@
+"""Subject ``tiffsplit`` — a TIFF IFD splitter lookalike.
+
+Reads the TIFF header (II/MM byte order), walks IFD entries, and extracts
+strips.  Defects: offset-driven OOB reads, a strip copy trusting the
+declared byte count, and a *path-dependent* byte-order confusion — the
+big-endian header path leaves a stride variable that only overflows when a
+long-type entry is decoded in the same activation.
+"""
+
+from repro.subjects.base import Subject, make_bug
+
+SOURCE = """\
+fn read_u16(input, off, be) {
+    if (be == 1) { return (input[off] << 8) + input[off + 1]; }
+    return input[off] + (input[off + 1] << 8);
+}
+
+fn read_u32(input, off, be) {
+    if (be == 1) {
+        return (read_u16(input, off, 1) << 16) + read_u16(input, off + 2, 1);
+    }
+    return read_u16(input, off, 0) + (read_u16(input, off + 2, 0) << 16);
+}
+
+fn handle_entry(input, off, n, be, strips) {
+    var tag = read_u16(input, off, be);
+    var kind = read_u16(input, off + 2, be);
+    var count = read_u32(input, off + 4, be);
+    var value = read_u32(input, off + 8, be);
+    // Path-dependent combination: the wide-stride branch (kind == 4,
+    // count > 2) plus the big-endian path yields stride 12 and a base
+    // past the strip table.
+    var stride = 1;
+    if (kind == 4) {
+        if (count > 2) { stride = 4; }
+    }
+    var base = 0;
+    if (be == 1) { base = count; }
+    if (tag == 0x0111) {
+        for (var s = 0; s < count; s = s + 1) {
+            strips[base + s * stride] = value + s;  // BUG: combo overflow
+            if (s > 6) { break; }
+        }
+        return 1;
+    }
+    if (tag == 0x0117) {
+        var total = 0;
+        for (var s = 0; s < count; s = s + 1) {
+            total = total + input[value + s];       // BUG: raw file offset
+            if (s > 14) { break; }
+        }
+        return total;
+    }
+    if (tag == 0x0100) {
+        var width = value;
+        if (width == 0) { return 0 - 1; }
+        return 65536 / (width - 3);
+    }
+    return 0;
+}
+
+fn copy_strip(input, n, src, count) {
+    var out = alloc(48);
+    copy(out, 0, input, src, count);                 // BUG: count vs 48
+    return out[0];
+}
+
+fn main(input) {
+    var n = len(input);
+    if (n < 10) { return 0; }
+    var be = 0 - 1;
+    if (input[0] == 'I') {
+        if (input[1] == 'I') { be = 0; }
+    }
+    if (input[0] == 'M') {
+        if (input[1] == 'M') { be = 1; }
+    }
+    if (be < 0) { return 1; }
+    if (read_u16(input, 2, be) != 42) { return 2; }
+    var ifd = read_u32(input, 4, be);
+    if (ifd + 2 > n) { return 3; }
+    var entries = read_u16(input, ifd, be);
+    if (entries > 16) { entries = 16; }
+    var strips = alloc(24);
+    var acc = 0;
+    var cursor = ifd + 2;
+    for (var e = 0; e < entries; e = e + 1) {
+        if (cursor + 12 > n) { break; }
+        acc = acc + handle_entry(input, cursor, n, be, strips);
+        cursor = cursor + 12;
+    }
+    if (acc > 900) {
+        acc = acc + copy_strip(input, n, 8, acc - 880);
+    }
+    return acc;
+}
+"""
+
+
+def _u16(v, be):
+    return bytes([(v >> 8) & 0xFF, v & 0xFF]) if be else bytes([v & 0xFF, (v >> 8) & 0xFF])
+
+
+def _u32(v, be):
+    if be:
+        return bytes([(v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF])
+    return bytes([v & 0xFF, (v >> 8) & 0xFF, (v >> 16) & 0xFF, (v >> 24) & 0xFF])
+
+
+def _tiff(be, entries, pad=b""):
+    order = b"MM" if be else b"II"
+    header = order + _u16(42, be) + _u32(8, be)
+    body = _u16(len(entries), be)
+    for tag, kind, count, value in entries:
+        body += _u16(tag, be) + _u16(kind, be) + _u32(count, be) + _u32(value, be)
+    return header + body + pad
+
+
+SEEDS = [
+    _tiff(False, [(0x0100, 3, 1, 300), (0x0111, 3, 2, 16)], b"\x00" * 16),
+    _tiff(True, [(0x0100, 3, 1, 400)], b"\x00" * 12),
+    _tiff(False, [(0x0117, 4, 2, 10)], b"\x00" * 24),
+]
+
+TOKENS = [b"II", b"MM", b"\x01\x11", b"\x01\x17", b"\x01\x00"]
+
+
+def build():
+    # Big-endian + kind 4 + count 5: base=5, stride=4 -> index up to 21 ok;
+    # count 7 -> base 7 + 6*4 = 31 > 24.
+    combo = _tiff(True, [(0x0111, 4, 7, 1)], b"\x00" * 8)
+    # Strip byte counts entry pointing far outside the file.
+    offset_read = _tiff(False, [(0x0117, 4, 3, 5000)], b"\x00" * 8)
+    # Width 3 -> resolution division by (width - 3).
+    width_three = _tiff(False, [(0x0100, 3, 1, 3)], b"\x00" * 8)
+    # Width 4 -> acc 65536 -> enormous strip copy into the 48-byte buffer.
+    huge_copy = _tiff(False, [(0x0100, 3, 1, 4)], b"\x00" * 8)
+    return Subject(
+        name="tiffsplit",
+        source=SOURCE,
+        seeds=SEEDS,
+        bugs=[
+            make_bug(
+                "handle_entry", 29, "heap-buffer-overflow-write",
+                "big-endian base plus wide long-type stride overflow the "
+                "strip table (path-dependent combination)",
+                combo, difficulty="path-dependent",
+            ),
+            make_bug(
+                "handle_entry", 37, "heap-buffer-overflow-read",
+                "strip byte counts read through a raw file offset",
+                offset_read, difficulty="shallow",
+            ),
+            make_bug(
+                "handle_entry", 45, "division-by-zero",
+                "resolution normalization divides by (width - 3)",
+                width_three, difficulty="medium",
+            ),
+            make_bug(
+                "copy_strip", 52, "heap-buffer-overflow-write",
+                "strip extraction copies an attacker-sized count into a "
+                "48-byte buffer",
+                huge_copy, difficulty="medium",
+            ),
+        ],
+        tokens=TOKENS,
+        max_input_len=192,
+        exec_instr_budget=25_000,
+        description="TIFF IFD walker with strip extraction",
+    )

@@ -1,0 +1,30 @@
+"""Crash triage: stack-hash clustering, ground-truth bugs, set reports."""
+
+from repro.triage.bugs import Bug, bugs_from_crashes, crashes_by_bug
+from repro.triage.report import (
+    format_venn,
+    intersect,
+    pairwise_cells,
+    subtract,
+    union_all,
+    venn_regions,
+)
+from repro.triage.pathreport import diff_profiles, explain_crash, profile_input
+from repro.triage.stacktrace import format_stack, stack_hash
+
+__all__ = [
+    "Bug",
+    "bugs_from_crashes",
+    "crashes_by_bug",
+    "stack_hash",
+    "format_stack",
+    "intersect",
+    "subtract",
+    "pairwise_cells",
+    "venn_regions",
+    "format_venn",
+    "union_all",
+    "profile_input",
+    "diff_profiles",
+    "explain_crash",
+]

@@ -1,0 +1,42 @@
+"""Ground-truth bug identity.
+
+Every crash carries its faulting ``(function, line, kind)`` triple.  For the
+synthetic subjects this is exactly the planted defect's root cause, so
+mapping crashes to *unique bugs* — which the paper did by manual analysis —
+is an oracle lookup here.  Subject modules publish a *bug census* (the
+planted defects with crashing witness inputs), letting tests verify that
+every census entry is a real, distinctly-identified defect.
+"""
+
+
+class Bug(object):
+    """One planted defect."""
+
+    __slots__ = ("bug_id", "description", "witness", "difficulty")
+
+    def __init__(self, bug_id, description, witness, difficulty="medium"):
+        self.bug_id = bug_id
+        self.description = description
+        self.witness = bytes(witness)
+        self.difficulty = difficulty
+
+    def __repr__(self):
+        return "Bug(%s:%d %s, %s)" % (
+            self.bug_id[0],
+            self.bug_id[1],
+            self.bug_id[2],
+            self.difficulty,
+        )
+
+
+def bugs_from_crashes(crash_records):
+    """The set of ground-truth bug ids hit by ``crash_records``."""
+    return {record.bug_id() for record in crash_records}
+
+
+def crashes_by_bug(crash_records):
+    """Group crash records (distinct stack hashes) by their bug id."""
+    grouped = {}
+    for record in crash_records:
+        grouped.setdefault(record.bug_id(), []).append(record)
+    return grouped

@@ -1,0 +1,106 @@
+"""Path-level crash explanation.
+
+One practical payoff of Ball-Larus profiles the paper highlights (Sec. VI)
+is triage support: path-aware fuzzers surface *alternative ways* to trigger
+the same bug, and decoded path profiles show developers exactly which
+intra-procedural routes an input exercised.  This module reconstructs, for
+any input, the acyclic paths each function traversed — decoded back to
+block sequences via :meth:`FunctionPathPlan.regenerate_blocks` — and diffs
+the profiles of two inputs (e.g. a crash's stepping stone against the
+nearest benign seed).
+
+Note the Ball-Larus semantics: a path id is emitted when the path
+*completes* (back edge or return), so a trap aborts the innermost frames'
+in-flight paths — diff a crashing input's non-crashing stepping stone to
+see the route that set the bug-triggering state.
+"""
+
+from repro.ballarus.plan import build_program_plans
+from repro.coverage.feedback import PathFeedback, _stable_hash
+from repro.runtime.interpreter import execute
+
+
+class PathProfile(object):
+    """Decoded per-function path profile of one execution."""
+
+    def __init__(self, entries, crashed, trap):
+        # entries: list of (function_name, path_id, hit_count, blocks)
+        self.entries = entries
+        self.crashed = crashed
+        self.trap = trap
+
+    def keys(self):
+        """(function, path_id) pairs traversed."""
+        return {(function, path_id) for function, path_id, _c, _b in self.entries}
+
+    def format(self, max_entries=40):
+        lines = []
+        for function, path_id, count, blocks in self.entries[:max_entries]:
+            lines.append(
+                "  %s path %d x%d: blocks %s"
+                % (function, path_id, count, blocks)
+            )
+        if len(self.entries) > max_entries:
+            lines.append("  ... %d more" % (len(self.entries) - max_entries))
+        return "\n".join(lines)
+
+
+def profile_input(program, data, instr_budget=200_000):
+    """Execute ``data`` and decode every traversed acyclic path.
+
+    Path-map indices are inverted through each function's ``fxor`` constant;
+    an index is attributed to a function when the candidate id is in range
+    (the same aliasing the fuzzer lives with — collisions are possible but
+    rare at 2^18 map entries).
+    """
+    instrumentation = PathFeedback().instrument(program)
+    plans = build_program_plans(program)
+    result = execute(program, data, instrumentation, instr_budget=instr_budget)
+    entries = []
+    claimed = set()
+    for plan in plans:
+        fxor = _stable_hash("func:" + plan.func_name) & instrumentation.map_mask
+        for idx, count in result.hits.items():
+            if idx in claimed:
+                continue
+            path_id = idx ^ fxor
+            if 0 <= path_id < plan.num_paths:
+                blocks = plan.regenerate_blocks(path_id)
+                entries.append((plan.func_name, path_id, count, blocks))
+                claimed.add(idx)
+    entries.sort()
+    return PathProfile(entries, result.crashed, result.trap)
+
+
+def diff_profiles(program, benign, crashing, instr_budget=200_000):
+    """Paths exercised by ``crashing`` but not by ``benign``.
+
+    Returns (crash_profile, novel) where ``novel`` lists the
+    (function, path_id, blocks) triples unique to the crashing input — the
+    "which route got us here" report a developer would triage with.
+    """
+    base = profile_input(program, benign, instr_budget)
+    crash = profile_input(program, crashing, instr_budget)
+    base_keys = base.keys()
+    novel = [
+        (function, path_id, blocks)
+        for function, path_id, _count, blocks in crash.entries
+        if (function, path_id) not in base_keys
+    ]
+    return crash, novel
+
+
+def explain_crash(program, benign, crashing, instr_budget=200_000):
+    """Human-readable triage report for a crashing input."""
+    crash, novel = diff_profiles(program, benign, crashing, instr_budget)
+    lines = []
+    if crash.trap is not None:
+        lines.append(crash.trap.report())
+    else:
+        lines.append("(input does not crash)")
+    lines.append("novel acyclic paths vs the benign input:")
+    if not novel:
+        lines.append("  (none — the difference is data-only)")
+    for function, path_id, blocks in novel:
+        lines.append("  %s path %d: blocks %s" % (function, path_id, blocks))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Set algebra over triaged results.
+
+The paper's Tables II, VI, VII, VIII and X report, per benchmark, each
+fuzzer's unique bugs/crashes plus pairwise *intersections* (common bugs) and
+*subtractions* (bugs one fuzzer finds and the other misses).  This module
+provides those aggregations over {config_name: set} maps, and the Venn-style
+region counts behind Figure 3.
+"""
+
+
+def intersect(results, a, b):
+    """|results[a] & results[b]|."""
+    return len(results[a] & results[b])
+
+
+def subtract(results, a, b):
+    """|results[a] - results[b]|."""
+    return len(results[a] - results[b])
+
+
+def pairwise_cells(results, pairs):
+    """For each (a, b) pair produce (a∩b, a\\b, b\\a) sizes in order."""
+    cells = []
+    for a, b in pairs:
+        cells.append(
+            (
+                intersect(results, a, b),
+                subtract(results, a, b),
+                subtract(results, b, a),
+            )
+        )
+    return cells
+
+
+def venn_regions(results, names):
+    """Exclusive-region sizes of the Venn diagram over ``names``.
+
+    Returns {frozenset(subset): count} mapping each non-empty subset of
+    ``names`` to the number of elements belonging to exactly that subset.
+    """
+    names = list(names)
+    universe = set()
+    for name in names:
+        universe |= results[name]
+    regions = {}
+    for element in universe:
+        membership = frozenset(n for n in names if element in results[n])
+        regions[membership] = regions.get(membership, 0) + 1
+    return regions
+
+
+def format_venn(regions, names):
+    """Render Venn regions as sorted, readable lines."""
+    lines = []
+    ordered = sorted(regions.items(), key=lambda kv: (-len(kv[0]), sorted(kv[0])))
+    for membership, count in ordered:
+        label = " & ".join(sorted(membership))
+        lines.append("  only {%s}: %d" % (label, count))
+    return "\n".join(lines)
+
+
+def union_all(results, names=None):
+    """Union of every named result set."""
+    names = list(results) if names is None else names
+    out = set()
+    for name in names:
+        out |= results[name]
+    return out

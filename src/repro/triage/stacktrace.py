@@ -1,0 +1,28 @@
+"""Stack-trace hashing for crash clustering.
+
+Following the paper (and common practice, Klees et al. CCS'18), crashes are
+clustered by a hash of the *top 5 frames* of the crash stack trace — the
+"unique crashes" metric.  The same module provides the coarser whole-stack
+hash and frame formatting used in reports.
+"""
+
+import hashlib
+
+TOP_FRAMES = 5
+
+
+def stack_hash(stack, depth=TOP_FRAMES):
+    """Hash the innermost ``depth`` frames of ``stack`` (list of Frame)."""
+    hasher = hashlib.sha256()
+    for frame in stack[:depth]:
+        hasher.update(frame.function.encode("utf-8"))
+        hasher.update(b":")
+        hasher.update(str(frame.line).encode("ascii"))
+        hasher.update(b"|")
+    return hasher.hexdigest()[:16]
+
+
+def format_stack(stack, depth=None):
+    """Human-readable one-line rendering: ``a:3 <- b:17 <- main:4``."""
+    frames = stack if depth is None else stack[:depth]
+    return " <- ".join("%s:%d" % (f.function, f.line) for f in frames)

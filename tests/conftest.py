@@ -1,0 +1,13 @@
+"""Test-suite configuration.
+
+Makes the repository root importable so helper modules under ``tests/``
+(e.g. :mod:`tests.genprog`) resolve regardless of how pytest is invoked
+(``pytest tests/`` vs ``python -m pytest``).
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

@@ -1,0 +1,69 @@
+"""Consistency tests for the builtin registry and diagnostics."""
+
+import pytest
+
+from repro.lang.builtins_spec import BUILTIN_CODES, BUILTIN_NAMES, BUILTINS
+from repro.lang.errors import LexError, MiniCError, ParseError, SemaError
+
+
+def test_builtin_codes_bijective():
+    assert len(BUILTIN_CODES) == len(BUILTINS)
+    assert sorted(BUILTIN_CODES.values()) == list(range(len(BUILTINS)))
+    for name, code in BUILTIN_CODES.items():
+        assert BUILTIN_NAMES[code] == name
+
+
+def test_builtin_arities_positive():
+    for name, arity in BUILTINS.items():
+        assert arity >= 1, name
+
+
+def test_vm_dispatch_covers_every_builtin():
+    from repro.runtime.interpreter import _BUILTIN_DISPATCH
+
+    assert set(_BUILTIN_DISPATCH) == set(BUILTIN_CODES.values())
+
+
+def test_error_hierarchy():
+    assert issubclass(LexError, MiniCError)
+    assert issubclass(ParseError, MiniCError)
+    assert issubclass(SemaError, MiniCError)
+
+
+def test_error_message_includes_line():
+    err = ParseError("boom", line=12)
+    assert "line 12" in str(err)
+    assert err.message == "boom"
+    assert err.line == 12
+
+
+def test_error_without_line():
+    err = LexError("plain")
+    assert str(err) == "plain"
+    assert err.line == 0
+
+
+def test_every_builtin_callable_from_minic():
+    """Each builtin compiles and executes with plausible arguments."""
+    from repro.lang import compile_source
+    from repro.runtime import execute
+
+    calls = {
+        "alloc": "len(alloc(3))",
+        "len": "len(input)",
+        "abs": "abs(0 - 4)",
+        "min": "min(2, 9)",
+        "max": "max(2, 9)",
+        "memcmp": 'memcmp(input, 0, "a", 0, 1)',
+        "copy": "copy(alloc(4), 0, input, 0, 1)",
+        "fill": "fill(alloc(4), 0, 2, 7)",
+        "read16": "read16(input, 0)",
+        "read32": "read32(input, 0)",
+        "read16le": "read16le(input, 0)",
+        "read32le": "read32le(input, 0)",
+    }
+    assert set(calls) == set(BUILTINS) - {"trap"}
+    for name, expr in calls.items():
+        program = compile_source("fn main(input) { return %s; }" % expr)
+        result = execute(program, b"abcdef")
+        assert not result.crashed, name

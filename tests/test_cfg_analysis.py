@@ -1,0 +1,152 @@
+"""CFG analysis tests: DFS orders, dominators, back edges, loops."""
+
+from hypothesis import given, settings
+
+from repro.cfg.analysis import (
+    back_edges,
+    depth_first_order,
+    dominates,
+    dominators,
+    loop_depths,
+    natural_loops,
+    reverse_postorder,
+)
+from repro.lang import compile_source
+from tests.genprog import programs
+
+NESTED = """
+fn main(input) {
+    var t = 0;
+    for (var i = 0; i < 4; i = i + 1) {
+        for (var j = 0; j < 4; j = j + 1) {
+            t = t + 1;
+        }
+    }
+    while (t > 10) { t = t - 3; }
+    return t;
+}
+"""
+
+
+def main_cfg(source):
+    return compile_source(source).func("main")
+
+
+def test_preorder_starts_at_entry():
+    cfg = main_cfg(NESTED)
+    preorder, postorder = depth_first_order(cfg)
+    assert preorder[0] == 0
+    assert set(preorder) == set(postorder) == {b.id for b in cfg.blocks}
+
+
+def test_rpo_is_topological_on_acyclic():
+    cfg = main_cfg("fn main(input) { if (input) { return 1; } return 2; }")
+    rpo = reverse_postorder(cfg)
+    position = {b: i for i, b in enumerate(rpo)}
+    for src, dst in cfg.edges():
+        assert position[src] < position[dst]
+
+
+def test_entry_dominates_everything():
+    cfg = main_cfg(NESTED)
+    idom = dominators(cfg)
+    for block in cfg.blocks:
+        assert dominates(idom, 0, block.id)
+
+
+def test_dominators_brute_force_agreement():
+    cfg = main_cfg(NESTED)
+    idom = dominators(cfg)
+    blocks = [b.id for b in cfg.blocks]
+    dom_sets = _brute_force_dominators(cfg)
+    for a in blocks:
+        for b in blocks:
+            assert dominates(idom, a, b) == (a in dom_sets[b]), (a, b)
+
+
+def _brute_force_dominators(cfg):
+    """Dominator sets via the classic iterative data-flow formulation."""
+    blocks = [b.id for b in cfg.blocks]
+    preds = cfg.predecessors()
+    full = set(blocks)
+    dom = {b: (full if b != 0 else {0}) for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks:
+            if b == 0:
+                continue
+            incoming = [dom[p] for p in preds[b]]
+            new = set.intersection(*incoming) | {b} if incoming else {b}
+            if new != dom[b]:
+                dom[b] = new
+                changed = True
+    return dom
+
+
+def test_nested_loops_found():
+    cfg = main_cfg(NESTED)
+    loops = natural_loops(cfg)
+    assert len(loops) == 3  # two fors + one while
+
+
+def test_loop_depths_nesting():
+    cfg = main_cfg(NESTED)
+    depths = loop_depths(cfg)
+    assert max(depths.values()) == 2  # the inner for
+
+
+def test_back_edges_target_loop_headers():
+    cfg = main_cfg(NESTED)
+    idom = dominators(cfg)
+    for src, dst in back_edges(cfg):
+        assert dominates(idom, dst, src)
+
+
+def test_straight_line_has_no_back_edges():
+    cfg = main_cfg("fn main(input) { return len(input); }")
+    assert back_edges(cfg) == set()
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_removing_back_edges_yields_dag_property(source):
+    program = compile_source(source)
+    for cfg in program.funcs:
+        backs = back_edges(cfg)
+        # Kahn's algorithm over the remaining edges must consume all blocks.
+        indeg = {b.id: 0 for b in cfg.blocks}
+        succs = {b.id: [] for b in cfg.blocks}
+        for src, dst in cfg.edges():
+            if (src, dst) in backs:
+                continue
+            succs[src].append(dst)
+            indeg[dst] += 1
+        ready = [b for b, d in indeg.items() if d == 0]
+        seen = 0
+        while ready:
+            node = ready.pop()
+            seen += 1
+            for succ in succs[node]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        assert seen == len(cfg.blocks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_dominator_property_on_random_programs(source):
+    program = compile_source(source)
+    for cfg in program.funcs:
+        idom = dominators(cfg)
+        preds = cfg.predecessors()
+        # idom of every non-entry block strictly dominates it and is a
+        # dominator of all its predecessors' dominator chains.
+        for block in cfg.blocks:
+            if block.id == 0:
+                continue
+            assert block.id in idom
+            assert dominates(idom, idom[block.id], block.id)
+            for pred in preds[block.id]:
+                assert dominates(idom, idom[block.id], pred)

@@ -1,0 +1,44 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_subjects(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cflow", "pdftotext", "motivating"):
+        assert name in out
+
+
+def test_show_prints_census(capsys):
+    assert main(["show", "gdk"]) == 0
+    out = capsys.readouterr().out
+    assert "bug census" in out
+    assert "scale_row" in out
+    assert "functions" in out
+
+
+def test_fuzz_runs_short_campaign(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert main(["fuzz", "flvmeta", "--config", "pcguard",
+                 "--hours", "0.5", "--scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "executions:" in out
+    assert "queue:" in out
+
+
+def test_unknown_subject_rejected():
+    with pytest.raises(SystemExit):
+        main(["show", "nonexistent"])
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "gdk", "--config", "nope"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

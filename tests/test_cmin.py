@@ -1,0 +1,73 @@
+"""Corpus-minimization (afl-cmin analogue) tests."""
+
+import random
+
+from repro.coverage.feedback import PathFeedback
+from repro.fuzzer.cmin import coverage_of, minimize_corpus
+from repro.fuzzer.engine import EngineConfig, FuzzEngine
+from repro.strategies.culling import edge_preserving_subset
+from repro.subjects import get_subject
+
+
+def grown_corpus(subject_name, budget=400_000, seed=0):
+    subject = get_subject(subject_name)
+    engine = FuzzEngine(
+        subject.program, PathFeedback(), subject.seeds, random.Random(seed),
+        EngineConfig(max_input_len=subject.max_input_len,
+                     exec_instr_budget=subject.exec_instr_budget),
+        subject.tokens,
+    )
+    engine.run(budget)
+    return subject, engine.corpus_inputs()
+
+
+def test_minimization_preserves_coverage():
+    subject, inputs = grown_corpus("gdk")
+    minimized = minimize_corpus(subject.program, inputs)
+    assert coverage_of(subject.program, minimized) == coverage_of(
+        subject.program, inputs
+    )
+    assert len(minimized) <= len(inputs)
+
+
+def test_minimization_collapses_duplicates():
+    subject = get_subject("flvmeta")
+    inputs = [subject.seeds[0]] * 8 + [subject.seeds[1]]
+    minimized = minimize_corpus(subject.program, inputs)
+    assert len(minimized) <= 2
+
+
+def test_minimization_prefers_small_inputs():
+    subject = get_subject("flvmeta")
+    # A long and a short input with identical behaviour: keep the short one.
+    short = subject.seeds[0]
+    long = subject.seeds[0] + b"\x00" * 40
+    cov_short = coverage_of(subject.program, [short])
+    cov_long = coverage_of(subject.program, [long])
+    if cov_short == cov_long:
+        minimized = minimize_corpus(subject.program, [long, short])
+        assert minimized == [short]
+
+
+def test_minimization_under_path_feedback():
+    subject, inputs = grown_corpus("cflow")
+    minimized = minimize_corpus(subject.program, inputs, feedback=PathFeedback())
+    assert coverage_of(subject.program, minimized, feedback=PathFeedback()) == (
+        coverage_of(subject.program, inputs, feedback=PathFeedback())
+    )
+
+
+def test_equivalent_to_favored_construction():
+    """The paper's claim: favored-corpus culling ~ afl-cmin in coverage."""
+    subject, inputs = grown_corpus("mujs")
+    via_cmin = minimize_corpus(subject.program, inputs)
+    via_favored = edge_preserving_subset(subject.program, inputs)
+    assert coverage_of(subject.program, via_cmin) == coverage_of(
+        subject.program, via_favored
+    )
+
+
+def test_empty_corpus():
+    subject = get_subject("flvmeta")
+    assert minimize_corpus(subject.program, []) == []
+    assert coverage_of(subject.program, []) == set()

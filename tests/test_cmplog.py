@@ -1,0 +1,71 @@
+"""Input-to-state (cmplog) substitution tests."""
+
+from repro.fuzzer.cmplog import candidates_from_log
+
+
+def test_byte_pair_substitution():
+    data = b"WXYZtail"
+    candidates = candidates_from_log(data, [(b"WXYZ", b"MAGI")])
+    assert b"MAGItail" in candidates
+
+
+def test_byte_pair_substitution_both_directions():
+    data = b"..MAGI.."
+    candidates = candidates_from_log(data, [(b"OBSV", b"MAGI")])
+    assert b"..OBSV.." in candidates
+
+
+def test_integer_pair_width1():
+    data = bytes([3, 9, 3])
+    candidates = candidates_from_log(data, [(3, 7)])
+    assert bytes([7, 9, 3]) in candidates
+    assert bytes([3, 9, 7]) in candidates
+
+
+def test_integer_pair_width2_both_endians():
+    data = b"\x01\x02...."
+    candidates = candidates_from_log(data, [(0x0102, 0x0A0B)])
+    assert b"\x0a\x0b...." in candidates
+    data_le = b"\x02\x01...."
+    candidates_le = candidates_from_log(data_le, [(0x0102, 0x0A0B)])
+    assert b"\x0b\x0a...." in candidates_le
+
+
+def test_no_occurrence_no_candidates():
+    assert candidates_from_log(b"zzzz", [(b"AAAA", b"BBBB")]) == []
+
+
+def test_equal_integer_pair_skipped():
+    assert candidates_from_log(b"\x05\x05", [(5, 5)]) == []
+
+
+def test_mismatched_length_byte_pairs_skipped():
+    assert candidates_from_log(b"abc", [(b"ab", b"xyz")]) == []
+
+
+def test_candidates_deduplicated():
+    data = b"\x07"
+    candidates = candidates_from_log(data, [(7, 9), (7, 9)])
+    assert len(candidates) == len(set(candidates))
+
+
+def test_cap_respected():
+    data = bytes(range(64))
+    log = [(i, i + 100) for i in range(64)]
+    candidates = candidates_from_log(data, log, max_candidates=10)
+    assert len(candidates) <= 10
+
+
+def test_end_to_end_solves_magic():
+    """The classic cmplog win: a 4-byte magic solved in one stage."""
+    from repro.lang import compile_source
+    from repro.runtime import execute
+
+    program = compile_source(
+        'fn main(input) { if (len(input) < 4) { return 0; }'
+        ' if (memcmp(input, 0, "FUZZ", 0, 4) == 0) { return 1; } return 0; }'
+    )
+    seed = b"AAAA"
+    logged = execute(program, seed, cmplog=True)
+    candidates = candidates_from_log(seed, logged.cmp_log)
+    assert any(execute(program, c).retval == 1 for c in candidates)

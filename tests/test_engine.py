@@ -1,0 +1,146 @@
+"""Fuzzing-engine tests: determinism, novelty, crashes, accounting."""
+
+import random
+
+from repro.coverage.feedback import EdgeFeedback, PathFeedback
+from repro.fuzzer.engine import EngineConfig, FuzzEngine, afl_engine_config
+from repro.lang import compile_source
+
+TARGET = """
+fn main(input) {
+    var n = len(input);
+    if (n < 2) { return 0; }
+    if (input[0] == 'A') {
+        if (input[1] == 'B') {
+            var buf = alloc(4);
+            buf[n] = 1;
+            return 1;
+        }
+        return 2;
+    }
+    var t = 0;
+    for (var i = 0; i < n; i = i + 1) { t = t + input[i]; }
+    return t;
+}
+"""
+
+SEEDS = [b"hello", b"zz"]
+
+
+def engine(feedback=None, seed=0, config=None, target=TARGET, seeds=SEEDS):
+    program = compile_source(target)
+    return FuzzEngine(
+        program,
+        feedback or EdgeFeedback(),
+        seeds,
+        random.Random(seed),
+        config or EngineConfig(max_input_len=32, exec_instr_budget=10_000),
+    )
+
+
+def test_seeds_enter_queue():
+    eng = engine().run(5_000)
+    assert len(eng.queue.entries) >= 2
+    assert {e.data for e in eng.queue.entries} >= set(SEEDS)
+
+
+def test_execs_and_clock_advance():
+    eng = engine().run(100_000)
+    assert eng.execs > 10
+    assert eng.clock.ticks >= 100_000
+
+
+def test_determinism_same_seed():
+    a = engine(seed=3).run(150_000)
+    b = engine(seed=3).run(150_000)
+    assert a.execs == b.execs
+    assert [e.data for e in a.queue.entries] == [e.data for e in b.queue.entries]
+    assert a.crash_count == b.crash_count
+
+
+def test_different_seeds_diverge():
+    a = engine(seed=1).run(150_000)
+    b = engine(seed=2).run(150_000)
+    assert [e.data for e in a.queue.entries] != [e.data for e in b.queue.entries]
+
+
+def test_crash_found_and_deduplicated():
+    eng = engine(seed=0).run(2_000_000)
+    assert eng.crash_count >= 1
+    bugs = {r.bug_id() for r in eng.unique_crashes.values()}
+    assert ("main", 8, "heap-buffer-overflow-write") in bugs
+    # many crashing inputs, one stack bucket
+    assert len(eng.unique_crashes) <= 2
+
+
+def test_crashing_inputs_not_queued():
+    eng = engine(seed=0).run(2_000_000)
+    crashing_prefix = b"AB"
+    for entry in eng.queue.entries:
+        assert not (entry.data[:2] == crashing_prefix and len(entry.data) > 4) or True
+    # stronger: re-run every queue entry; none crashes
+    from repro.runtime import execute
+
+    for entry in eng.queue.entries:
+        assert not execute(eng.program, entry.data, instr_budget=10_000).crashed
+
+
+def test_crashing_seed_recorded_not_queued():
+    eng = engine(seeds=[b"ABxxxx", b"ok"], seed=0)
+    eng.run(10_000)
+    assert eng.crash_count >= 1
+    assert all(e.data != b"ABxxxx" for e in eng.queue.entries)
+
+
+def test_timeline_sampled():
+    eng = engine().run(300_000)
+    assert eng.timeline
+    ticks = [sample[0] for sample in eng.timeline]
+    assert ticks == sorted(ticks)
+
+
+def test_novelty_gate_queue_growth():
+    eng = engine().run(400_000)
+    # every queued entry contributed novelty: traces must not be identical
+    traces = [e.trace for e in eng.queue.entries]
+    assert len(set(traces)) > 1
+
+
+def test_afl_config_disables_cmplog():
+    config = afl_engine_config(max_input_len=32, exec_instr_budget=10_000)
+    assert config.use_cmplog is False
+    assert config.legacy_havoc is True
+    eng = engine(config=config).run(100_000)
+    assert eng.execs > 0
+
+
+def test_hang_accounting():
+    target = """
+    fn main(input) {
+        if (len(input) > 3) {
+            if (input[0] == 'L') { while (1) { } }
+        }
+        return 0;
+    }
+    """
+    eng = engine(target=target, seeds=[b"LOOPxx", b"ok"], seed=0,
+                 config=EngineConfig(max_input_len=16, exec_instr_budget=2_000))
+    eng.run(100_000)
+    assert eng.hangs >= 1
+
+
+def test_path_feedback_swaps_in_cleanly():
+    eng = engine(feedback=PathFeedback()).run(150_000)
+    assert eng.execs > 10
+    assert eng.virgin.coverage_count() > 0
+
+
+def test_throughput_positive():
+    eng = engine().run(100_000)
+    assert eng.throughput() > 0
+
+
+def test_corpus_inputs_round_trip():
+    eng = engine().run(50_000)
+    inputs = eng.corpus_inputs()
+    assert inputs == [e.data for e in eng.queue.entries]

@@ -1,0 +1,65 @@
+"""Property-based invariants of the fuzzing engine over random programs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.bitmap import classify_hits
+from repro.coverage.feedback import EdgeFeedback, PathFeedback
+from repro.fuzzer.engine import EngineConfig, FuzzEngine
+from repro.lang import compile_source
+from repro.runtime import execute
+from tests.genprog import programs
+
+CONFIG = EngineConfig(max_input_len=24, exec_instr_budget=50_000)
+
+
+def short_campaign(source, feedback, seed):
+    program = compile_source(source)
+    engine = FuzzEngine(
+        program, feedback, [b"seed-one", b"\x00\x01\x02"], random.Random(seed), CONFIG
+    )
+    engine.run(60_000)
+    return program, engine
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.integers(0, 100))
+def test_queue_entries_never_crash(source, seed):
+    program, engine = short_campaign(source, EdgeFeedback(), seed)
+    for entry in engine.queue.entries:
+        result = execute(program, entry.data, instr_budget=50_000)
+        assert not result.crashed
+        assert not result.timeout
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.integers(0, 100))
+def test_virgin_map_covers_every_queue_trace(source, seed):
+    _program, engine = short_campaign(source, PathFeedback(), seed)
+    for entry in engine.queue.entries:
+        assert engine.virgin.probe(entry.classified) == (False, False)
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs(), st.integers(0, 100))
+def test_queue_traces_match_reexecution(source, seed):
+    """A queue entry's stored classified trace is reproducible."""
+    program, engine = short_campaign(source, EdgeFeedback(), seed)
+    instrumentation = engine.instrumentation
+    for entry in engine.queue.entries[:10]:
+        result = execute(
+            program, entry.data, instrumentation, instr_budget=50_000
+        )
+        assert classify_hits(result.hits) == entry.classified
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs())
+def test_engine_deterministic_across_reruns(source):
+    _p1, a = short_campaign(source, PathFeedback(), 7)
+    _p2, b = short_campaign(source, PathFeedback(), 7)
+    assert a.execs == b.execs
+    assert [e.data for e in a.queue.entries] == [e.data for e in b.queue.entries]
+    assert a.virgin.bits == b.virgin.bits

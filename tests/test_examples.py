@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion and prints results."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+
+def run_example(name, timeout=120):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "compiled:" in proc.stdout
+    assert "crashes:" in proc.stdout
+
+
+def test_motivating_example():
+    proc = run_example("motivating_example.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "acyclic paths: 5" in proc.stdout
+    assert "0 new edges" in proc.stdout
+    assert "new PATH ids" in proc.stdout
+
+
+def test_custom_target():
+    proc = run_example("custom_target.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "path (Ball-Larus)" in proc.stdout
+
+
+@pytest.mark.slow
+def test_culling_campaign():
+    proc = run_example("culling_campaign.py", timeout=240)
+    assert proc.returncode == 0, proc.stderr
+    assert "queue explosion" in proc.stdout
+
+
+def test_triage_report():
+    proc = run_example("triage_report.py", timeout=180)
+    assert proc.returncode == 0, proc.stderr
+    assert "path profile of a benign seed" in proc.stdout
+    assert "crash explanation" in proc.stdout
+
+
+def test_corpus_minimization():
+    proc = run_example("corpus_minimization.py", timeout=180)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.count("coverage preserved") == 2

@@ -1,0 +1,200 @@
+"""Coverage-feedback instrumentation tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.feedback import (
+    BlockFeedback,
+    EdgeFeedback,
+    NGramFeedback,
+    PathAFLFeedback,
+    PathFeedback,
+    feedback_by_name,
+)
+from repro.lang import compile_source
+from repro.runtime import execute
+from tests.genprog import programs
+
+SAMPLE = """
+fn score(x) {
+    var s = 0;
+    if (x > 10) { s = 2; } else { s = 1; }
+    if (x % 2 == 0) { s = s * 3; }
+    return s;
+}
+fn main(input) {
+    var total = 0;
+    for (var i = 0; i < len(input); i = i + 1) {
+        total = total + score(input[i]);
+    }
+    return total;
+}
+"""
+
+
+def compiled():
+    return compile_source(SAMPLE)
+
+
+def test_edge_feedback_assigns_unique_indices():
+    program = compiled()
+    instr = EdgeFeedback().instrument(program)
+    seen = set()
+    for table in instr.edge_actions:
+        for acts in table.values():
+            for act in acts:
+                assert act[1] not in seen
+                seen.add(act[1])
+
+
+def test_edge_hits_match_traversals():
+    program = compiled()
+    instr = EdgeFeedback().instrument(program)
+    result = execute(program, bytes([4]), instr)
+    # one loop iteration: every hit count positive, entry probes counted
+    assert result.hits
+    assert all(count >= 1 for count in result.hits.values())
+
+
+def test_path_feedback_emits_one_id_per_activation():
+    program = compiled()
+    instr = PathFeedback().instrument(program)
+    # Two calls of score with identical behaviour: the score path id is hit
+    # twice; main's single path once; loop back edges emit per iteration.
+    result = execute(program, bytes([4, 4]), instr)
+    assert 2 in result.hits.values()
+
+
+def test_path_feedback_distinguishes_intra_procedural_paths():
+    # score(12): x>10 and even -> path A; score(4): !(x>10) and even -> B;
+    # both traverse the same *edges* of main's loop, different score paths.
+    program = compiled()
+    instr = PathFeedback().instrument(program)
+    a = frozenset(execute(program, bytes([12]), instr).hits)
+    b = frozenset(execute(program, bytes([4]), instr).hits)
+    assert a != b
+
+
+def test_optimized_and_canonical_path_hits_identical():
+    program = compiled()
+    fast = feedback_by_name("path").instrument(program)
+    slow = feedback_by_name("path-canonical").instrument(program)
+    for data in (b"", b"\x04", b"\x0c\x04\xff", bytes(range(32))):
+        assert execute(program, data, fast).hits == execute(program, data, slow).hits
+
+
+def test_canonical_has_at_least_as_many_probe_sites():
+    program = compiled()
+    fast = feedback_by_name("path").instrument(program)
+    slow = feedback_by_name("path-canonical").instrument(program)
+    assert fast.probe_sites <= slow.probe_sites
+
+
+def test_path_probe_sites_fewer_than_edge_sites():
+    program = compiled()
+    edge = EdgeFeedback().instrument(program)
+    path = PathFeedback().instrument(program)
+    assert path.probe_sites < edge.probe_sites
+
+
+def test_block_feedback_weaker_than_edge():
+    # Block coverage cannot distinguish which edge entered a join block.
+    source = """
+    fn main(input) {
+        var x = 0;
+        if (len(input) > 2) { x = 1; } else { x = 2; }
+        if (x > 0) { x = x + 1; }
+        return x;
+    }
+    """
+    program = compile_source(source)
+    block = BlockFeedback().instrument(program)
+    edge = EdgeFeedback().instrument(program)
+    b_long = frozenset(execute(program, b"abcd", block).hits)
+    b_short = frozenset(execute(program, b"a", block).hits)
+    e_long = frozenset(execute(program, b"abcd", edge).hits)
+    e_short = frozenset(execute(program, b"a", edge).hits)
+    assert e_long != e_short
+    assert b_long != b_short  # here blocks differ too (different arms)
+    assert len(b_long) <= len(e_long)
+
+
+def test_ngram_window_bounded():
+    program = compiled()
+    instr = NGramFeedback(2).instrument(program)
+    result = execute(program, bytes([1, 2, 3]), instr)
+    assert result.hits
+    assert instr.ngram_n == 2
+
+
+def test_ngram1_close_to_edge_granularity():
+    program = compiled()
+    one = NGramFeedback(1).instrument(program)
+    r1 = execute(program, bytes([4, 12]), one)
+    edge = EdgeFeedback().instrument(program)
+    r2 = execute(program, bytes([4, 12]), edge)
+    # 1-gram tracks single edges; distinct-index counts should be close
+    # (entry probes differ).
+    assert abs(len(r1.hits) - len(r2.hits)) <= 4
+
+
+def test_pathafl_includes_edge_coverage_plus_hpath():
+    program = compiled()
+    instr = PathAFLFeedback(min_blocks=1).instrument(program)
+    edge = EdgeFeedback().instrument(program)
+    r_pa = execute(program, bytes([4]), instr)
+    r_e = execute(program, bytes([4]), edge)
+    assert len(r_pa.hits) > len(r_e.hits)  # h-path entries on top of edges
+
+
+def test_pathafl_prunes_small_functions():
+    program = compiled()
+    instr = PathAFLFeedback(min_blocks=100).instrument(program)
+    # No function qualifies: entry actions only carry the edge-coverage hit.
+    for acts in instr.entry_actions:
+        assert all(act[0] == 0 for act in acts)
+
+
+def test_feedback_by_name_rejects_unknown():
+    import pytest
+
+    with pytest.raises(ValueError):
+        feedback_by_name("quantum")
+
+
+def test_feedback_by_name_variants():
+    assert feedback_by_name("edge").name == "edge"
+    assert feedback_by_name("ngram6").n == 6
+    assert feedback_by_name("path-canonical").optimize is False
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs(), st.binary(max_size=24))
+def test_path_differential_property(source, data):
+    """Optimized spanning-tree placement == canonical placement, always."""
+    program = compile_source(source)
+    fast = PathFeedback().instrument(program)
+    slow = PathFeedback(optimize=False).instrument(program)
+    r_fast = execute(program, data, fast, instr_budget=100_000)
+    r_slow = execute(program, data, slow, instr_budget=100_000)
+    assert r_fast.hits == r_slow.hits
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs(), st.binary(max_size=24))
+def test_path_ids_always_valid_property(source, data):
+    """Every emitted path id decodes to a real acyclic path."""
+    from repro.ballarus import build_program_plans
+    from repro.coverage.feedback import _stable_hash
+
+    program = compile_source(source)
+    plans = build_program_plans(program)
+    instr = PathFeedback().instrument(program)
+    result = execute(program, data, instr, instr_budget=100_000)
+    # Reverse the (path_id ^ fxor) indexing per function and check ranges.
+    for plan in plans:
+        fxor = _stable_hash("func:" + plan.func_name) & instr.map_mask
+        for idx in result.hits:
+            candidate = idx ^ fxor
+            if 0 <= candidate < plan.num_paths:
+                plan.regenerate(candidate)  # must not raise

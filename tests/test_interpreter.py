@@ -1,0 +1,253 @@
+"""VM semantics tests: arithmetic, memory, traps, builtins, limits."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.runtime import execute
+from repro.runtime.traps import (
+    ASSERT_FAIL,
+    BAD_ALLOC,
+    DIV_BY_ZERO,
+    OOB_READ,
+    OOB_WRITE,
+    READONLY_WRITE,
+    SHIFT_RANGE,
+    STACK_OVERFLOW,
+)
+
+
+def run_expr(expr, data=b""):
+    program = compile_source("fn main(input) { return %s; }" % expr)
+    return execute(program, data)
+
+
+def run_body(body, data=b"", **kwargs):
+    program = compile_source("fn main(input) { %s }" % body)
+    return execute(program, data, **kwargs)
+
+
+# -- arithmetic --------------------------------------------------------------
+
+
+def test_basic_arithmetic():
+    assert run_expr("2 + 3 * 4 - 1").retval == 13
+
+
+def test_c_style_truncating_division():
+    assert run_expr("7 / 2").retval == 3
+    assert run_expr("(0 - 7) / 2").retval == -3
+    assert run_expr("7 / (0 - 2)").retval == -3
+
+
+def test_c_style_modulo_sign():
+    assert run_expr("7 % 3").retval == 1
+    assert run_expr("(0 - 7) % 3").retval == -1
+    assert run_expr("7 % (0 - 3)").retval == 1
+
+
+def test_signed_64bit_wraparound():
+    assert run_expr("9223372036854775807 + 1").retval == -9223372036854775808
+    assert run_expr("(0 - 9223372036854775807 - 1) - 1").retval == 9223372036854775807
+
+
+def test_comparisons_produce_zero_one():
+    assert run_expr("3 < 4").retval == 1
+    assert run_expr("4 <= 3").retval == 0
+    assert run_expr("5 == 5").retval == 1
+    assert run_expr("5 != 5").retval == 0
+
+
+def test_bitwise_operators():
+    assert run_expr("12 & 10").retval == 8
+    assert run_expr("12 | 3").retval == 15
+    assert run_expr("12 ^ 10").retval == 6
+    assert run_expr("1 << 4").retval == 16
+    assert run_expr("256 >> 3").retval == 32
+
+
+def test_unary_operators():
+    assert run_expr("-(5)").retval == -5
+    assert run_expr("!0").retval == 1
+    assert run_expr("!7").retval == 0
+    assert run_expr("~0").retval == -1
+
+
+# -- traps ---------------------------------------------------------------------
+
+
+def test_division_by_zero_traps_with_line():
+    result = run_body("var d = len(input); return 9 / d;")
+    assert result.trap.kind == DIV_BY_ZERO
+    assert result.trap.function == "main"
+    assert result.trap.line == 1
+
+
+def test_modulo_by_zero_traps():
+    assert run_body("var d = len(input); return 9 % d;").trap.kind == DIV_BY_ZERO
+
+
+def test_shift_out_of_range_traps():
+    assert run_body("var s = 70; return 1 << s;").trap.kind == SHIFT_RANGE
+    assert run_body("var s = 0 - 1; return 1 >> s;").trap.kind == SHIFT_RANGE
+
+
+def test_oob_read_and_write():
+    read = run_body("var a = alloc(4); return a[9];")
+    assert read.trap.kind == OOB_READ
+    write = run_body("var a = alloc(4); a[4] = 1; return 0;")
+    assert write.trap.kind == OOB_WRITE
+
+
+def test_negative_index_traps():
+    result = run_body("var a = alloc(4); return a[0 - 1];")
+    assert result.trap.kind == OOB_READ
+
+
+def test_readonly_string_write_traps():
+    result = run_body('var s = "abc"; s[0] = 65; return 0;')
+    assert result.trap.kind == READONLY_WRITE
+
+
+def test_bad_alloc_traps():
+    assert run_body("var a = alloc(0 - 5); return 0;").trap.kind == BAD_ALLOC
+    assert run_body("var a = alloc(99999999); return 0;").trap.kind == BAD_ALLOC
+
+
+def test_trap_builtin_aborts():
+    result = run_body("trap(42); return 0;")
+    assert result.trap.kind == ASSERT_FAIL
+    assert "42" in result.trap.detail
+
+
+def test_stack_overflow_on_unbounded_recursion():
+    program = compile_source(
+        "fn rec(n) { return rec(n + 1); } fn main(input) { return rec(0); }"
+    )
+    result = execute(program, b"")
+    assert result.trap.kind == STACK_OVERFLOW
+
+
+def test_stack_trace_is_innermost_first():
+    program = compile_source(
+        "fn inner(a) { return a[5]; }\n"
+        "fn outer(a) { return inner(a); }\n"
+        "fn main(input) { var a = alloc(2); return outer(a); }"
+    )
+    trap = execute(program, b"").trap
+    names = [frame.function for frame in trap.stack]
+    assert names == ["inner", "outer", "main"]
+
+
+def test_timeout_on_infinite_loop():
+    result = run_body("while (1) { } return 0;", instr_budget=5_000)
+    assert result.timeout
+    assert not result.crashed
+
+
+# -- builtins ------------------------------------------------------------------
+
+
+def test_len_and_alloc():
+    assert run_body("var a = alloc(7); return len(a);").retval == 7
+    assert run_body("return len(input);", b"abcd").retval == 4
+
+
+def test_alloc_zeroed():
+    assert run_body("var a = alloc(3); return a[0] + a[1] + a[2];").retval == 0
+
+
+def test_abs_min_max():
+    assert run_expr("abs(0 - 9)").retval == 9
+    assert run_expr("min(3, 8)").retval == 3
+    assert run_expr("max(3, 8)").retval == 8
+
+
+def test_memcmp_equal_and_unequal():
+    assert run_body('return memcmp(input, 0, "abc", 0, 3);', b"abcX").retval == 0
+    assert run_body('return memcmp(input, 0, "abc", 0, 3);', b"abX").retval == 1
+
+
+def test_memcmp_bounds_checked():
+    result = run_body('return memcmp(input, 0, "abc", 0, 3);', b"ab")
+    assert result.trap.kind == OOB_READ
+
+
+def test_copy_moves_bytes():
+    result = run_body(
+        "var a = alloc(4); copy(a, 0, input, 1, 3); return a[0] + a[2];", b"\x01\x02\x03\x04"
+    )
+    assert result.retval == 2 + 4
+
+
+def test_copy_bounds_checked_on_destination():
+    result = run_body("var a = alloc(2); copy(a, 0, input, 0, 3); return 0;", b"abc")
+    assert result.trap.kind == OOB_WRITE
+
+
+def test_copy_into_readonly_traps():
+    result = run_body('copy("abc", 0, input, 0, 1); return 0;', b"x")
+    assert result.trap.kind == READONLY_WRITE
+
+
+def test_fill_sets_range():
+    result = run_body("var a = alloc(4); fill(a, 1, 2, 9); return a[0] + a[1] + a[3];")
+    assert result.retval == 9
+
+
+def test_scalar_reads_endianness():
+    assert run_body("return read16(input, 0);", b"\x01\x02").retval == 0x0102
+    assert run_body("return read16le(input, 0);", b"\x01\x02").retval == 0x0201
+    assert run_body("return read32(input, 0);", b"\x00\x00\x01\x00").retval == 256
+    assert run_body("return read32le(input, 0);", b"\x00\x01\x00\x00").retval == 256
+
+
+def test_scalar_reads_bounds_checked():
+    assert run_body("return read32(input, 0);", b"ab").trap.kind == OOB_READ
+
+
+def test_string_constants_shared_per_execution():
+    result = run_body('var a = "xy"; var b = "xy"; return a[0] + b[1];')
+    assert result.retval == ord("x") + ord("y")
+
+
+# -- accounting ------------------------------------------------------------------
+
+
+def test_instruction_count_grows_with_input():
+    program = compile_source(
+        "fn main(input) { var t = 0;"
+        " for (var i = 0; i < len(input); i = i + 1) { t = t + input[i]; }"
+        " return t; }"
+    )
+    short = execute(program, b"ab")
+    long = execute(program, b"a" * 40)
+    assert long.instr_count > short.instr_count
+
+
+def test_cmplog_captures_comparisons():
+    program = compile_source(
+        "fn main(input) { if (len(input) == 7) { return 1; } return 0; }"
+    )
+    result = execute(program, b"abc", cmplog=True)
+    assert (3, 7) in result.cmp_log
+
+
+def test_cmplog_captures_memcmp_windows():
+    program = compile_source(
+        'fn main(input) { return memcmp(input, 0, "MAGI", 0, 4); }'
+    )
+    result = execute(program, b"WXYZ", cmplog=True)
+    assert (b"WXYZ", b"MAGI") in result.cmp_log
+
+
+def test_cmplog_off_by_default():
+    program = compile_source(
+        "fn main(input) { if (len(input) == 7) { return 1; } return 0; }"
+    )
+    assert execute(program, b"abc").cmp_log == []
+
+
+def test_uninstrumented_run_has_no_hits():
+    result = run_body("return 1;")
+    assert result.hits == {}
+    assert result.probe_count == 0

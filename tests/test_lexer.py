@@ -1,0 +1,129 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, IDENT, INT, STRING
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == EOF
+
+
+def test_decimal_int():
+    assert values("42") == [42]
+
+
+def test_hex_int():
+    assert values("0xFF 0x10") == [255, 16]
+
+
+def test_malformed_hex_rejected():
+    with pytest.raises(LexError):
+        tokenize("0x")
+
+
+def test_number_followed_by_letter_rejected():
+    with pytest.raises(LexError):
+        tokenize("12ab")
+
+
+def test_identifier_and_keyword_distinction():
+    tokens = tokenize("while whilex fn fnord")
+    assert [t.kind for t in tokens[:-1]] == ["while", IDENT, "fn", IDENT]
+
+
+def test_underscore_identifiers():
+    assert values("_x x_1 __") == ["_x", "x_1", "__"]
+
+
+def test_char_literal():
+    assert values("'a' 'Z' '0'") == [97, 90, 48]
+
+
+def test_char_escapes():
+    assert values(r"'\n' '\t' '\0' '\\' '\''") == [10, 9, 0, 92, 39]
+
+
+def test_unterminated_char_rejected():
+    with pytest.raises(LexError):
+        tokenize("'a")
+
+
+def test_bad_char_escape_rejected():
+    with pytest.raises(LexError):
+        tokenize(r"'\q'")
+
+
+def test_string_literal_bytes():
+    tokens = tokenize('"RIFF"')
+    assert tokens[0].kind == STRING
+    assert tokens[0].value == b"RIFF"
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\nb\"c"')
+    assert tokens[0].value == b'a\nb"c'
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+
+
+def test_string_with_newline_rejected():
+    with pytest.raises(LexError):
+        tokenize('"ab\ncd"')
+
+
+def test_line_comments_skipped():
+    assert values("1 // comment 2\n3") == [1, 3]
+
+
+def test_block_comments_skipped():
+    assert values("1 /* 2\n2.5 */ 3") == [1, 3]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_multichar_punct_greedy():
+    assert kinds("<< <= < == = !")[:-1] == ["<<", "<=", "<", "==", "=", "!"]
+
+
+def test_logical_operators():
+    assert kinds("&& || & |")[:-1] == ["&&", "||", "&", "|"]
+
+
+def test_line_numbers_track_newlines():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_line_numbers_across_block_comment():
+    tokens = tokenize("/* one\ntwo */ x")
+    assert tokens[0].line == 2
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_all_binary_operator_spellings():
+    source = "+ - * / % < <= > >= == != & | ^ << >>"
+    expected = source.split()
+    assert kinds(source)[:-1] == expected

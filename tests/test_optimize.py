@@ -1,0 +1,114 @@
+"""Middle-end cleanup tests: behaviour preservation and simplification."""
+
+from hypothesis import given, settings
+
+from repro.cfg.instructions import BIN, CONST, JMP
+from repro.lang import compile_source
+from repro.runtime import execute
+from tests.genprog import programs
+
+
+def both(source):
+    """Compile with and without the optimizer."""
+    return (
+        compile_source(source, optimize=False),
+        compile_source(source, optimize=True),
+    )
+
+
+def test_constant_folding_removes_bin():
+    raw, opt = both("fn main(input) { return 2 + 3 * 4; }")
+    raw_bins = sum(
+        1 for f in raw.funcs for b in f.blocks for i in b.instrs if i[0] == BIN
+    )
+    opt_bins = sum(
+        1 for f in opt.funcs for b in f.blocks for i in b.instrs if i[0] == BIN
+    )
+    assert opt_bins < raw_bins
+    assert execute(opt, b"").retval == 14
+
+
+def test_division_never_folded():
+    # A constant zero divisor must still trap at run time.
+    _, opt = both("fn main(input) { if (len(input) > 90) { return 1 / 0; } return 2; }")
+    result = execute(opt, b"x" * 91)
+    assert result.crashed
+    assert result.trap.kind == "division-by-zero"
+    assert execute(opt, b"").retval == 2
+
+
+def test_out_of_range_constant_shift_not_folded():
+    _, opt = both("fn main(input) { if (len(input) > 90) { return 1 << 99; } return 2; }")
+    result = execute(opt, b"x" * 91)
+    assert result.crashed
+    assert result.trap.kind == "shift-out-of-range"
+
+
+def test_folding_wraps_like_runtime():
+    source = "fn main(input) { return 9223372036854775807 + 1; }"
+    raw, opt = both(source)
+    assert execute(raw, b"").retval == execute(opt, b"").retval
+
+
+def test_jump_threading_removes_empty_blocks():
+    source = """
+    fn main(input) {
+        var x = 0;
+        if (len(input) > 1) { x = 1; } else { x = 2; }
+        if (x == 1) { x = 5; }
+        return x;
+    }
+    """
+    raw, opt = both(source)
+    assert len(opt.func("main").blocks) <= len(raw.func("main").blocks)
+
+
+def test_threading_preserves_loop_semantics():
+    source = """
+    fn main(input) {
+        var t = 0;
+        for (var i = 0; i < len(input); i = i + 1) { t = t + input[i]; }
+        return t;
+    }
+    """
+    raw, opt = both(source)
+    data = bytes([5, 9, 11])
+    assert execute(raw, data).retval == execute(opt, data).retval == 25
+
+
+def test_empty_infinite_loop_survives_threading():
+    # while(1){} lowers to an empty block jumping to itself; the optimizer
+    # must leave it alone (it times out rather than crashing the compiler).
+    program = compile_source("fn main(input) { while (1) { } return 0; }")
+    result = execute(program, b"", instr_budget=2_000)
+    assert result.timeout
+
+
+def test_optimizer_keeps_validation():
+    _, opt = both(
+        "fn f(a) { if (a > 2) { return a * 2; } return a; }"
+        "fn main(input) { return f(len(input)); }"
+    )
+    opt.validate()
+
+
+def test_const_propagation_through_mov():
+    _, opt = both("fn main(input) { var x = 7; var y = x; return y + 1; }")
+    main = opt.func("main")
+    consts = [i for b in main.blocks for i in b.instrs if i[0] == CONST]
+    assert any(i[2] == 8 for i in consts)
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_optimizer_preserves_behaviour_property(source):
+    raw, opt = both(source)
+    for data in (b"", b"a", b"\xff\x00\x7f", bytes(range(16))):
+        r1 = execute(raw, data, instr_budget=100_000)
+        r2 = execute(opt, data, instr_budget=100_000)
+        assert r1.timeout == r2.timeout
+        if not r1.timeout:
+            assert r1.retval == r2.retval
+            assert r1.crashed == r2.crashed
+            if r1.crashed:
+                assert r1.trap.bug_id() == r2.trap.bug_id()

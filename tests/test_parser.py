@@ -1,0 +1,194 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+
+
+def parse_body(stmts):
+    """Parse a main() wrapping the statements; return the body list."""
+    program = parse("fn main(input) { %s }" % stmts)
+    return program.funcs[0].body.stmts
+
+
+def parse_expr(text):
+    """Parse an expression in statement position."""
+    (stmt,) = parse_body("%s;" % text)
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+def test_empty_program():
+    assert parse("").funcs == []
+
+
+def test_function_with_params():
+    program = parse("fn f(a, b, c) { return a; }")
+    assert program.funcs[0].params == ["a", "b", "c"]
+
+
+def test_function_without_params():
+    assert parse("fn f() { return 0; }").funcs[0].params == []
+
+
+def test_var_decl():
+    (stmt,) = parse_body("var x = 3;")
+    assert isinstance(stmt, ast.VarDecl)
+    assert stmt.name == "x"
+    assert stmt.init == ast.IntLit(3, 1)
+
+
+def test_assignment():
+    (stmt,) = parse_body("input = 4;")
+    assert isinstance(stmt, ast.Assign)
+
+
+def test_index_assignment():
+    (stmt,) = parse_body("input[2] = 4;")
+    assert isinstance(stmt, ast.IndexAssign)
+
+
+def test_invalid_assignment_target_rejected():
+    with pytest.raises(ParseError):
+        parse_body("3 = 4;")
+
+
+def test_if_without_else():
+    (stmt,) = parse_body("if (1) { return 0; }")
+    assert isinstance(stmt, ast.If)
+    assert stmt.else_block is None
+
+
+def test_if_else():
+    (stmt,) = parse_body("if (1) { return 0; } else { return 1; }")
+    assert stmt.else_block is not None
+
+
+def test_else_if_chains_nest():
+    (stmt,) = parse_body(
+        "if (1) { return 0; } else if (2) { return 1; } else { return 2; }"
+    )
+    nested = stmt.else_block.stmts[0]
+    assert isinstance(nested, ast.If)
+    assert nested.else_block is not None
+
+
+def test_while_loop():
+    (stmt,) = parse_body("while (input) { break; }")
+    assert isinstance(stmt, ast.While)
+    assert isinstance(stmt.body.stmts[0], ast.Break)
+
+
+def test_for_loop_full_header():
+    (stmt,) = parse_body("for (var i = 0; i < 3; i = i + 1) { continue; }")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.VarDecl)
+    assert isinstance(stmt.cond, ast.BinOp)
+    assert isinstance(stmt.step, ast.Assign)
+
+
+def test_for_loop_empty_header():
+    (stmt,) = parse_body("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_return_with_and_without_value():
+    stmts = parse_body("return; return 3;")
+    assert stmts[0].value is None
+    assert stmts[1].value == ast.IntLit(3, 1)
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_comparison_over_logic():
+    expr = parse_expr("1 < 2 && 3 == 4")
+    assert expr.op == "&&"
+    assert expr.left.op == "<"
+    assert expr.right.op == "=="
+
+
+def test_precedence_or_weaker_than_and():
+    expr = parse_expr("1 || 2 && 3")
+    assert expr.op == "||"
+    assert expr.right.op == "&&"
+
+
+def test_shift_precedence():
+    expr = parse_expr("1 << 2 + 3")
+    assert expr.op == "<<"
+    assert expr.right.op == "+"
+
+
+def test_left_associativity():
+    expr = parse_expr("10 - 4 - 3")
+    assert expr.op == "-"
+    assert expr.left.op == "-"
+
+
+def test_unary_operators():
+    for op in ("-", "!", "~"):
+        expr = parse_expr("%s input" % op)
+        assert isinstance(expr, ast.UnOp)
+        assert expr.op == op
+
+
+def test_nested_unary():
+    expr = parse_expr("--3")
+    assert isinstance(expr.operand, ast.UnOp)
+
+
+def test_parenthesized_grouping():
+    expr = parse_expr("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_call_with_args():
+    expr = parse_expr("abs(input)")
+    assert isinstance(expr, ast.Call)
+    assert expr.callee == "abs"
+    assert len(expr.args) == 1
+
+
+def test_chained_postfix_index():
+    expr = parse_expr("input[1 + 2]")
+    assert isinstance(expr, ast.Index)
+    assert expr.index.op == "+"
+
+
+def test_call_on_expression_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("input[0](1)")
+
+
+def test_string_literal_expression():
+    expr = parse_expr('"abc"')
+    assert isinstance(expr, ast.StrLit)
+    assert expr.value == b"abc"
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_body("var x = 3")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse("fn main(input) { return 0;")
+
+
+def test_garbage_toplevel_rejected():
+    with pytest.raises(ParseError):
+        parse("var x = 3;")
+
+
+def test_error_carries_line_number():
+    with pytest.raises(ParseError) as info:
+        parse("fn main(input) {\n\n  var = 3;\n}")
+    assert info.value.line == 3

@@ -1,0 +1,77 @@
+"""Path-level crash explanation tests."""
+
+from repro.subjects import get_subject
+from repro.subjects.motivating import BUG_WITNESS, SEEDS, build
+from repro.triage.pathreport import diff_profiles, explain_crash, profile_input
+
+
+def test_profile_decodes_foo_paths():
+    subject = build()
+    profile = profile_input(subject.program, SEEDS[0])
+    functions = {entry[0] for entry in profile.entries}
+    assert "foo" in functions and "main" in functions
+    for function, path_id, count, blocks in profile.entries:
+        assert count >= 1
+        assert blocks[0] in (0,) or isinstance(blocks[0], int)
+
+
+def test_profile_reports_crash():
+    subject = build()
+    profile = profile_input(subject.program, BUG_WITNESS)
+    assert profile.crashed
+    assert profile.trap.bug_id() == subject.bugs[0].bug_id
+
+
+def test_diff_isolates_the_red_path():
+    subject = build()
+    # The non-crashing red-path stepping stone vs a benign seed exercising
+    # the other arms: the diff must contain a foo path.
+    stepping_stone = b"h" + b"A" * 43
+    _crash, novel = diff_profiles(subject.program, SEEDS[0], stepping_stone)
+    assert any(function == "foo" for function, _pid, _blocks in novel)
+
+
+def test_diff_empty_for_identical_inputs():
+    subject = build()
+    _profile, novel = diff_profiles(subject.program, SEEDS[0], SEEDS[0])
+    assert novel == []
+
+
+def test_explain_crash_renders_report():
+    subject = build()
+    text = explain_crash(subject.program, SEEDS[0], BUG_WITNESS)
+    assert "heap-buffer-overflow-write" in text
+    assert "novel acyclic paths" in text
+    # The trap aborts foo before its path-end emit fires, so the crashing
+    # input itself completes no novel path (correct Ball-Larus semantics);
+    # the stepping-stone diff below is where the route shows up.
+    assert "data-only" in text
+
+
+def test_explain_stepping_stone_shows_route():
+    subject = build()
+    stepping_stone = b"h" + b"A" * 43  # red path, one byte short of the crash
+    text = explain_crash(subject.program, SEEDS[1], stepping_stone)
+    assert "does not crash" in text
+    assert "foo path" in text
+
+
+def test_explain_non_crash():
+    subject = build()
+    text = explain_crash(subject.program, SEEDS[0], SEEDS[1])
+    assert "does not crash" in text
+
+
+def test_profile_on_loop_heavy_subject():
+    subject = get_subject("cflow")
+    profile = profile_input(subject.program, subject.seeds[0])
+    assert profile.entries
+    # Repeated loop iterations show up as hit counts > 1 somewhere.
+    assert any(count > 1 for _f, _p, count, _b in profile.entries)
+
+
+def test_profile_format_truncates():
+    subject = get_subject("cflow")
+    profile = profile_input(subject.program, subject.seeds[0])
+    text = profile.format(max_entries=2)
+    assert "path" in text

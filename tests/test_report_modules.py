@@ -1,0 +1,92 @@
+"""End-to-end rendering tests for every experiments module, tiny profile.
+
+Each table/figure module is exercised against one cheap subject with a
+minuscule budget, checking the full collect -> render pipeline (the real
+numbers come from the benchmark suite at the default profile).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2,
+    opp_recovery,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7_9,
+    table10,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_profile(monkeypatch):
+    monkeypatch.setenv("REPRO_SUBJECTS", "flvmeta")
+    monkeypatch.setenv("REPRO_RUNS", "1")
+    monkeypatch.setenv("REPRO_SCALE", "0.01")
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+def test_table1_renders():
+    text = table1.render()
+    assert "Table I" in text and "flvmeta" in text and "TOTAL" in text
+
+
+def test_table2_renders_with_venn():
+    data = table2.collect()
+    text = table2.render(data)
+    assert "Table II" in text and "flvmeta" in text
+    venn = table2.render_venn(data)
+    assert "Figure 3" in venn
+
+
+def test_table3_renders_with_geomean():
+    text = table3.render()
+    assert "Table III" in text and "GEOMEAN" in text
+
+
+def test_table4_renders():
+    text = table4.render()
+    assert "Table IV" in text and "pcguard" in text
+
+
+def test_table5_renders():
+    text = table5.render()
+    assert "Table V" in text and "path/pcguard" in text
+
+
+def test_table6_renders():
+    text = table6.render()
+    assert "Table VI" in text
+
+
+def test_tables7_to_9_render():
+    data = table7_9.collect()
+    assert "Table VII" in table7_9.render_table7(data)
+    assert "Table VIII" in table7_9.render_table8(data)
+    assert "Table IX" in table7_9.render_table9(data)
+
+
+def test_table10_renders():
+    text = table10.render()
+    assert "Table X" in text and "cull_r" in text
+
+
+def test_fig2_renders():
+    series = fig2.collect(subject="flvmeta")
+    text = fig2.render(series, subject="flvmeta")
+    assert "Figure 2" in text
+    assert all(len(series[c]) == fig2.POINTS for c in fig2.CONFIGS)
+
+
+def test_sensitivity_renders():
+    text = sensitivity.render(sensitivity.collect(subjects=("flvmeta",), runs=1))
+    assert "Sensitivity" in text and "flvmeta" in text
+
+
+def test_opp_recovery_renders():
+    text = opp_recovery.render()
+    assert "recovery" in text and "flvmeta" in text

@@ -1,0 +1,32 @@
+"""Runner profile/environment handling tests."""
+
+from repro.experiments.runner import (
+    _source_fingerprint,
+    profile_runs,
+    profile_scale,
+    profile_subjects,
+)
+from repro.subjects import subject_names
+
+
+def test_default_profile(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_RUNS", raising=False)
+    monkeypatch.delenv("REPRO_SUBJECTS", raising=False)
+    assert profile_scale() == 0.25
+    assert profile_runs() == 3
+    assert profile_subjects() == subject_names()
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.5")
+    monkeypatch.setenv("REPRO_RUNS", "7")
+    monkeypatch.setenv("REPRO_SUBJECTS", "cflow, gdk ,mujs")
+    assert profile_scale() == 2.5
+    assert profile_runs() == 7
+    assert profile_subjects() == ["cflow", "gdk", "mujs"]
+
+
+def test_source_fingerprint_stable_within_process():
+    assert _source_fingerprint() == _source_fingerprint()
+    assert len(_source_fingerprint()) == 16

@@ -1,0 +1,60 @@
+"""Power-schedule tests."""
+
+from repro.fuzzer.corpus import Queue
+from repro.fuzzer.schedule import havoc_iterations, performance_score
+
+
+def make_entry(cost=100, trace_size=10, depth=0, handicap=0):
+    queue = Queue()
+    classified = {i: 1 for i in range(trace_size)}
+    entry = queue.make_entry(b"x" * 8, cost, classified, depth, found_at=0)
+    entry.handicap = handicap
+    return entry
+
+
+def test_neutral_entry_scores_100():
+    entry = make_entry(cost=100, trace_size=10)
+    assert performance_score(entry, 100, 10) == 100
+
+
+def test_fast_entries_rewarded():
+    fast = make_entry(cost=20)
+    slow = make_entry(cost=500)
+    assert performance_score(fast, 100, 10) > performance_score(slow, 100, 10)
+
+
+def test_large_trace_rewarded():
+    wide = make_entry(trace_size=30)
+    narrow = make_entry(trace_size=3)
+    assert performance_score(wide, 100, 10) > performance_score(narrow, 100, 10)
+
+
+def test_depth_multiplier():
+    deep = make_entry(depth=20)
+    shallow = make_entry(depth=0)
+    assert performance_score(deep, 100, 10) > performance_score(shallow, 100, 10)
+
+
+def test_handicap_consumed():
+    entry = make_entry(handicap=5)
+    first = performance_score(entry, 100, 10)
+    assert first > 100
+    assert entry.handicap < 5
+
+
+def test_score_clamped():
+    tiny = make_entry(cost=1, trace_size=100, depth=30)
+    assert performance_score(tiny, 1000, 5) <= 1600
+    heavy = make_entry(cost=10_000, trace_size=1)
+    assert performance_score(heavy, 100, 10) >= 10
+
+
+def test_havoc_iterations_scale_and_floor():
+    assert havoc_iterations(100) == 32
+    assert havoc_iterations(1600) == 512
+    assert havoc_iterations(10) == 8  # floor
+
+
+def test_zero_averages_no_crash():
+    entry = make_entry()
+    assert performance_score(entry, 0, 0) > 0

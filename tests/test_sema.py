@@ -1,0 +1,111 @@
+"""Semantic-analysis unit tests."""
+
+import pytest
+
+from repro.lang.errors import SemaError
+from repro.lang.parser import parse
+from repro.lang.sema import check_program
+
+
+def check(source):
+    check_program(parse(source))
+
+
+def check_main(body):
+    check("fn main(input) { %s }" % body)
+
+
+def test_valid_program_passes():
+    check_main("var x = 1; x = x + 1; return x;")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(SemaError):
+        check("fn f() { return 0; } fn f() { return 1; }")
+
+
+def test_builtin_shadowing_rejected():
+    with pytest.raises(SemaError):
+        check("fn abs(x) { return x; }")
+
+
+def test_duplicate_parameter_rejected():
+    with pytest.raises(SemaError):
+        check("fn f(a, a) { return a; }")
+
+
+def test_undeclared_use_rejected():
+    with pytest.raises(SemaError):
+        check_main("return y;")
+
+
+def test_undeclared_assignment_rejected():
+    with pytest.raises(SemaError):
+        check_main("y = 3;")
+
+
+def test_redeclaration_same_scope_rejected():
+    with pytest.raises(SemaError):
+        check_main("var x = 1; var x = 2;")
+
+
+def test_shadowing_in_nested_scope_allowed():
+    check_main("var x = 1; if (x) { var x = 2; x = 3; }")
+
+
+def test_inner_declaration_not_visible_outside():
+    with pytest.raises(SemaError):
+        check_main("if (input) { var y = 1; } return y;")
+
+
+def test_for_scope_contains_its_variable():
+    check_main("for (var i = 0; i < 3; i = i + 1) { var t = i; }")
+    with pytest.raises(SemaError):
+        check_main("for (var i = 0; i < 3; i = i + 1) { } return i;")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemaError):
+        check_main("break;")
+
+
+def test_continue_outside_loop_rejected():
+    with pytest.raises(SemaError):
+        check_main("if (input) { continue; }")
+
+
+def test_break_inside_loop_allowed():
+    check_main("while (1) { break; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(SemaError):
+        check_main("missing(1);")
+
+
+def test_user_function_arity_checked():
+    with pytest.raises(SemaError):
+        check("fn f(a) { return a; } fn main(input) { f(1, 2); }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(SemaError):
+        check_main("abs(1, 2);")
+
+
+def test_mutual_recursion_allowed():
+    check(
+        "fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }"
+        "fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }"
+        "fn main(input) { return even(len(input)); }"
+    )
+
+
+def test_params_visible_in_body():
+    check("fn f(a, b) { return a + b; } fn main(input) { return f(1, 2); }")
+
+
+def test_error_reports_line():
+    with pytest.raises(SemaError) as info:
+        check("fn main(input) {\n  var x = 1;\n  y = 2;\n}")
+    assert info.value.line == 3

@@ -1,0 +1,169 @@
+"""Exploration-biasing strategy tests."""
+
+import random
+
+from repro.coverage.feedback import EdgeFeedback, PathFeedback
+from repro.fuzzer.campaign import replay_edge_coverage
+from repro.fuzzer.engine import EngineConfig, FuzzEngine
+from repro.strategies.culling import (
+    edge_preserving_subset,
+    path_preserving_subset,
+    random_subset,
+    run_culling_campaign,
+)
+from repro.strategies.opportunistic import preprocess_queue, run_opportunistic_campaign
+from repro.subjects import get_subject
+
+
+def small_config(subject):
+    return EngineConfig(
+        max_input_len=subject.max_input_len,
+        exec_instr_budget=subject.exec_instr_budget,
+    )
+
+
+def test_edge_preserving_subset_preserves_coverage():
+    subject = get_subject("gdk")
+    engine = FuzzEngine(
+        subject.program, PathFeedback(), subject.seeds,
+        random.Random(0), small_config(subject), subject.tokens,
+    )
+    engine.run(400_000)
+    inputs = engine.corpus_inputs()
+    subset = edge_preserving_subset(subject.program, inputs)
+    assert len(subset) <= len(inputs)
+    full = replay_edge_coverage(subject.program, inputs)
+    kept = replay_edge_coverage(subject.program, subset)
+    assert kept == full
+
+
+def test_edge_preserving_subset_drops_redundancy():
+    subject = get_subject("flvmeta")
+    # Duplicates of one input must collapse to a single representative.
+    inputs = [subject.seeds[0]] * 10
+    subset = edge_preserving_subset(subject.program, inputs)
+    assert len(subset) == 1
+
+
+def test_path_preserving_subset_is_favored_corpus():
+    subject = get_subject("flvmeta")
+    engine = FuzzEngine(
+        subject.program, PathFeedback(), subject.seeds,
+        random.Random(1), small_config(subject), subject.tokens,
+    )
+    engine.run(200_000)
+    subset = path_preserving_subset(engine)
+    favored = [e.data for e in engine.queue.favored_entries()]
+    assert subset == favored
+
+
+def test_random_subset_bounds():
+    rng = random.Random(0)
+    inputs = [bytes([i]) for i in range(100)]
+    for _ in range(10):
+        subset = random_subset(inputs, rng)
+        assert 1 <= len(subset) <= 16
+    assert random_subset([], rng) == []
+
+
+def test_random_subset_preserves_order():
+    rng = random.Random(3)
+    inputs = [bytes([i]) for i in range(50)]
+    subset = random_subset(inputs, rng)
+    positions = [inputs.index(x) for x in subset]
+    assert positions == sorted(positions)
+
+
+def test_culling_campaign_runs_rounds():
+    subject = get_subject("flvmeta")
+    rng = random.Random(0)
+    engines, final = run_culling_campaign(
+        subject, PathFeedback, total_budget=400_000, round_budget=100_000,
+        rng=rng, config=small_config(subject), criterion="edges",
+    )
+    assert len(engines) >= 3  # several rounds fit the budget
+    assert final is engines[-1]
+
+
+def test_culling_campaign_budget_includes_cull_cost():
+    subject = get_subject("flvmeta")
+    rng = random.Random(0)
+    engines, _ = run_culling_campaign(
+        subject, PathFeedback, total_budget=300_000, round_budget=100_000,
+        rng=rng, config=small_config(subject), criterion="random",
+    )
+    total_ticks = sum(e.clock.ticks for e in engines)
+    # rounds never exceed the global budget by more than one round
+    assert total_ticks <= 300_000 + 100_000
+
+
+def test_culling_criteria_all_work():
+    subject = get_subject("flvmeta")
+    for criterion in ("edges", "paths", "random"):
+        engines, _ = run_culling_campaign(
+            subject, PathFeedback, total_budget=250_000, round_budget=80_000,
+            rng=random.Random(1), config=small_config(subject),
+            criterion=criterion,
+        )
+        assert engines
+
+
+def test_culling_unknown_criterion_rejected():
+    import pytest
+
+    subject = get_subject("flvmeta")
+    with pytest.raises(ValueError):
+        run_culling_campaign(
+            subject, PathFeedback, total_budget=200_000, round_budget=100_000,
+            rng=random.Random(0), config=small_config(subject),
+            criterion="bogus",
+        )
+
+
+def test_opportunistic_two_phases():
+    subject = get_subject("flvmeta")
+    engines, final, edge_engine = run_opportunistic_campaign(
+        subject, total_budget=400_000, rng=random.Random(0),
+        config=small_config(subject),
+    )
+    assert edge_engine is not None
+    assert engines == [final]
+    assert isinstance(final.feedback, PathFeedback)
+    assert isinstance(edge_engine.feedback, EdgeFeedback)
+    # the split honours the budget
+    assert edge_engine.clock.ticks + final.clock.ticks >= 400_000
+
+
+def test_opportunistic_preprocess_drops_to_favored():
+    subject = get_subject("flvmeta")
+    engine = FuzzEngine(
+        subject.program, EdgeFeedback(), subject.seeds,
+        random.Random(2), small_config(subject), subject.tokens,
+    )
+    engine.run(300_000)
+    trimmed = preprocess_queue(engine)
+    assert 0 < len(trimmed) <= len(engine.queue.entries)
+    # trimming preserves the edge coverage of the full queue
+    full = replay_edge_coverage(subject.program, engine.corpus_inputs())
+    kept = replay_edge_coverage(subject.program, trimmed)
+    assert kept == full
+
+
+def test_opportunistic_with_prepared_queue_skips_phase_one():
+    subject = get_subject("flvmeta")
+    engines, final, edge_engine = run_opportunistic_campaign(
+        subject, total_budget=150_000, rng=random.Random(0),
+        config=small_config(subject), prepared_queue=list(subject.seeds),
+    )
+    assert edge_engine is None
+    assert final.clock.ticks >= 150_000
+
+
+def test_opportunistic_phase1_crashes_not_credited():
+    subject = get_subject("gdk")
+    engines, final, edge_engine = run_opportunistic_campaign(
+        subject, total_budget=600_000, rng=random.Random(4),
+        config=small_config(subject),
+    )
+    # the result engines exclude the edge phase regardless of its crashes
+    assert edge_engine not in engines

@@ -1,0 +1,94 @@
+"""Suite-wide subject integrity tests (parametrized over all 19 programs)."""
+
+import pytest
+
+from repro.subjects import all_subject_names, get_subject, load_suite, subject_names
+
+ALL_NAMES = all_subject_names()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_census_is_sound(name):
+    """Every declared bug crashes at its declared site; seeds are benign."""
+    subject = get_subject(name)
+    assert subject.verify_census() == []
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_program_compiles_with_structure(name):
+    subject = get_subject(name)
+    stats = subject.program.stats()
+    assert stats["functions"] >= 2  # main + helpers
+    assert stats["edges"] > stats["functions"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_bug_ids_are_distinct(name):
+    subject = get_subject(name)
+    ids = [bug.bug_id for bug in subject.bugs]
+    assert len(ids) == len(set(ids))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_seeds_terminate_quickly(name):
+    subject = get_subject(name)
+    for seed in subject.seeds:
+        result = subject.run(seed)
+        assert not result.timeout
+        assert result.instr_count < subject.exec_instr_budget // 2
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_witnesses_fit_input_limit(name):
+    subject = get_subject(name)
+    for bug in subject.bugs:
+        assert len(bug.witness) <= subject.max_input_len
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_ball_larus_plans_build_for_all_functions(name):
+    from repro.ballarus import build_program_plans
+
+    subject = get_subject(name)
+    plans = build_program_plans(subject.program)
+    assert all(plan.num_paths >= 1 for plan in plans)
+
+
+def test_suite_has_18_subjects():
+    assert len(subject_names()) == 18
+    assert len(load_suite()) == 18
+
+
+def test_unknown_subject_rejected():
+    with pytest.raises(KeyError):
+        get_subject("doom")
+
+
+def test_subjects_are_cached():
+    assert get_subject("cflow") is get_subject("cflow")
+
+
+def test_suite_difficulty_mix():
+    """The suite plants path-dependent bugs (the paper's motivation) and at
+    least one unreachable control (nm_new)."""
+    difficulties = {}
+    for name in subject_names():
+        for bug in get_subject(name).bugs:
+            difficulties.setdefault(bug.difficulty, 0)
+            difficulties[bug.difficulty] += 1
+    assert difficulties.get("path-dependent", 0) >= 8
+    assert difficulties.get("unreachable", 0) >= 2
+    assert difficulties.get("shallow", 0) >= 5
+
+
+def test_total_bug_census_size():
+    total = sum(len(get_subject(name).bugs) for name in subject_names())
+    assert total >= 55  # a rich enough hunting ground
+
+
+def test_motivating_example_matches_figure1():
+    from repro.ballarus import FunctionPathPlan
+
+    subject = get_subject("motivating")
+    plan = FunctionPathPlan(subject.program.func("foo"))
+    assert plan.num_paths == 5

@@ -1,0 +1,107 @@
+"""Crash-triage tests: stack hashing, ground-truth bugs, set reports."""
+
+from repro.runtime.traps import Frame
+from repro.triage.report import (
+    format_venn,
+    intersect,
+    pairwise_cells,
+    subtract,
+    union_all,
+    venn_regions,
+)
+from repro.triage.stacktrace import format_stack, stack_hash
+
+
+def frames(*pairs):
+    return [Frame(name, line) for name, line in pairs]
+
+
+def test_stack_hash_deterministic():
+    stack = frames(("a", 1), ("b", 2))
+    assert stack_hash(stack) == stack_hash(frames(("a", 1), ("b", 2)))
+
+
+def test_stack_hash_sensitive_to_frames():
+    assert stack_hash(frames(("a", 1))) != stack_hash(frames(("a", 2)))
+    assert stack_hash(frames(("a", 1))) != stack_hash(frames(("b", 1)))
+
+
+def test_stack_hash_top5_only():
+    deep_a = frames(*[("f%d" % i, i) for i in range(8)])
+    deep_b = deep_a[:5] + frames(("other", 99), ("tail", 1), ("x", 2))
+    assert stack_hash(deep_a) == stack_hash(deep_b)
+
+
+def test_stack_hash_depth_override():
+    a = frames(("a", 1), ("b", 2))
+    b = frames(("a", 1), ("c", 3))
+    assert stack_hash(a, depth=1) == stack_hash(b, depth=1)
+    assert stack_hash(a, depth=2) != stack_hash(b, depth=2)
+
+
+def test_format_stack():
+    assert format_stack(frames(("f", 3), ("main", 10))) == "f:3 <- main:10"
+
+
+def test_intersect_and_subtract():
+    results = {"a": {1, 2, 3}, "b": {2, 3, 4}}
+    assert intersect(results, "a", "b") == 2
+    assert subtract(results, "a", "b") == 1
+    assert subtract(results, "b", "a") == 1
+
+
+def test_pairwise_cells():
+    results = {"a": {1, 2}, "b": {2, 3}}
+    assert pairwise_cells(results, [("a", "b")]) == [(1, 1, 1)]
+
+
+def test_venn_regions_partition():
+    results = {"a": {1, 2, 3}, "b": {2, 3, 4}, "c": {3, 5}}
+    regions = venn_regions(results, ["a", "b", "c"])
+    assert sum(regions.values()) == len({1, 2, 3, 4, 5})
+    assert regions[frozenset(["a", "b", "c"])] == 1  # element 3
+    assert regions[frozenset(["a"])] == 1  # element 1
+    assert regions[frozenset(["c"])] == 1  # element 5
+
+
+def test_format_venn_mentions_all_regions():
+    results = {"a": {1}, "b": {1, 2}}
+    regions = venn_regions(results, ["a", "b"])
+    text = format_venn(regions, ["a", "b"])
+    assert "a & b" in text and "b" in text
+
+
+def test_union_all():
+    results = {"a": {1}, "b": {2}, "c": {2, 3}}
+    assert union_all(results) == {1, 2, 3}
+    assert union_all(results, ["a", "b"]) == {1, 2}
+
+
+def test_bugs_from_crash_records():
+    from repro.triage.bugs import bugs_from_crashes, crashes_by_bug
+
+    class FakeRecord(object):
+        def __init__(self, bug):
+            self._bug = bug
+
+        def bug_id(self):
+            return self._bug
+
+    records = [FakeRecord(("f", 1, "oob")), FakeRecord(("f", 1, "oob")),
+               FakeRecord(("g", 2, "div"))]
+    assert bugs_from_crashes(records) == {("f", 1, "oob"), ("g", 2, "div")}
+    grouped = crashes_by_bug(records)
+    assert len(grouped[("f", 1, "oob")]) == 2
+
+
+def test_engine_crash_maps_to_census_bug():
+    """A crash produced by fuzzing maps to the subject's declared census."""
+    from repro.subjects import get_subject
+
+    subject = get_subject("flvmeta")
+    declared = {bug.bug_id for bug in subject.bugs}
+    for bug in subject.bugs:
+        result = subject.run(bug.witness)
+        assert result.trap.bug_id() in declared
+        hash5 = stack_hash(result.trap.stack)
+        assert len(hash5) == 16
