@@ -15,7 +15,7 @@ default, as in the paper's adapted LLVM pass) or the canonical everything-
 with-nonzero-Val placement used by Figure 1 and by the differential tests.
 """
 
-from repro.ballarus.dag import EXIT, REGULAR, RET_EDGE, SURR_ENTRY, SURR_EXIT, build_dag
+from repro.ballarus.dag import EXIT, REGULAR, RET_EDGE, SURR_ENTRY, build_dag
 from repro.ballarus.numbering import number_paths
 from repro.ballarus.spanning import canonical_increments, place_increments
 from repro.cfg.analysis import loop_depths

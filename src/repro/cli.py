@@ -5,14 +5,20 @@ Usage::
     python -m repro list
     python -m repro show cflow
     python -m repro fuzz gdk --config cull --hours 4 --run-seed 1
-    python -m repro report table2 fig2
+    python -m repro fuzz gdk --config path --workers 4   # main/secondary
+    python -m repro report --jobs 8 table2 fig2
 
 ``fuzz`` runs one campaign of any registered configuration and prints the
-summary plus the triaged crashes; ``report`` regenerates the paper's
-tables/figures (see :mod:`repro.experiments.report`).
+summary plus the triaged crashes; with ``--workers N`` it becomes an
+AFL++-style instance-parallel campaign with periodic corpus sync.
+``report`` regenerates the paper's tables/figures (see
+:mod:`repro.experiments.report`); ``--jobs N`` fans the campaign matrix
+out over N worker processes with identical results.
 """
 
 import argparse
+import logging
+import os
 
 from repro.experiments.config import FUZZER_CONFIGS, run_config
 from repro.fuzzer.clock import hours_to_ticks
@@ -39,9 +45,20 @@ def build_arg_parser():
     fuzz.add_argument("--scale", type=float, default=1.0,
                       help="virtual-clock scale (default 1.0)")
     fuzz.add_argument("--run-seed", type=int, default=0)
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="parallel fuzzing instances with corpus sync "
+                           "(default 1: single instance)")
+    fuzz.add_argument("--sync-hours", type=float, default=None,
+                      help="virtual hours between corpus syncs "
+                           "(default: hours / 8)")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="log per-worker progress and sync events")
 
     report = commands.add_parser("report", help="regenerate paper artifacts")
     report.add_argument("artifacts", nargs="*", help="table1..table10, fig2, ...")
+    report.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the campaign matrix "
+                             "(default: REPRO_JOBS or 1)")
     return parser
 
 
@@ -70,11 +87,35 @@ def cmd_show(args):
 
 
 def cmd_fuzz(args):
+    if args.workers < 1:
+        raise SystemExit("repro fuzz: error: --workers must be >= 1")
     subject = get_subject(args.subject)
     budget = hours_to_ticks(args.hours, args.scale)
-    print("fuzzing %s with %r for %.1f virtual hours (%d ticks)..."
-          % (subject.name, args.config, args.hours, budget))
-    result = run_config(subject, args.config, args.run_seed, budget)
+    if args.verbose:
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+    if args.workers > 1:
+        from repro.fuzzer.parallel import run_instance_campaign
+
+        sync_hours = args.sync_hours
+        sync_ticks = (
+            hours_to_ticks(sync_hours, args.scale) if sync_hours else None
+        )
+        print("fuzzing %s with %r: %d instances x %.1f virtual hours (%d ticks)..."
+              % (subject.name, args.config, args.workers, args.hours, budget))
+        result, _, stats = run_instance_campaign(
+            subject.name,
+            args.config,
+            args.run_seed,
+            budget,
+            workers=args.workers,
+            sync_interval_ticks=sync_ticks,
+        )
+        for line in stats.summary_lines():
+            print("  " + line)
+    else:
+        print("fuzzing %s with %r for %.1f virtual hours (%d ticks)..."
+              % (subject.name, args.config, args.hours, budget))
+        result = run_config(subject, args.config, args.run_seed, budget)
     print("executions: %d (%d hangs), throughput %.0f exec/vh"
           % (result.execs, result.hangs, result.throughput))
     print("queue: %d entries; edge coverage: %d" % (result.queue_size, len(result.edges)))
@@ -90,6 +131,10 @@ def cmd_fuzz(args):
 def cmd_report(args):
     from repro.experiments.report import main as report_main
 
+    if args.jobs is not None:
+        # The report modules call run_matrix without a jobs argument; the
+        # environment knob is how the fan-out degree reaches them.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     report_main(args.artifacts)
     return 0
 

@@ -53,6 +53,16 @@ class ConfigSpec(object):
         self.engine_style = engine_style  # "aflpp" | "afl"
         self.criterion = criterion
 
+    @property
+    def supports_instances(self):
+        """Whether this config can run as a main/secondary instance campaign.
+
+        Plain single-engine configs can; the culling and opportunistic
+        drivers orchestrate their own engine phases and would need their
+        own sync protocol.
+        """
+        return self.kind == "plain"
+
     def engine_config(self, subject):
         kwargs = dict(
             max_input_len=subject.max_input_len,

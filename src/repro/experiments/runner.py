@@ -13,7 +13,10 @@ Scaling knobs (environment):
 - ``REPRO_RUNS``     repetitions per (subject, config) pair (default 3;
   the paper used 10);
 - ``REPRO_SUBJECTS`` comma-separated subject allowlist (default: all 18);
-- ``REPRO_NO_CACHE`` set to disable the on-disk cache.
+- ``REPRO_NO_CACHE`` set to disable the on-disk cache;
+- ``REPRO_JOBS``     worker processes for :func:`run_matrix` (default 1,
+  i.e. the sequential path; any N > 1 fans cells out over N processes
+  with identical results — see :mod:`repro.fuzzer.parallel`).
 """
 
 import hashlib
@@ -41,6 +44,10 @@ def profile_subjects():
     if not names:
         return subject_names()
     return [n.strip() for n in names.split(",") if n.strip()]
+
+
+def profile_jobs():
+    return int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def _cache_dir():
@@ -106,20 +113,57 @@ def campaign(subject_name, config_name, run_seed, hours, scale=None):
     return result
 
 
-def run_matrix(config_names, hours, subjects=None, runs=None, scale=None):
+def run_matrix(config_names, hours, subjects=None, runs=None, scale=None, jobs=None):
     """Campaigns for every (subject, config, run-seed) combination.
 
     Returns {(subject_name, config_name, run_seed): CampaignResult}.
+
+    With ``jobs`` > 1 (default: the ``REPRO_JOBS`` environment knob) cells
+    are fanned out over a process pool; per-cell RNGs depend only on the
+    cell key, so the result dict is equal to the sequential one.  A cell
+    whose worker fails is reported (with every completed cell attached)
+    via :class:`~repro.fuzzer.parallel.ParallelMatrixError` only after the
+    rest of the matrix has finished.
     """
     subjects = profile_subjects() if subjects is None else subjects
     runs = profile_runs() if runs is None else runs
+    jobs = profile_jobs() if jobs is None else int(jobs)
+    keys = [
+        (subject_name, config_name, run_seed)
+        for subject_name in subjects
+        for config_name in config_names
+        for run_seed in range(runs)
+    ]
+    if jobs > 1 and len(keys) > 1:
+        return _run_matrix_parallel(keys, hours, scale, jobs)
     results = {}
-    for subject_name in subjects:
-        for config_name in config_names:
-            for run_seed in range(runs):
-                results[(subject_name, config_name, run_seed)] = campaign(
-                    subject_name, config_name, run_seed, hours, scale
-                )
+    for key in keys:
+        results[key] = campaign(key[0], key[1], key[2], hours, scale)
+    return results
+
+
+def _run_matrix_parallel(keys, hours, scale, jobs):
+    """Fan uncached cells out over worker processes (cache-aware)."""
+    from repro.fuzzer.parallel import ParallelMatrixError, run_cells
+
+    scale = profile_scale() if scale is None else scale
+    results = {}
+    tasks = {}
+    for key in keys:
+        mem_key = key + (hours, scale)
+        if mem_key in _MEMORY_CACHE:
+            results[key] = _MEMORY_CACHE[mem_key]
+        else:
+            # Workers re-check the on-disk cache themselves (and write to
+            # it), so only the in-process memoization is resolved here.
+            tasks[key] = key + (hours, scale)
+    if tasks:
+        fresh, failures = run_cells(tasks, jobs=jobs)
+        for key, result in fresh.items():
+            _MEMORY_CACHE[key + (hours, scale)] = result
+            results[key] = result
+        if failures:
+            raise ParallelMatrixError(failures, results)
     return results
 
 

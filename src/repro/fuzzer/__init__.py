@@ -10,6 +10,14 @@ from repro.fuzzer.engine import (
     FuzzEngine,
     afl_engine_config,
 )
+from repro.fuzzer.parallel import (
+    CellFailure,
+    ParallelMatrixError,
+    run_cells,
+    run_instance_campaign,
+    run_matrix_parallel,
+)
+from repro.fuzzer.stats import CampaignStats, MatrixProgress
 
 __all__ = [
     "FuzzEngine",
@@ -25,4 +33,11 @@ __all__ = [
     "replay_edge_coverage",
     "minimize_corpus",
     "coverage_of",
+    "CellFailure",
+    "ParallelMatrixError",
+    "run_cells",
+    "run_instance_campaign",
+    "run_matrix_parallel",
+    "CampaignStats",
+    "MatrixProgress",
 ]

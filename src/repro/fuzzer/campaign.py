@@ -29,6 +29,13 @@ class CrashInfo(object):
     def bug_id(self):
         return self.bug
 
+    def _state(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __eq__(self, other):
+        """Field-wise value equality (parallel/sequential determinism checks)."""
+        return isinstance(other, CrashInfo) and self._state() == other._state()
+
     def __repr__(self):
         return "CrashInfo(%s x%d)" % (self.bug, self.count)
 
@@ -89,6 +96,19 @@ class CampaignResult(object):
     def unique_crash_hashes(self):
         """Stack-hash identities of the clustered crashes."""
         return {record.hash5 for record in self.crash_records}
+
+    def _state(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __eq__(self, other):
+        """Field-wise value equality.
+
+        Sequential and parallel matrix runs of the same (subject, config,
+        run-seed) cell must produce *equal* results — this is the contract
+        the parallel runner's determinism test checks, and what makes the
+        pickle round-trip through worker pipes verifiable.
+        """
+        return isinstance(other, CampaignResult) and self._state() == other._state()
 
     def __repr__(self):
         return "CampaignResult(%s/%s#%d: bugs=%d, crashes=%d, queue=%d)" % (

@@ -27,6 +27,7 @@ class QueueEntry(object):
         "handicap",
         "found_at",
         "cmplog_done",
+        "imported",
     )
 
     def __init__(self, entry_id, data, exec_cost, classified, depth, found_at):
@@ -41,6 +42,8 @@ class QueueEntry(object):
         self.handicap = 0
         self.found_at = found_at
         self.cmplog_done = False
+        # Synced in from another fuzzing instance (AFL++'s foreign queues).
+        self.imported = False
 
     def score_key(self):
         """AFL's top_rated ordering: cheaper-to-run x shorter wins."""
@@ -113,6 +116,23 @@ class Queue(object):
         self.pending_favored = sum(
             1 for e in self.entries if e.favored and not e.was_fuzzed
         )
+
+    def next_entry_id(self):
+        """The id the next :meth:`make_entry` call will assign.
+
+        Corpus sync uses this as a high-water mark: entries at or above a
+        remembered mark are exactly those added since it was taken.
+        """
+        return self._next_id
+
+    def entries_since(self, entry_id):
+        """Entries created at or after ``entry_id`` (append order).
+
+        Ids are assigned monotonically, so this is the delta between two
+        :meth:`next_entry_id` marks — what instance-parallel workers offer
+        at each corpus-sync barrier.
+        """
+        return [e for e in self.entries if e.entry_id >= entry_id]
 
     def favored_entries(self):
         """The current favored subset (culling if stale)."""

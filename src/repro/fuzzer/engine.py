@@ -117,34 +117,73 @@ class FuzzEngine(object):
         self.cycle = 0
         self.timeline = []
         self.clock = None
+        self._queue_index = 0
         self._seeds = [bytes(s) for s in seeds]
 
     # -- the outer loop ------------------------------------------------------
 
     def run(self, budget_ticks):
         """Fuzz until the virtual budget expires; returns self for chaining."""
+        self.start(budget_ticks)
+        self.run_until(budget_ticks)
+        self.finish()
+        return self
+
+    def start(self, budget_ticks):
+        """Arm the clock and dry-run the seeds without fuzzing yet.
+
+        Splitting :meth:`run` into ``start`` / :meth:`run_until` /
+        :meth:`finish` lets instance-parallel campaigns pause the loop at
+        corpus-sync barriers and resume it on the same clock.
+        """
         self.clock = VirtualClock(budget_ticks)
+        self._queue_index = 0
         self._dry_run_seeds()
-        queue_index = 0
-        while not self.clock.expired():
+        return self
+
+    def run_until(self, tick_target):
+        """Fuzz until the clock reaches ``tick_target`` (soft barrier).
+
+        The barrier is checked between per-entry stages, so the loop may
+        overshoot by one entry's worth of mutations — deterministically, as
+        everything else on the virtual clock.
+        """
+        tick_target = min(tick_target, self.clock.budget)
+        while self.clock.ticks < tick_target:
             if not self.queue.entries:
                 # Every seed crashed or hung; fall back to random inputs.
                 self._run_and_process(
                     bytes(self.rng.randrange(256) for _ in range(16)), depth=0
                 )
                 continue
-            if queue_index >= len(self.queue.entries):
-                queue_index = 0
+            if self._queue_index >= len(self.queue.entries):
+                self._queue_index = 0
                 self.cycle += 1
-            entry = self.queue.entries[queue_index]
-            queue_index += 1
+            entry = self.queue.entries[self._queue_index]
+            self._queue_index += 1
             self.queue.cull()
             if self._should_skip(entry):
                 continue
             self._fuzz_one(entry)
             entry.was_fuzzed = True
+        return self
+
+    def finish(self):
+        """Record the final timeline sample; returns self for chaining."""
         self._snapshot()
         return self
+
+    def import_input(self, data):
+        """Adopt an input synced from another fuzzing instance.
+
+        The input is re-executed under *this* engine's instrumentation (as
+        AFL++'s ``sync_fuzzers`` re-runs synced cases) and queued only if it
+        is locally novel.  Returns the new entry or ``None``.
+        """
+        entry = self._run_and_process(bytes(data), depth=0)
+        if entry is not None:
+            entry.imported = True
+        return entry
 
     def _dry_run_seeds(self):
         for seed in self._seeds:

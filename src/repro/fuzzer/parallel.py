@@ -1,0 +1,508 @@
+"""Parallel campaign execution.
+
+Two multiprocess modes, mirroring how the paper's evaluation was deployed
+on a many-core server:
+
+**Matrix parallelism** (:func:`run_cells`, :func:`run_matrix_parallel`)
+    fans independent (subject, config, run-seed) campaign cells out over a
+    pool of worker *processes*.  Each cell runs in a process of its own, so
+    a worker that raises, hangs past its deadline, or dies outright marks
+    only its cell failed — the rest of the matrix completes.  Per-cell RNGs
+    are derived from the cell key (see ``campaign_rng``), so a parallel run
+    is byte-identical to the sequential one, and workers share the runner's
+    on-disk result cache.
+
+**Instance parallelism** (:func:`run_instance_campaign`)
+    an AFL++-style main/secondary campaign: N engine workers fuzz the *same*
+    subject under the same config (distinct per-instance RNG streams) and
+    periodically exchange interesting inputs through a parent-mediated
+    corpus sync.  The merge policy is AFL's: candidates are deduplicated by
+    input hash, admitted only if they add (index, bucket) novelty to the
+    shared virgin map under the campaign's own feedback, and broadcast to
+    every other worker, which re-executes them locally before queueing
+    (``import_input``).  Sync rounds are barriers driven in worker order,
+    so the whole campaign is deterministic for a fixed worker count.
+
+Both modes report progress through :mod:`repro.fuzzer.stats`.
+"""
+
+import hashlib
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing import connection
+
+from repro.coverage.bitmap import VirginMap
+from repro.fuzzer.stats import CampaignStats, MatrixProgress
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits built subjects); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- matrix parallelism --------------------------------------------------------
+
+
+class CellFailure(object):
+    """Why one matrix cell produced no result."""
+
+    __slots__ = ("key", "kind", "message")
+
+    def __init__(self, key, kind, message):
+        self.key = key
+        self.kind = kind  # "error" | "crashed" | "timeout"
+        self.message = message
+
+    def __repr__(self):
+        return "CellFailure(%s: %s, %s)" % (self.key, self.kind, self.message)
+
+
+class ParallelMatrixError(RuntimeError):
+    """Raised after a parallel matrix finishes with failed cells.
+
+    The run is never aborted early: every other cell completes first, and
+    ``partial_results`` carries everything that did succeed.
+    """
+
+    def __init__(self, failures, partial_results):
+        self.failures = list(failures)
+        self.partial_results = partial_results
+        lines = ["%d matrix cell(s) failed:" % len(self.failures)]
+        for failure in self.failures:
+            lines.append(
+                "  %s: [%s] %s" % (failure.key, failure.kind, failure.message)
+            )
+        super().__init__("\n".join(lines))
+
+
+def run_campaign_cell(task):
+    """Default cell body: one cached campaign (runs inside the worker)."""
+    from repro.experiments.runner import campaign
+
+    return campaign(*task)
+
+
+def _cell_entry(conn, cell_fn, task):
+    """Worker process entry: run the cell, ship the outcome, exit."""
+    try:
+        result = cell_fn(task)
+        conn.send(("ok", result))
+    except BaseException as exc:  # report *any* failure, then die quietly
+        try:
+            conn.send(("error", "%s: %s" % (type(exc).__name__, exc)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def run_cells(tasks, jobs, timeout=None, cell_fn=None, progress=None):
+    """Run independent campaign cells over ``jobs`` worker processes.
+
+    ``tasks`` maps cell key -> argument tuple for ``cell_fn`` (default:
+    :func:`run_campaign_cell`).  Returns ``(results, failures)`` where
+    ``results`` maps key -> cell result and ``failures`` lists a
+    :class:`CellFailure` per cell that raised ("error"), died without
+    reporting ("crashed"), or exceeded ``timeout`` wall seconds
+    ("timeout").  A failing cell never aborts the others.
+    """
+    cell_fn = run_campaign_cell if cell_fn is None else cell_fn
+    jobs = max(1, int(jobs))
+    if progress is None:
+        progress = MatrixProgress(total=len(tasks))
+    ctx = _mp_context()
+    pending = deque(tasks.items())
+    running = {}  # recv conn -> (key, process, started, deadline)
+    results = {}
+    failures = []
+
+    def finish(conn, status, wall, execs=0):
+        key = running[conn][0]
+        del running[conn]
+        conn.close()
+        progress.record_cell(key, status, wall, execs)
+
+    while pending or running:
+        while pending and len(running) < jobs:
+            key, task = pending.popleft()
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_cell_entry, args=(send_conn, cell_fn, task), daemon=True
+            )
+            proc.start()
+            send_conn.close()
+            started = time.monotonic()
+            deadline = started + timeout if timeout else None
+            running[recv_conn] = (key, proc, started, deadline)
+        wait_for = None
+        deadlines = [d for (_, _, _, d) in running.values() if d is not None]
+        if deadlines:
+            wait_for = max(0.0, min(deadlines) - time.monotonic())
+        ready = connection.wait(list(running), timeout=wait_for)
+        now = time.monotonic()
+        if not ready:
+            for conn, (key, proc, started, deadline) in list(running.items()):
+                if deadline is not None and now >= deadline:
+                    proc.terminate()
+                    proc.join()
+                    failures.append(
+                        CellFailure(
+                            key, "timeout", "exceeded %.1fs wall budget" % timeout
+                        )
+                    )
+                    finish(conn, "timeout", now - started)
+            continue
+        for conn in ready:
+            key, proc, started, _ = running[conn]
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                proc.join()
+                message = "worker died without reporting (exit code %s)" % (
+                    proc.exitcode,
+                )
+                failures.append(CellFailure(key, "crashed", message))
+                finish(conn, "crashed", now - started)
+                continue
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+            if status == "ok":
+                results[key] = payload
+                finish(conn, "ok", now - started, getattr(payload, "execs", 0))
+            else:
+                failures.append(CellFailure(key, "error", payload))
+                finish(conn, "error", now - started)
+    return results, failures
+
+
+def run_matrix_parallel(cells, jobs, timeout=None, progress=None):
+    """Run a campaign-cell matrix; raise if any cell failed.
+
+    ``cells`` maps (subject, config, run_seed) -> campaign argument tuple.
+    On any failure, raises :class:`ParallelMatrixError` *after* every other
+    cell has completed (partial results attached).
+    """
+    results, failures = run_cells(cells, jobs, timeout=timeout, progress=progress)
+    if failures:
+        raise ParallelMatrixError(failures, results)
+    return results
+
+
+# -- instance parallelism ------------------------------------------------------
+
+
+def input_hash(data):
+    """Content identity used for cross-instance corpus dedup."""
+    return hashlib.sha1(bytes(data)).hexdigest()
+
+
+def instance_rng_seed(subject_name, config_name, run_seed, worker_index):
+    """Deterministic RNG seed unique to one engine instance."""
+    digest = hashlib.sha256(
+        (
+            "%s|%s|%d|worker%d" % (subject_name, config_name, run_seed, worker_index)
+        ).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _build_instance_engine(subject_name, config_name, run_seed, worker_index):
+    import random
+
+    from repro.experiments.config import FUZZER_CONFIGS
+    from repro.fuzzer.engine import FuzzEngine
+    from repro.subjects import get_subject
+
+    spec = FUZZER_CONFIGS[config_name]
+    if spec.kind != "plain":
+        raise ValueError(
+            "instance parallelism supports plain configs only, not %r (%s)"
+            % (config_name, spec.kind)
+        )
+    subject = get_subject(subject_name)
+    rng = random.Random(
+        instance_rng_seed(subject_name, config_name, run_seed, worker_index)
+    )
+    engine = FuzzEngine(
+        subject.program,
+        spec.feedback_factory(),
+        subject.seeds,
+        rng,
+        spec.engine_config(subject),
+        subject.tokens,
+    )
+    return subject, engine
+
+
+def _instance_worker(conn, subject_name, config_name, run_seed, worker_index, budget):
+    """Engine worker: obey run/import/finish commands from the parent."""
+    try:
+        subject, engine = _build_instance_engine(
+            subject_name, config_name, run_seed, worker_index
+        )
+        engine.start(budget)
+        reported = 0  # first entry id not yet shipped to the parent
+        while True:
+            command = conn.recv()
+            if command[0] == "run":
+                engine.run_until(command[1])
+                fresh = [
+                    (entry.data, entry.classified)
+                    for entry in engine.queue.entries_since(reported)
+                    if not entry.imported
+                ]
+                reported = engine.queue.next_entry_id()
+                conn.send(
+                    (
+                        "synced",
+                        fresh,
+                        {
+                            "ticks": engine.clock.ticks,
+                            "execs": engine.execs,
+                            "queue": len(engine.queue.entries),
+                            "crashes": engine.crash_count,
+                            "hangs": engine.hangs,
+                        },
+                    )
+                )
+            elif command[0] == "import":
+                added = 0
+                for data in command[1]:
+                    if engine.import_input(data) is not None:
+                        added += 1
+                reported = engine.queue.next_entry_id()
+                conn.send(("imported", added))
+            elif command[0] == "finish":
+                from repro.fuzzer.campaign import result_from_engines
+
+                engine.finish()
+                result = result_from_engines(
+                    subject, config_name, run_seed, [engine], engine
+                )
+                conn.send(("result", result))
+                return
+            else:
+                raise ValueError("unknown command %r" % (command[0],))
+    except BaseException as exc:
+        try:
+            conn.send(("error", "%s: %s" % (type(exc).__name__, exc)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _recv_or_raise(conn, worker_index, expected):
+    try:
+        reply = conn.recv()
+    except (EOFError, OSError):
+        raise RuntimeError("instance worker %d died mid-campaign" % worker_index)
+    if reply[0] == "error":
+        raise RuntimeError("instance worker %d failed: %s" % (worker_index, reply[1]))
+    if reply[0] != expected:
+        raise RuntimeError(
+            "instance worker %d sent %r, expected %r"
+            % (worker_index, reply[0], expected)
+        )
+    return reply
+
+
+def merge_instance_results(subject_name, config_name, run_seed, results, queue_size):
+    """Fold per-worker CampaignResults into one merged campaign record.
+
+    Crash buckets merge by stack hash (counts accumulate, earliest
+    ``found_at`` wins); coverage and bug sets union; execution counts sum.
+    ``ticks`` is the per-instance budget actually consumed (the wall-clock
+    analogue: instances run concurrently), so the merged throughput is the
+    *aggregate* execs per virtual hour across all instances.
+    """
+    from repro.fuzzer.campaign import CampaignResult, CrashInfo
+    from repro.fuzzer.clock import TICKS_PER_HOUR
+
+    merged = {}
+    crash_count = 0
+    afl_unique = 0
+    execs = 0
+    hangs = 0
+    timeline = []
+    edges = set()
+    bugs = set()
+    for result in results:
+        crash_count += result.crash_count
+        afl_unique += result.afl_unique_crash_count
+        execs += result.execs
+        hangs += result.hangs
+        edges.update(result.edges)
+        bugs.update(result.bugs)
+        timeline.extend(result.timeline)
+        for record in result.crash_records:
+            existing = merged.get(record.hash5)
+            if existing is None:
+                merged[record.hash5] = CrashInfo(
+                    bug=record.bug,
+                    hash5=record.hash5,
+                    kind=record.kind,
+                    count=record.count,
+                    afl_unique=record.afl_unique,
+                    found_at=record.found_at,
+                    stack=record.stack,
+                )
+            else:
+                existing.count += record.count
+                existing.found_at = min(existing.found_at, record.found_at)
+    ticks = max((result.ticks for result in results), default=0)
+    throughput = execs / (ticks / TICKS_PER_HOUR) if ticks else 0.0
+    return CampaignResult(
+        subject_name=subject_name,
+        config_name=config_name,
+        run_seed=run_seed,
+        bugs=bugs,
+        crash_records=list(merged.values()),
+        crash_count=crash_count,
+        afl_unique_crash_count=afl_unique,
+        queue_size=queue_size,
+        edges=frozenset(edges),
+        execs=execs,
+        hangs=hangs,
+        ticks=ticks,
+        throughput=throughput,
+        timeline=sorted(timeline),
+    )
+
+
+def run_instance_campaign(
+    subject_name,
+    config_name,
+    run_seed,
+    budget_ticks,
+    workers=2,
+    sync_interval_ticks=None,
+    stats=None,
+):
+    """AFL++-style main/secondary campaign over ``workers`` engine processes.
+
+    Every instance fuzzes the full ``budget_ticks`` (as real instances each
+    run the full wall-clock), pausing at sync barriers every
+    ``sync_interval_ticks`` (default: budget / 8, the paper's round scale).
+    Returns ``(merged_result, worker_results, stats)``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    from repro.experiments.config import FUZZER_CONFIGS
+    from repro.subjects import get_subject
+
+    spec = FUZZER_CONFIGS[config_name]
+    if not spec.supports_instances:
+        raise ValueError(
+            "config %r (%s) cannot run as parallel instances; "
+            "only plain single-engine configs can" % (config_name, spec.kind)
+        )
+
+    if stats is None:
+        stats = CampaignStats(label="%s/%s#%d" % (subject_name, config_name, run_seed))
+    if sync_interval_ticks is None:
+        sync_interval_ticks = max(1, budget_ticks // 8)
+    subject = get_subject(subject_name)  # also validates the name pre-fork
+    ctx = _mp_context()
+    conns = []
+    procs = []
+    try:
+        for index in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_instance_worker,
+                args=(
+                    child_conn,
+                    subject_name,
+                    config_name,
+                    run_seed,
+                    index,
+                    budget_ticks,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        # Shared-corpus state: content hashes ever seen (pre-seeded with the
+        # subject's own seeds, which every instance already holds) and the
+        # merged virgin map under the campaign feedback.
+        seen = {input_hash(seed) for seed in subject.seeds}
+        virgin = VirginMap()
+        corpus_size = 0
+        targets = list(range(sync_interval_ticks, budget_ticks, sync_interval_ticks))
+        targets.append(budget_ticks)
+        for target in targets:
+            for conn in conns:
+                conn.send(("run", target))
+            offered = 0
+            accepted_before = corpus_size
+            broadcasts = [[] for _ in range(workers)]
+            # Collect and merge in worker-index order: deterministic.
+            for index, conn in enumerate(conns):
+                _, fresh, worker_stats = _recv_or_raise(conn, index, "synced")
+                stats.record_worker(
+                    index,
+                    worker_stats["ticks"],
+                    worker_stats["execs"],
+                    worker_stats["queue"],
+                    worker_stats["crashes"],
+                    worker_stats["hangs"],
+                )
+                offered += len(fresh)
+                for data, classified in fresh:
+                    digest = input_hash(data)
+                    if digest in seen:
+                        continue
+                    seen.add(digest)
+                    new_indices, new_buckets = virgin.probe(classified)
+                    if not (new_indices or new_buckets):
+                        continue
+                    virgin.merge(classified)
+                    corpus_size += 1
+                    for other in range(workers):
+                        if other != index:
+                            broadcasts[other].append(data)
+            imported = [0] * workers
+            for index, conn in enumerate(conns):
+                if broadcasts[index]:
+                    conn.send(("import", broadcasts[index]))
+            for index, conn in enumerate(conns):
+                if broadcasts[index]:
+                    imported[index] = _recv_or_raise(conn, index, "imported")[1]
+            stats.record_sync(target, offered, corpus_size - accepted_before, imported)
+        worker_results = []
+        for index, conn in enumerate(conns):
+            conn.send(("finish",))
+            worker_results.append(_recv_or_raise(conn, index, "result")[1])
+        for proc in procs:
+            proc.join()
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+    merged = merge_instance_results(
+        subject_name,
+        config_name,
+        run_seed,
+        worker_results,
+        queue_size=len(subject.seeds) + corpus_size,
+    )
+    return merged, worker_results, stats

@@ -43,6 +43,12 @@ def performance_score(entry, avg_exec_cost, avg_trace_size):
         score *= 4.0
     elif depth > 25:
         score *= 5.0
+    # Entries synced in from another instance embody coverage this instance
+    # never reached on its own: give them extra energy on their first visit.
+    # Single-instance campaigns never import, so the sequential paths are
+    # bit-for-bit unaffected.
+    if getattr(entry, "imported", False) and not entry.was_fuzzed:
+        score *= 1.5
     return max(10.0, min(score, 1600.0))
 
 

@@ -1,0 +1,195 @@
+"""Campaign observability: per-worker throughput, queue growth, sync events.
+
+Both parallel modes (matrix fan-out and main/secondary instance campaigns)
+report their progress through the structures here, so future performance
+work has one place to hook measurements.  Events are kept in memory (tests
+and callers inspect them) *and* mirrored to the ``repro.fuzzer.parallel``
+logger — enable ``logging.basicConfig(level=logging.INFO)`` or the CLI's
+``--verbose`` flag to watch a campaign live.
+
+Wall-clock seconds here are real (``time.monotonic``); "virtual" rates are
+executions per virtual hour, the deterministic clock's native unit.
+"""
+
+import logging
+import time
+
+from repro.fuzzer.clock import TICKS_PER_HOUR
+
+logger = logging.getLogger("repro.fuzzer.parallel")
+
+
+class WorkerSample(object):
+    """One per-worker progress snapshot taken at a sync barrier."""
+
+    __slots__ = ("worker", "tick", "execs", "queue_size", "crashes", "hangs", "wall")
+
+    def __init__(self, worker, tick, execs, queue_size, crashes, hangs, wall):
+        self.worker = worker
+        self.tick = tick
+        self.execs = execs
+        self.queue_size = queue_size
+        self.crashes = crashes
+        self.hangs = hangs
+        self.wall = wall
+
+    def execs_per_vhour(self):
+        """Executions per virtual hour so far (0 before the first tick)."""
+        if self.tick <= 0:
+            return 0.0
+        return self.execs / (self.tick / TICKS_PER_HOUR)
+
+    def execs_per_sec(self):
+        """Executions per wall-clock second so far (0 before any wall time)."""
+        if self.wall <= 0:
+            return 0.0
+        return self.execs / self.wall
+
+    def __repr__(self):
+        return "WorkerSample(w%d @%d: execs=%d, queue=%d)" % (
+            self.worker,
+            self.tick,
+            self.execs,
+            self.queue_size,
+        )
+
+
+class SyncEvent(object):
+    """One corpus-sync round: what was offered, what survived the merge."""
+
+    __slots__ = ("tick", "offered", "accepted", "imported_per_worker", "wall")
+
+    def __init__(self, tick, offered, accepted, imported_per_worker, wall):
+        self.tick = tick
+        self.offered = offered
+        self.accepted = accepted
+        self.imported_per_worker = imported_per_worker
+        self.wall = wall
+
+    def __repr__(self):
+        return "SyncEvent(@%d: offered=%d, accepted=%d)" % (
+            self.tick,
+            self.offered,
+            self.accepted,
+        )
+
+
+class CampaignStats(object):
+    """Progress log of one instance-parallel campaign."""
+
+    def __init__(self, label=""):
+        self.label = label
+        self.samples = []
+        self.sync_events = []
+        self._start = time.monotonic()
+
+    def elapsed(self):
+        return time.monotonic() - self._start
+
+    def record_worker(self, worker, tick, execs, queue_size, crashes, hangs=0):
+        sample = WorkerSample(
+            worker, tick, execs, queue_size, crashes, hangs, self.elapsed()
+        )
+        self.samples.append(sample)
+        logger.info(
+            "%s worker %d @tick %d: %d execs (%.0f/vh, %.0f/s), queue %d, "
+            "%d crashes",
+            self.label,
+            worker,
+            tick,
+            execs,
+            sample.execs_per_vhour(),
+            sample.execs_per_sec(),
+            queue_size,
+            crashes,
+        )
+        return sample
+
+    def record_sync(self, tick, offered, accepted, imported_per_worker=()):
+        event = SyncEvent(
+            tick, offered, accepted, tuple(imported_per_worker), self.elapsed()
+        )
+        self.sync_events.append(event)
+        logger.info(
+            "%s sync @tick %d: %d offered, %d accepted into shared corpus",
+            self.label,
+            tick,
+            offered,
+            accepted,
+        )
+        return event
+
+    def latest_samples(self):
+        """The most recent sample of every worker, keyed by worker index."""
+        latest = {}
+        for sample in self.samples:
+            latest[sample.worker] = sample
+        return latest
+
+    def summary_lines(self):
+        """Human-readable per-worker and sync totals (for the CLI)."""
+        lines = []
+        for worker, sample in sorted(self.latest_samples().items()):
+            lines.append(
+                "worker %d: %d execs (%.0f exec/vh, %.0f exec/s), "
+                "queue %d, crashes %d, hangs %d"
+                % (
+                    worker,
+                    sample.execs,
+                    sample.execs_per_vhour(),
+                    sample.execs_per_sec(),
+                    sample.queue_size,
+                    sample.crashes,
+                    sample.hangs,
+                )
+            )
+        offered = sum(e.offered for e in self.sync_events)
+        accepted = sum(e.accepted for e in self.sync_events)
+        lines.append(
+            "syncs: %d rounds, %d inputs offered, %d accepted"
+            % (len(self.sync_events), offered, accepted)
+        )
+        return lines
+
+
+class CellRecord(object):
+    """Outcome of one matrix cell (a whole campaign) in the fan-out pool."""
+
+    __slots__ = ("key", "status", "wall", "execs")
+
+    def __init__(self, key, status, wall, execs):
+        self.key = key
+        self.status = status  # "ok" | "error" | "crashed" | "timeout"
+        self.wall = wall
+        self.execs = execs
+
+    def __repr__(self):
+        return "CellRecord(%s: %s in %.1fs)" % (self.key, self.status, self.wall)
+
+
+class MatrixProgress(object):
+    """Progress log of one parallel matrix run (cell completions)."""
+
+    def __init__(self, total=0):
+        self.total = total
+        self.cells = []
+        self._start = time.monotonic()
+
+    def record_cell(self, key, status, wall, execs=0):
+        record = CellRecord(key, status, wall, execs)
+        self.cells.append(record)
+        logger.info(
+            "cell %s: %s in %.1fs (%d/%s done)",
+            key,
+            status,
+            wall,
+            len(self.cells),
+            self.total or "?",
+        )
+        return record
+
+    def completed(self):
+        return [c for c in self.cells if c.status == "ok"]
+
+    def failed(self):
+        return [c for c in self.cells if c.status != "ok"]

@@ -42,15 +42,11 @@ from repro.cfg.instructions import (
     OP_NE,
     OP_OR,
     OP_SHL,
-    OP_SHR,
     OP_SUB,
     OP_XOR,
-    OP_BNOT,
     OP_LNOT,
     OP_NEG,
-    RET,
     STORE,
-    STR,
     UN,
 )
 from repro.lang.builtins_spec import BUILTIN_CODES

@@ -72,6 +72,13 @@ class Trap(Exception):
         self.detail = detail
         self.stack = stack
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``self.args`` (the
+        # formatted message), which does not match this signature; crash
+        # records cross process boundaries in parallel campaigns, so spell
+        # out the real constructor arguments.
+        return (Trap, (self.kind, self.function, self.line, self.detail, self.stack))
+
     def bug_id(self):
         """Ground-truth bug identity: the faulting site plus defect kind."""
         return (self.function, self.line, self.kind)
@@ -90,3 +97,6 @@ class Timeout(Exception):
     def __init__(self, budget):
         super().__init__("execution exceeded %d instructions" % budget)
         self.budget = budget
+
+    def __reduce__(self):
+        return (Timeout, (self.budget,))

@@ -16,7 +16,7 @@ from repro.ballarus import (
     enumerate_paths,
     number_paths,
 )
-from repro.ballarus.dag import REGULAR, RET_EDGE, SURR_ENTRY, SURR_EXIT
+from repro.ballarus.dag import SURR_ENTRY, SURR_EXIT
 from repro.ballarus.spanning import place_increments
 from repro.lang import compile_source
 from tests.genprog import programs

@@ -1,7 +1,5 @@
 """Consistency tests for the builtin registry and diagnostics."""
 
-import pytest
-
 from repro.lang.builtins_spec import BUILTIN_CODES, BUILTIN_NAMES, BUILTINS
 from repro.lang.errors import LexError, MiniCError, ParseError, SemaError
 

@@ -4,8 +4,6 @@ These use a tiny profile (one small subject, minuscule budgets) so the whole
 module stays fast; the real campaign matrix lives in benchmarks/.
 """
 
-import os
-
 import pytest
 
 from repro.experiments.config import FUZZER_CONFIGS, campaign_rng, run_config

@@ -1,7 +1,5 @@
 """VM semantics tests: arithmetic, memory, traps, builtins, limits."""
 
-import pytest
-
 from repro.lang import compile_source
 from repro.runtime import execute
 from repro.runtime.traps import (

@@ -4,7 +4,7 @@ import pytest
 
 from repro.lang.errors import LexError
 from repro.lang.lexer import tokenize
-from repro.lang.tokens import EOF, IDENT, INT, STRING
+from repro.lang.tokens import EOF, IDENT, STRING
 
 
 def kinds(source):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cfg.instructions import BR, JMP, RET
+from repro.cfg.instructions import BR, RET
 from repro.lang import compile_source
 
 

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings
 
-from repro.cfg.instructions import BIN, CONST, JMP
+from repro.cfg.instructions import BIN, CONST
 from repro.lang import compile_source
 from repro.runtime import execute
 from tests.genprog import programs

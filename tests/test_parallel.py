@@ -1,0 +1,276 @@
+"""Parallel campaign runner tests: matrix fan-out and instance campaigns.
+
+The determinism contract is the load-bearing one: a parallel matrix must be
+*equal* (CampaignResult.__eq__, every field) to the sequential run, because
+every table in the paper is derived from the same campaign set.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.experiments.runner import run_matrix
+from repro.fuzzer.clock import TICKS_PER_HOUR
+from repro.fuzzer.corpus import QueueEntry
+from repro.fuzzer.engine import FuzzEngine
+from repro.fuzzer.parallel import (
+    ParallelMatrixError,
+    input_hash,
+    instance_rng_seed,
+    run_cells,
+    run_instance_campaign,
+)
+from repro.fuzzer.schedule import performance_score
+from repro.coverage.feedback import PathFeedback
+from repro.subjects import get_subject
+
+TINY = 0.05  # scale: 1 "hour" = 20k ticks, tens of executions
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(monkeypatch):
+    """No disk cache, and a clean memory cache before and after each test."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    runner._MEMORY_CACHE.clear()
+    yield
+    runner._MEMORY_CACHE.clear()
+
+
+# -- matrix parallelism --------------------------------------------------------
+
+
+def test_parallel_matrix_equals_sequential():
+    configs = ["pcguard", "path"]
+    sequential = run_matrix(
+        configs, hours=1, subjects=["flvmeta"], runs=2, scale=TINY, jobs=1
+    )
+    runner._MEMORY_CACHE.clear()
+    parallel = run_matrix(
+        configs, hours=1, subjects=["flvmeta"], runs=2, scale=TINY, jobs=2
+    )
+    assert set(sequential) == set(parallel)
+    for key in sequential:
+        assert sequential[key] == parallel[key]  # every CampaignResult field
+
+
+def test_parallel_matrix_honours_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    results = run_matrix(
+        ["pcguard"], hours=1, subjects=["flvmeta"], runs=2, scale=TINY
+    )
+    assert len(results) == 2
+    for (subject, config, seed), result in results.items():
+        assert result.subject_name == subject
+        assert result.config_name == config
+        assert result.run_seed == seed
+
+
+def test_parallel_matrix_populates_memory_cache():
+    run_matrix(["pcguard"], hours=1, subjects=["flvmeta"], runs=1, scale=TINY, jobs=2)
+    # A second call must be served from the parent's memory cache: no
+    # worker processes are spawned for cached cells, so it is near-instant.
+    start = time.monotonic()
+    again = run_matrix(
+        ["pcguard"], hours=1, subjects=["flvmeta"], runs=1, scale=TINY, jobs=2
+    )
+    assert time.monotonic() - start < 0.1
+    assert len(again) == 1
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 2, reason="needs 2+ cores")
+def test_parallel_matrix_wall_clock_speedup():
+    """A 4-cell matrix completes faster over 2 workers than sequentially."""
+    configs = ["pcguard", "path"]
+    # Cells heavy enough (~0.5 s each) that the 2x parallelism win dwarfs
+    # process startup noise.
+    start = time.monotonic()
+    sequential = run_matrix(
+        configs, hours=1, subjects=["flvmeta"], runs=2, scale=8.0, jobs=1
+    )
+    sequential_wall = time.monotonic() - start
+    runner._MEMORY_CACHE.clear()
+    start = time.monotonic()
+    parallel = run_matrix(
+        configs, hours=1, subjects=["flvmeta"], runs=2, scale=8.0, jobs=2
+    )
+    parallel_wall = time.monotonic() - start
+    assert sequential == parallel
+    assert parallel_wall < sequential_wall
+
+
+def _cell_by_kind(task):
+    kind = task[0]
+    if kind == "boom":
+        raise RuntimeError("deliberate failure")
+    if kind == "die":
+        os._exit(3)
+    if kind == "sleep":
+        time.sleep(30)
+    return "ok-%s" % task[1]
+
+
+def test_failed_cells_do_not_kill_the_run():
+    tasks = {
+        "a": ("fine", "a"),
+        "b": ("boom", "b"),
+        "c": ("die", "c"),
+        "d": ("fine", "d"),
+    }
+    results, failures = run_cells(tasks, jobs=2, cell_fn=_cell_by_kind)
+    assert results == {"a": "ok-a", "d": "ok-d"}
+    kinds = {failure.key: failure.kind for failure in failures}
+    assert kinds == {"b": "error", "c": "crashed"}
+    assert any("deliberate failure" in f.message for f in failures)
+
+
+def test_cell_timeout_is_enforced():
+    tasks = {"slow": ("sleep", "slow"), "fast": ("fine", "fast")}
+    start = time.monotonic()
+    results, failures = run_cells(tasks, jobs=2, timeout=1.0, cell_fn=_cell_by_kind)
+    assert time.monotonic() - start < 15
+    assert results == {"fast": "ok-fast"}
+    assert len(failures) == 1
+    assert failures[0].key == "slow"
+    assert failures[0].kind == "timeout"
+
+
+def test_run_matrix_reports_failures_after_completion():
+    with pytest.raises(ParallelMatrixError) as excinfo:
+        run_matrix(
+            ["pcguard", "no_such_config"],
+            hours=1,
+            subjects=["flvmeta"],
+            runs=1,
+            scale=TINY,
+            jobs=2,
+        )
+    error = excinfo.value
+    # The healthy cell still completed and is attached to the error.
+    assert ("flvmeta", "pcguard", 0) in error.partial_results
+    assert [f.key for f in error.failures] == [("flvmeta", "no_such_config", 0)]
+    assert error.failures[0].kind == "error"
+
+
+# -- instance parallelism ------------------------------------------------------
+
+
+def test_instance_campaign_merges_workers():
+    merged, worker_results, stats = run_instance_campaign(
+        "flvmeta", "path", 0, 60_000, workers=2
+    )
+    assert len(worker_results) == 2
+    assert merged.execs == sum(r.execs for r in worker_results)
+    assert merged.crash_count == sum(r.crash_count for r in worker_results)
+    for result in worker_results:
+        assert result.bugs <= merged.bugs
+        assert set(result.edges) <= set(merged.edges)
+    # Default sync cadence: budget / 8 barriers, all recorded.
+    assert len(stats.sync_events) == 8
+    assert sum(e.offered for e in stats.sync_events) >= sum(
+        e.accepted for e in stats.sync_events
+    )
+    # Per-worker progress was sampled at every barrier.
+    assert {s.worker for s in stats.samples} == {0, 1}
+    assert stats.latest_samples()[0].execs == worker_results[0].execs
+
+
+def test_instance_campaign_deterministic():
+    first, _, _ = run_instance_campaign("flvmeta", "path", 0, 40_000, workers=2)
+    second, _, _ = run_instance_campaign("flvmeta", "path", 0, 40_000, workers=2)
+    assert first == second
+
+
+def test_instance_campaign_rejects_non_plain_configs():
+    with pytest.raises(ValueError):
+        run_instance_campaign("flvmeta", "cull", 0, 10_000, workers=2)
+    with pytest.raises(ValueError):
+        run_instance_campaign("flvmeta", "path", 0, 10_000, workers=0)
+
+
+def test_instance_rng_seeds_are_distinct_per_worker():
+    seeds = {instance_rng_seed("s", "path", 0, i) for i in range(8)}
+    assert len(seeds) == 8
+    assert instance_rng_seed("s", "path", 0, 1) == instance_rng_seed("s", "path", 0, 1)
+
+
+def test_input_hash_is_content_identity():
+    assert input_hash(b"abc") == input_hash(bytearray(b"abc"))
+    assert input_hash(b"abc") != input_hash(b"abd")
+
+
+# -- engine-level sync primitives ----------------------------------------------
+
+
+def _engine(subject_name="flvmeta", seed=0):
+    import random
+
+    subject = get_subject(subject_name)
+    return subject, FuzzEngine(
+        subject.program,
+        PathFeedback(),
+        subject.seeds,
+        random.Random(seed),
+        tokens=subject.tokens,
+    )
+
+
+def test_import_input_requeues_novel_inputs_only():
+    subject, donor = _engine(seed=1)
+    donor.run(30_000)
+    _, receiver = _engine(seed=2)
+    receiver.start(10_000)
+    mark = receiver.queue.next_entry_id()
+    # Re-importing a seed is never novel: its coverage is already virgin.
+    assert receiver.import_input(subject.seeds[0]) is None
+    seed_set = {bytes(s) for s in subject.seeds}
+    imported = 0
+    for entry in donor.queue.entries:
+        if entry.data in seed_set:
+            continue
+        if receiver.import_input(entry.data) is not None:
+            imported += 1
+    # Everything the donor found beyond the seeds was novel to a fresh
+    # engine (its virgin map is a subset of the donor's at discovery time).
+    assert imported == sum(
+        1 for e in donor.queue.entries if e.data not in seed_set
+    )
+    fresh = receiver.queue.entries_since(mark)
+    assert len(fresh) == imported
+    assert all(entry.imported for entry in fresh)
+    assert all(entry.depth == 0 for entry in fresh)
+
+
+def test_run_until_resumes_on_one_clock():
+    _, sliced = _engine(seed=3)
+    sliced.start(30_000)
+    for target in (10_000, 20_000, 30_000):
+        sliced.run_until(target)
+    sliced.finish()
+    _, whole = _engine(seed=3)
+    whole.run(30_000)
+    # Slicing the loop at soft barriers must not change the trajectory.
+    assert sliced.execs == whole.execs
+    assert sliced.clock.ticks == whole.clock.ticks
+    assert [e.data for e in sliced.queue.entries] == [
+        e.data for e in whole.queue.entries
+    ]
+
+
+def test_imported_entries_get_first_visit_energy_boost():
+    entry = QueueEntry(0, b"xyz", 100, {1: 1}, depth=0, found_at=0)
+    baseline = performance_score(entry, 100, 1)
+    entry.imported = True
+    boosted = performance_score(entry, 100, 1)
+    assert boosted == pytest.approx(baseline * 1.5)
+    entry.was_fuzzed = True
+    assert performance_score(entry, 100, 1) == pytest.approx(baseline)
+
+
+def test_budget_ticks_to_hours_sanity():
+    # Instance campaigns quote per-instance budgets; a whole 1-hour budget
+    # split into 8 sync rounds stays above zero-length rounds.
+    assert TICKS_PER_HOUR // 8 > 0

@@ -1,0 +1,155 @@
+"""Everything that crosses a worker-process boundary must survive pickle.
+
+Campaign results travel from matrix workers to the parent, per-worker
+results and crash records from instance workers, and feedback state rides
+along inside engines forked for instance campaigns.  These are regression
+tests for the whole reachable object graph — most notably :class:`Trap`,
+whose Exception heritage made default pickling replay ``__init__`` with the
+formatted message instead of the real arguments.
+"""
+
+import pickle
+
+import pytest
+
+from repro.coverage.bitmap import VirginMap
+from repro.coverage.feedback import (
+    BlockFeedback,
+    EdgeFeedback,
+    NGramFeedback,
+    PathAFLFeedback,
+    PathFeedback,
+    PathPairFeedback,
+)
+from repro.experiments.config import run_config
+from repro.fuzzer.campaign import CampaignResult, CrashInfo
+from repro.fuzzer.corpus import QueueEntry
+from repro.fuzzer.engine import CrashRecord
+from repro.runtime.traps import Frame, Timeout, Trap
+from repro.subjects import get_subject
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+def test_trap_roundtrips_with_full_stack():
+    stack = [Frame("inner", 12), Frame("outer", 40)]
+    trap = Trap("heap-buffer-overflow-read", "inner", 12, "index 9 of 8", stack)
+    clone = roundtrip(trap)
+    assert isinstance(clone, Trap)
+    assert clone.kind == trap.kind
+    assert clone.function == trap.function
+    assert clone.line == trap.line
+    assert clone.detail == trap.detail
+    assert clone.stack == stack
+    assert clone.bug_id() == trap.bug_id()
+    assert clone.report() == trap.report()
+
+
+def test_timeout_roundtrips():
+    clone = roundtrip(Timeout(60_000))
+    assert isinstance(clone, Timeout)
+    assert clone.budget == 60_000
+
+
+def test_crash_info_roundtrips_by_value():
+    info = CrashInfo(
+        bug=("f", 3, "division-by-zero"),
+        hash5="abcdef",
+        kind="division-by-zero",
+        count=4,
+        afl_unique=True,
+        found_at=123,
+        stack=(("f", 3), ("main", 9)),
+    )
+    assert roundtrip(info) == info
+
+
+def test_crash_record_roundtrips_with_trap():
+    trap = Trap("division-by-zero", "f", 3, "denominator 0", [Frame("f", 3)])
+    record = CrashRecord(b"\x00\x01", trap, found_at=7, afl_unique=True, hash5="h5")
+    clone = roundtrip(record)
+    assert clone.data == record.data
+    assert clone.trap.bug_id() == trap.bug_id()
+    assert clone.found_at == 7
+    assert clone.hash5 == "h5"
+    assert clone.count == 1
+
+
+def test_campaign_result_from_real_run_roundtrips():
+    subject = get_subject("flvmeta")
+    result = run_config(subject, "path", 0, budget_ticks=30_000)
+    assert roundtrip(result) == result
+
+
+def test_handwritten_campaign_result_roundtrips():
+    result = CampaignResult(
+        subject_name="s",
+        config_name="c",
+        run_seed=1,
+        bugs={("f", 1, "k")},
+        crash_records=[
+            CrashInfo(("f", 1, "k"), "h", "k", 2, False, 5, (("f", 1),))
+        ],
+        crash_count=2,
+        afl_unique_crash_count=1,
+        queue_size=3,
+        edges=frozenset({1, 2, 3}),
+        execs=100,
+        hangs=1,
+        ticks=5000,
+        throughput=8000.0,
+        timeline=[(0, 1, 1, 0, 1)],
+    )
+    assert roundtrip(result) == result
+
+
+def test_queue_entry_roundtrips():
+    entry = QueueEntry(4, b"data", 120, {7: 2, 9: 1}, depth=3, found_at=88)
+    entry.favored = True
+    entry.imported = True
+    clone = roundtrip(entry)
+    assert clone.entry_id == 4
+    assert clone.data == b"data"
+    assert clone.classified == {7: 2, 9: 1}
+    assert clone.trace == entry.trace
+    assert clone.favored and clone.imported
+    assert clone.depth == 3 and clone.found_at == 88
+
+
+def test_virgin_map_roundtrips():
+    virgin = VirginMap()
+    virgin.merge({1: 1, 2: 4})
+    clone = roundtrip(virgin)
+    assert clone.bits == virgin.bits
+
+
+@pytest.mark.parametrize(
+    "feedback",
+    [
+        EdgeFeedback(),
+        PathFeedback(),
+        PathFeedback(optimize=False),
+        BlockFeedback(),
+        NGramFeedback(4),
+        PathAFLFeedback(),
+        PathPairFeedback(),
+    ],
+    ids=lambda f: f.name,
+)
+def test_feedback_and_instrumentation_roundtrip(feedback):
+    clone = roundtrip(feedback)
+    assert clone.name == feedback.name
+    program = get_subject("flvmeta").program
+    instr = feedback.instrument(program)
+    instr_clone = roundtrip(instr)
+    assert instr_clone.feedback_name == instr.feedback_name
+    assert instr_clone.map_mask == instr.map_mask
+    assert instr_clone.probe_sites == instr.probe_sites
+    assert instr_clone.edge_actions == instr.edge_actions
+    assert instr_clone.ret_actions == instr.ret_actions
+    assert instr_clone.entry_actions == instr.entry_actions
+    assert instr_clone.edge_rows == instr.edge_rows
+    assert instr_clone.ngram_n == instr.ngram_n
+    assert instr_clone.pair_paths == instr.pair_paths
