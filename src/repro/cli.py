@@ -51,6 +51,22 @@ def build_arg_parser():
     fuzz.add_argument("--sync-hours", type=float, default=None,
                       help="virtual hours between corpus syncs "
                            "(default: hours / 8)")
+    fuzz.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="periodically snapshot campaign state to PATH "
+                           "(single-instance) or use PATH as the per-worker "
+                           "checkpoint directory (--workers > 1)")
+    fuzz.add_argument("--checkpoint-every", type=float, default=None,
+                      metavar="HOURS",
+                      help="virtual hours between snapshots (default: hours/8)")
+    fuzz.add_argument("--resume", metavar="PATH", default=None,
+                      help="resume a single-instance campaign from a "
+                           "checkpoint file (implies --checkpoint PATH)")
+    fuzz.add_argument("--max-restarts", type=int, default=3,
+                      help="per-worker restart budget before the campaign "
+                           "degrades (--workers > 1; default 3)")
+    fuzz.add_argument("--worker-timeout", type=float, default=None,
+                      help="wall seconds before a silent worker counts as "
+                           "stalled (default 120)")
     fuzz.add_argument("--verbose", action="store_true",
                       help="log per-worker progress and sync events")
 
@@ -59,6 +75,11 @@ def build_arg_parser():
     report.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the campaign matrix "
                              "(default: REPRO_JOBS or 1)")
+    report.add_argument("--resume", action="store_true",
+                        help="checkpoint long campaign cells and resume them "
+                             "across retries/restarts instead of recomputing "
+                             "from zero (sets REPRO_CHECKPOINT_DIR and a "
+                             "default REPRO_CELL_RESTARTS=2)")
     return parser
 
 
@@ -89,13 +110,26 @@ def cmd_show(args):
 def cmd_fuzz(args):
     if args.workers < 1:
         raise SystemExit("repro fuzz: error: --workers must be >= 1")
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        raise SystemExit("repro fuzz: error: --resume and --checkpoint disagree")
     subject = get_subject(args.subject)
     budget = hours_to_ticks(args.hours, args.scale)
+    checkpoint_every = (
+        hours_to_ticks(args.checkpoint_every, args.scale)
+        if args.checkpoint_every
+        else None
+    )
     if args.verbose:
         logging.basicConfig(level=logging.INFO, format="%(message)s")
     if args.workers > 1:
         from repro.fuzzer.parallel import run_instance_campaign
+        from repro.fuzzer.supervisor import RestartPolicy
 
+        if args.resume:
+            raise SystemExit(
+                "repro fuzz: error: --resume is single-instance; "
+                "instance campaigns resume through --checkpoint DIR supervision"
+            )
         sync_hours = args.sync_hours
         sync_ticks = (
             hours_to_ticks(sync_hours, args.scale) if sync_hours else None
@@ -109,13 +143,30 @@ def cmd_fuzz(args):
             budget,
             workers=args.workers,
             sync_interval_ticks=sync_ticks,
+            checkpoint_dir=args.checkpoint,
+            restart_policy=RestartPolicy(max_restarts=args.max_restarts),
+            worker_timeout=args.worker_timeout,
         )
         for line in stats.summary_lines():
             print("  " + line)
+        if getattr(result, "degraded", False):
+            print("  WARNING: campaign degraded (some workers were dropped)")
     else:
+        checkpoint_path = args.resume or args.checkpoint
+        if args.resume and not os.path.exists(args.resume):
+            raise SystemExit(
+                "repro fuzz: error: no checkpoint at %r to resume" % args.resume
+            )
         print("fuzzing %s with %r for %.1f virtual hours (%d ticks)..."
               % (subject.name, args.config, args.hours, budget))
-        result = run_config(subject, args.config, args.run_seed, budget)
+        result = run_config(
+            subject,
+            args.config,
+            args.run_seed,
+            budget,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
     print("executions: %d (%d hangs), throughput %.0f exec/vh"
           % (result.execs, result.hangs, result.throughput))
     print("queue: %d entries; edge coverage: %d" % (result.queue_size, len(result.edges)))
@@ -135,6 +186,15 @@ def cmd_report(args):
         # The report modules call run_matrix without a jobs argument; the
         # environment knob is how the fan-out degree reaches them.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.resume:
+        # Durable matrix cells: campaigns checkpoint periodically and a
+        # crashed/retried cell resumes from its snapshot (see runner docs).
+        from repro.experiments.runner import _cache_dir
+
+        os.environ.setdefault(
+            "REPRO_CHECKPOINT_DIR", os.path.join(_cache_dir(), "checkpoints")
+        )
+        os.environ.setdefault("REPRO_CELL_RESTARTS", "2")
     report_main(args.artifacts)
     return 0
 

@@ -22,6 +22,7 @@ rounds, a 24 h/24 h opportunistic split.
 """
 
 import hashlib
+import os
 import random
 
 from repro.coverage.feedback import (
@@ -97,8 +98,48 @@ def campaign_rng(subject_name, config_name, run_seed):
     return random.Random(int.from_bytes(digest[:8], "little"))
 
 
-def run_config(subject, config_name, run_seed, budget_ticks):
-    """Run one campaign and return its CampaignResult."""
+def _run_plain_checkpointed(engine, budget_ticks, checkpoint_path, checkpoint_every):
+    """Drive a plain engine in checkpointed slices (resume-aware).
+
+    If ``checkpoint_path`` holds a valid snapshot of this campaign, the
+    engine resumes from it instead of recomputing from zero; stale or
+    corrupt files are refused (typed validation) and the campaign restarts
+    fresh.  Slicing at ``run_until`` barriers is trajectory-neutral, so the
+    result is byte-identical to an uninterrupted :meth:`FuzzEngine.run`.
+    """
+    from repro.fuzzer.checkpoint import CheckpointError
+
+    resumed = False
+    if os.path.exists(checkpoint_path):
+        try:
+            engine.resume(checkpoint_path)
+            resumed = True
+        except (CheckpointError, OSError):
+            pass  # unusable snapshot: recompute from zero
+    if not resumed:
+        engine.start(budget_ticks)
+    every = checkpoint_every or max(1, budget_ticks // 8)
+    while True:
+        target = min(budget_ticks, (engine.clock.ticks // every + 1) * every)
+        engine.run_until(target)
+        engine.save_checkpoint(checkpoint_path, meta={"ticks": engine.clock.ticks})
+        if engine.clock.ticks >= budget_ticks:
+            break
+    engine.finish()
+    return engine
+
+
+def run_config(
+    subject, config_name, run_seed, budget_ticks, checkpoint_path=None,
+    checkpoint_every=None,
+):
+    """Run one campaign and return its CampaignResult.
+
+    ``checkpoint_path`` (plain configs only) makes the campaign durable:
+    the engine snapshots there periodically (every ``checkpoint_every``
+    ticks, default budget / 8) and resumes from a valid snapshot instead
+    of recomputing from zero — see :mod:`repro.fuzzer.checkpoint`.
+    """
     spec = FUZZER_CONFIGS[config_name]
     rng = campaign_rng(subject.name, config_name, run_seed)
     engine_config = spec.engine_config(subject)
@@ -111,7 +152,12 @@ def run_config(subject, config_name, run_seed, budget_ticks):
             engine_config,
             subject.tokens,
         )
-        engine.run(budget_ticks)
+        if checkpoint_path:
+            _run_plain_checkpointed(
+                engine, budget_ticks, checkpoint_path, checkpoint_every
+            )
+        else:
+            engine.run(budget_ticks)
         engines, final = [engine], engine
     elif spec.kind == "cull":
         engines, final = run_culling_campaign(

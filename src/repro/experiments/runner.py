@@ -16,14 +16,20 @@ Scaling knobs (environment):
 - ``REPRO_NO_CACHE`` set to disable the on-disk cache;
 - ``REPRO_JOBS``     worker processes for :func:`run_matrix` (default 1,
   i.e. the sequential path; any N > 1 fans cells out over N processes
-  with identical results — see :mod:`repro.fuzzer.parallel`).
+  with identical results — see :mod:`repro.fuzzer.parallel`);
+- ``REPRO_CHECKPOINT_DIR``  directory for campaign checkpoints: long cells
+  snapshot their engine state there periodically and *resume* instead of
+  recomputing from zero after a crash/retry (``repro report --resume``);
+- ``REPRO_CELL_RESTARTS``   transient-failure retries per matrix cell
+  (default 0; crashed/timed-out cells are restarted with backoff and,
+  with checkpointing on, pick up from their last snapshot).
 """
 
 import hashlib
 import os
 import pickle
 
-from repro.experiments.config import run_config
+from repro.experiments.config import FUZZER_CONFIGS, run_config
 from repro.fuzzer.clock import hours_to_ticks
 from repro.subjects import get_subject, subject_names
 
@@ -76,8 +82,50 @@ def _source_fingerprint():
     return _SOURCE_FINGERPRINT
 
 
+def source_fingerprint():
+    """Public fingerprint of the package sources.
+
+    Checkpoint files embed it (see :mod:`repro.fuzzer.checkpoint`) so that
+    resuming a snapshot across a code change is refused instead of
+    silently diverging — the same invalidation rule the result cache uses.
+    """
+    return _source_fingerprint()
+
+
+def profile_checkpoint_dir():
+    """Directory for durable campaign checkpoints (None: checkpointing off)."""
+    return os.environ.get("REPRO_CHECKPOINT_DIR") or None
+
+
+def _campaign_token(subject_name, config_name, run_seed, hours, scale):
+    return "%s-%s-%d-%s-%s-%s" % (
+        subject_name,
+        config_name,
+        run_seed,
+        hours,
+        scale,
+        _source_fingerprint(),
+    )
+
+
+def _campaign_checkpoint_path(subject_name, config_name, run_seed, hours, scale):
+    """Per-cell checkpoint file (same identity key as the result cache)."""
+    directory = profile_checkpoint_dir()
+    if not directory:
+        return None
+    token = _campaign_token(subject_name, config_name, run_seed, hours, scale)
+    digest = hashlib.sha256(token.encode()).hexdigest()[:24]
+    return os.path.join(directory, "campaign-%s.ckpt" % digest)
+
+
 def campaign(subject_name, config_name, run_seed, hours, scale=None):
-    """One (possibly cached) campaign; ``hours`` are paper-campaign hours."""
+    """One (possibly cached) campaign; ``hours`` are paper-campaign hours.
+
+    With ``REPRO_CHECKPOINT_DIR`` set, the campaign periodically snapshots
+    its engine state and — if a prior attempt died mid-run — resumes from
+    the snapshot instead of recomputing from zero, which is what makes
+    matrix-cell retries cheap for long campaigns.
+    """
     scale = profile_scale() if scale is None else scale
     key = (subject_name, config_name, run_seed, hours, scale)
     if key in _MEMORY_CACHE:
@@ -85,14 +133,7 @@ def campaign(subject_name, config_name, run_seed, hours, scale=None):
     use_disk = not os.environ.get("REPRO_NO_CACHE")
     disk_path = None
     if use_disk:
-        token = "%s-%s-%d-%s-%s-%s" % (
-            subject_name,
-            config_name,
-            run_seed,
-            hours,
-            scale,
-            _source_fingerprint(),
-        )
+        token = _campaign_token(subject_name, config_name, run_seed, hours, scale)
         digest = hashlib.sha256(token.encode()).hexdigest()[:24]
         disk_path = os.path.join(_cache_dir(), digest + ".pkl")
         if os.path.exists(disk_path):
@@ -102,7 +143,14 @@ def campaign(subject_name, config_name, run_seed, hours, scale=None):
             return result
     subject = get_subject(subject_name)
     budget = hours_to_ticks(hours, scale)
-    result = run_config(subject, config_name, run_seed, budget)
+    checkpoint_path = _campaign_checkpoint_path(
+        subject_name, config_name, run_seed, hours, scale
+    )
+    if checkpoint_path is not None and FUZZER_CONFIGS[config_name].kind != "plain":
+        checkpoint_path = None  # phased drivers orchestrate their own engines
+    result = run_config(
+        subject, config_name, run_seed, budget, checkpoint_path=checkpoint_path
+    )
     _MEMORY_CACHE[key] = result
     if disk_path is not None:
         os.makedirs(_cache_dir(), exist_ok=True)
@@ -110,6 +158,12 @@ def campaign(subject_name, config_name, run_seed, hours, scale=None):
         with open(tmp_path, "wb") as handle:
             pickle.dump(result, handle)
         os.replace(tmp_path, disk_path)
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        # The campaign completed; its resume point is no longer needed.
+        try:
+            os.remove(checkpoint_path)
+        except OSError:
+            pass
     return result
 
 

@@ -43,7 +43,9 @@ class CrashInfo(object):
 class CampaignResult(object):
     """Outcome of one (subject, fuzzer-config, run-seed) campaign."""
 
-    __slots__ = (
+    # Campaign *science* — what the paper's tables consume, and what the
+    # determinism contract (__eq__) covers.
+    _SCIENCE_SLOTS = (
         "subject_name",
         "config_name",
         "run_seed",
@@ -59,6 +61,11 @@ class CampaignResult(object):
         "throughput",
         "timeline",
     )
+
+    # Supervision metadata: how bumpy the *execution* was (worker restarts,
+    # dropped workers).  Deliberately excluded from __eq__ — a campaign that
+    # was killed and recovered must compare equal to the undisturbed one.
+    __slots__ = _SCIENCE_SLOTS + ("degraded", "worker_restarts")
 
     def __init__(
         self,
@@ -76,6 +83,8 @@ class CampaignResult(object):
         ticks,
         throughput,
         timeline,
+        degraded=False,
+        worker_restarts=(),
     ):
         self.subject_name = subject_name
         self.config_name = config_name
@@ -91,6 +100,8 @@ class CampaignResult(object):
         self.ticks = ticks
         self.throughput = throughput
         self.timeline = timeline
+        self.degraded = degraded
+        self.worker_restarts = tuple(worker_restarts)
 
     @property
     def unique_crash_hashes(self):
@@ -98,15 +109,17 @@ class CampaignResult(object):
         return {record.hash5 for record in self.crash_records}
 
     def _state(self):
-        return tuple(getattr(self, slot) for slot in self.__slots__)
+        return tuple(getattr(self, slot) for slot in self._SCIENCE_SLOTS)
 
     def __eq__(self, other):
-        """Field-wise value equality.
+        """Field-wise value equality over the campaign-science fields.
 
         Sequential and parallel matrix runs of the same (subject, config,
         run-seed) cell must produce *equal* results — this is the contract
         the parallel runner's determinism test checks, and what makes the
-        pickle round-trip through worker pipes verifiable.
+        pickle round-trip through worker pipes verifiable.  Supervision
+        metadata (``degraded``, ``worker_restarts``) is excluded: a
+        killed-and-recovered campaign must equal the uninterrupted one.
         """
         return isinstance(other, CampaignResult) and self._state() == other._state()
 

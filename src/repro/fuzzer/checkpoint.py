@@ -1,0 +1,136 @@
+"""Versioned, fingerprint-guarded on-disk campaign checkpoints.
+
+A checkpoint file is the durable snapshot of one :class:`FuzzEngine`'s
+mutable state (queue, virgin maps, RNG, schedule counters, crash log,
+clock), written so a killed-and-resumed campaign is tick-for-tick identical
+to an uninterrupted one.  The format is deliberately paranoid — real
+campaigns die mid-write, get restored onto changed source trees, and read
+files produced by other versions of themselves:
+
+``MAGIC | version | source fingerprint | payload sha256 | pickled payload``
+
+- a wrong magic or a payload whose digest does not match (torn/truncated
+  write) raises :class:`CheckpointCorruptError`;
+- a version or source-fingerprint mismatch (the engine changed underneath
+  the snapshot, so resuming would silently diverge) raises
+  :class:`CheckpointStaleError`.
+
+Nothing here unpickles a byte of payload before every header check passes.
+Writes are atomic (tmp file + ``os.replace``), so a crash during
+:func:`write_checkpoint` leaves the previous checkpoint intact.
+"""
+
+import hashlib
+import os
+import pickle
+
+MAGIC = b"REPROCKPT\x00"
+VERSION = 1
+_FINGERPRINT_LEN = 16  # hex chars, matching runner._source_fingerprint()
+_HEADER_LEN = len(MAGIC) + 2 + _FINGERPRINT_LEN + 32
+
+
+class CheckpointError(RuntimeError):
+    """Base class: a checkpoint file cannot be used."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Not a checkpoint, or a torn/truncated/bit-rotted one."""
+
+
+class CheckpointStaleError(CheckpointError):
+    """A checkpoint from another format version or source tree."""
+
+
+def default_fingerprint():
+    """The package-source fingerprint checkpoints are guarded by.
+
+    Reuses the experiment runner's cache fingerprint: if the sources
+    changed, cached results *and* checkpoints are equally untrustworthy.
+    """
+    from repro.experiments.runner import source_fingerprint
+
+    return source_fingerprint()
+
+
+def _normalize_fingerprint(fingerprint):
+    fingerprint = default_fingerprint() if fingerprint is None else str(fingerprint)
+    if len(fingerprint) != _FINGERPRINT_LEN:
+        raise ValueError(
+            "fingerprint must be %d hex chars, got %r" % (_FINGERPRINT_LEN, fingerprint)
+        )
+    return fingerprint
+
+
+def write_checkpoint(path, state, meta=None, fingerprint=None):
+    """Atomically write ``state`` (any picklable object) plus ``meta`` dict."""
+    fingerprint = _normalize_fingerprint(fingerprint)
+    payload = pickle.dumps(
+        {"meta": dict(meta or {}), "state": state}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    header = (
+        MAGIC
+        + VERSION.to_bytes(2, "big")
+        + fingerprint.encode("ascii")
+        + hashlib.sha256(payload).digest()
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return path
+
+
+def read_checkpoint(path, fingerprint=None, check_fingerprint=True):
+    """Validate and load a checkpoint; returns ``(state, meta)``.
+
+    Raises :class:`CheckpointCorruptError` / :class:`CheckpointStaleError`
+    instead of ever unpickling garbage.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < _HEADER_LEN:
+        raise CheckpointCorruptError(
+            "%s: %d bytes is shorter than the %d-byte checkpoint header"
+            % (path, len(blob), _HEADER_LEN)
+        )
+    if not blob.startswith(MAGIC):
+        raise CheckpointCorruptError("%s: bad magic; not a repro checkpoint" % path)
+    offset = len(MAGIC)
+    version = int.from_bytes(blob[offset : offset + 2], "big")
+    offset += 2
+    if version != VERSION:
+        raise CheckpointStaleError(
+            "%s: checkpoint format v%d, this build reads v%d" % (path, version, VERSION)
+        )
+    stored_fp = blob[offset : offset + _FINGERPRINT_LEN].decode("ascii", "replace")
+    offset += _FINGERPRINT_LEN
+    if check_fingerprint:
+        expected_fp = _normalize_fingerprint(fingerprint)
+        if stored_fp != expected_fp:
+            raise CheckpointStaleError(
+                "%s: written by source tree %s but this tree is %s; "
+                "refusing to resume across code changes"
+                % (path, stored_fp, expected_fp)
+            )
+    digest = blob[offset : offset + 32]
+    offset += 32
+    payload = blob[offset:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointCorruptError(
+            "%s: payload digest mismatch (truncated or corrupt write)" % path
+        )
+    try:
+        record = pickle.loads(payload)
+        state = record["state"]
+        meta = record["meta"]
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointCorruptError("%s: undecodable payload (%s)" % (path, exc))
+    return state, meta

@@ -41,6 +41,17 @@ class VirtualClock(object):
     def remaining(self):
         return max(0, self.budget - self.ticks)
 
+    def snapshot(self):
+        """Picklable state for campaign checkpoints."""
+        return (self.ticks, self.budget)
+
+    @classmethod
+    def from_snapshot(cls, snap):
+        ticks, budget = snap
+        clock = cls(budget)
+        clock.ticks = ticks
+        return clock
+
     def __repr__(self):
         return "VirtualClock(%d/%d)" % (self.ticks, self.budget)
 

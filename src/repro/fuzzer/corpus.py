@@ -49,6 +49,23 @@ class QueueEntry(object):
         """AFL's top_rated ordering: cheaper-to-run x shorter wins."""
         return self.exec_cost * max(len(self.data), 1)
 
+    def clone(self):
+        """Deep-enough copy for checkpoints (mutable flags detached)."""
+        dup = QueueEntry(
+            self.entry_id,
+            self.data,
+            self.exec_cost,
+            self.classified,
+            self.depth,
+            self.found_at,
+        )
+        dup.favored = self.favored
+        dup.was_fuzzed = self.was_fuzzed
+        dup.handicap = self.handicap
+        dup.cmplog_done = self.cmplog_done
+        dup.imported = self.imported
+        return dup
+
     def __repr__(self):
         return "QueueEntry(#%d, %dB, cost=%d, trace=%d%s)" % (
             self.entry_id,
@@ -133,6 +150,37 @@ class Queue(object):
         at each corpus-sync barrier.
         """
         return [e for e in self.entries if e.entry_id >= entry_id]
+
+    def snapshot(self):
+        """Picklable snapshot of the whole corpus (for checkpoints).
+
+        Entries are cloned so the snapshot stays frozen while the live
+        queue keeps mutating per-entry flags (``was_fuzzed``, ``handicap``,
+        ``favored``, ...).
+        """
+        return {
+            "entries": [entry.clone() for entry in self.entries],
+            "next_id": self._next_id,
+            "dirty": self._dirty,
+            "pending_favored": self.pending_favored,
+        }
+
+    def restore(self, snap):
+        """Rebuild the queue from :meth:`snapshot` output.
+
+        ``top_rated`` is reconstructed by replaying :meth:`add` in append
+        order — identical comparisons, identical champions — then the cull
+        bookkeeping is restored verbatim so a resumed engine culls exactly
+        when the uninterrupted one would have.
+        """
+        self.entries = []
+        self.top_rated = {}
+        for entry in snap["entries"]:
+            self.add(entry.clone())
+        self._next_id = snap["next_id"]
+        self._dirty = snap["dirty"]
+        self.pending_favored = snap["pending_favored"]
+        return self
 
     def favored_entries(self):
         """The current favored subset (culling if stale)."""

@@ -173,6 +173,96 @@ class FuzzEngine(object):
         self._snapshot()
         return self
 
+    # -- checkpoint / resume ---------------------------------------------------
+
+    def snapshot(self):
+        """Picklable deep snapshot of every piece of mutable campaign state.
+
+        Captures the queue (entries, champions, cull bookkeeping), both
+        virgin maps, the crash log, all counters, the timeline, the loop
+        cursor, the virtual clock, and the RNG state — everything
+        :meth:`run_until` reads or writes.  Taking a snapshot between
+        barriers and restoring it into a freshly constructed engine (same
+        program/feedback/seeds/config) yields a tick-for-tick identical
+        continuation.
+        """
+        if self.clock is None:
+            raise RuntimeError("engine not started; nothing to snapshot")
+        crashes = [
+            (
+                hash5,
+                record.data,
+                record.trap,
+                record.found_at,
+                record.afl_unique,
+                record.count,
+            )
+            for hash5, record in self.unique_crashes.items()
+        ]
+        return {
+            "queue": self.queue.snapshot(),
+            "virgin": dict(self.virgin.bits),
+            "crash_virgin": dict(self.crash_virgin.bits),
+            "crashes": crashes,
+            "crash_count": self.crash_count,
+            "afl_unique_crash_count": self.afl_unique_crash_count,
+            "execs": self.execs,
+            "hangs": self.hangs,
+            "cycle": self.cycle,
+            "timeline": list(self.timeline),
+            "queue_index": self._queue_index,
+            "clock": self.clock.snapshot(),
+            "rng": self.rng.getstate(),
+        }
+
+    def restore(self, state):
+        """Adopt a :meth:`snapshot` into this (freshly built) engine."""
+        from repro.fuzzer.clock import VirtualClock
+
+        self.queue = Queue()
+        self.queue.restore(state["queue"])
+        self.virgin = VirginMap()
+        self.virgin.bits = dict(state["virgin"])
+        self.crash_virgin = VirginMap()
+        self.crash_virgin.bits = dict(state["crash_virgin"])
+        self.unique_crashes = {}
+        for hash5, data, trap, found_at, afl_unique, count in state["crashes"]:
+            record = CrashRecord(data, trap, found_at, afl_unique, hash5)
+            record.count = count
+            self.unique_crashes[hash5] = record
+        self.crash_count = state["crash_count"]
+        self.afl_unique_crash_count = state["afl_unique_crash_count"]
+        self.execs = state["execs"]
+        self.hangs = state["hangs"]
+        self.cycle = state["cycle"]
+        self.timeline = list(state["timeline"])
+        self._queue_index = state["queue_index"]
+        self.clock = VirtualClock.from_snapshot(state["clock"])
+        self.rng.setstate(state["rng"])
+        return self
+
+    def save_checkpoint(self, path, meta=None, fingerprint=None):
+        """Write a validated on-disk checkpoint (see :mod:`.checkpoint`)."""
+        from repro.fuzzer.checkpoint import write_checkpoint
+
+        return write_checkpoint(
+            path, self.snapshot(), meta=meta, fingerprint=fingerprint
+        )
+
+    def resume(self, path, fingerprint=None):
+        """Restore a checkpoint file into this engine; returns its meta dict.
+
+        The file is magic/version/fingerprint/digest-checked before any
+        state is unpickled; stale or corrupt checkpoints raise a typed
+        :class:`~repro.fuzzer.checkpoint.CheckpointError` and leave the
+        engine untouched.
+        """
+        from repro.fuzzer.checkpoint import read_checkpoint
+
+        state, meta = read_checkpoint(path, fingerprint=fingerprint)
+        self.restore(state)
+        return meta
+
     def import_input(self, data):
         """Adopt an input synced from another fuzzing instance.
 

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for campaign-resilience testing.
+
+Real campaigns die in unglamorous ways: a worker is OOM-killed mid-round, a
+sync barrier wedges, a checkpoint write is torn, a pipe message evaporates.
+This harness injects exactly those faults at *deterministic* points of the
+instance-campaign protocol so tier-1 tests can prove every recovery path in
+:mod:`repro.fuzzer.supervisor` rather than hope for it.
+
+Faults are described by a compact spec, carried either programmatically
+(:func:`install` / :func:`injected`) or through the ``REPRO_FAULTS``
+environment variable (which crosses ``fork`` *and* ``spawn`` boundaries
+into worker processes):
+
+    spec   := fault ("," fault)*
+    fault  := action "@" worker "." round ["." incarnation] (":" key "=" value)*
+    action := "kill" | "stall" | "drop" | "truncate"
+
+Examples::
+
+    kill@1.2              worker 1 dies (SIGKILL-style _exit) at sync round 2
+    stall@0.1:secs=30     worker 0 wedges 30 s before its round-1 reply
+    drop@1.2              worker 1 silently drops its round-2 sync reply
+    truncate@1.1:keep=32  worker 1's round-1 checkpoint is torn to 32 bytes
+
+``incarnation`` defaults to 0, so a fault fires only in a worker's *first*
+life — its supervised replacement (incarnation 1, 2, ...) runs clean unless
+a fault explicitly targets it.  That is what makes kill-and-recover tests
+deterministic instead of kill loops.
+"""
+
+import os
+import time
+
+ENV_VAR = "REPRO_FAULTS"
+
+# Exit code of a fault-killed worker; distinctive in supervisor logs.
+KILLED_EXIT_CODE = 86
+
+_ACTIONS = ("kill", "stall", "drop", "truncate")
+
+_INSTALLED = None
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string that does not parse."""
+
+
+class Fault(object):
+    """One injected fault, pinned to (action, worker, round, incarnation)."""
+
+    __slots__ = ("action", "worker", "round_no", "incarnation", "params")
+
+    def __init__(self, action, worker, round_no, incarnation=0, params=None):
+        if action not in _ACTIONS:
+            raise FaultSpecError("unknown fault action %r" % (action,))
+        self.action = action
+        self.worker = int(worker)
+        self.round_no = int(round_no)
+        self.incarnation = int(incarnation)
+        self.params = dict(params or {})
+
+    def site(self):
+        """Protocol site the fault fires at."""
+        return "checkpoint" if self.action == "truncate" else "sync"
+
+    def __repr__(self):
+        return "Fault(%s@%d.%d.%d%s)" % (
+            self.action,
+            self.worker,
+            self.round_no,
+            self.incarnation,
+            "".join(":%s=%s" % kv for kv in sorted(self.params.items())),
+        )
+
+
+def parse_faults(spec):
+    """Parse a spec string into a list of :class:`Fault`."""
+    faults = []
+    for raw in str(spec).split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        head, _, tail = raw.partition(":")
+        action, at, location = head.partition("@")
+        if not at or not location:
+            raise FaultSpecError("fault %r lacks an @worker.round location" % raw)
+        parts = location.split(".")
+        if len(parts) not in (2, 3):
+            raise FaultSpecError(
+                "fault location %r must be worker.round[.incarnation]" % location
+            )
+        params = {}
+        if tail:
+            for pair in tail.split(":"):
+                key, eq, value = pair.partition("=")
+                if not eq:
+                    raise FaultSpecError("fault param %r is not key=value" % pair)
+                params[key.strip()] = value.strip()
+        try:
+            faults.append(
+                Fault(action.strip(), *[int(p) for p in parts], params=params)
+            )
+        except ValueError as exc:
+            raise FaultSpecError("fault %r: %s" % (raw, exc))
+    return faults
+
+
+class FaultPlan(object):
+    """The active set of faults; workers query it at protocol sites."""
+
+    __slots__ = ("faults",)
+
+    def __init__(self, faults=()):
+        self.faults = list(faults)
+
+    def match(self, site, worker, round_no, incarnation):
+        for fault in self.faults:
+            if (
+                fault.site() == site
+                and fault.worker == worker
+                and fault.round_no == round_no
+                and fault.incarnation == incarnation
+            ):
+                return fault
+        return None
+
+    def __bool__(self):
+        return bool(self.faults)
+
+    def __repr__(self):
+        return "FaultPlan(%r)" % (self.faults,)
+
+
+def install(spec):
+    """Activate a fault plan for this process tree.
+
+    Sets both the in-process plan (inherited by forked workers) and the
+    ``REPRO_FAULTS`` environment variable (inherited by spawned ones).
+    """
+    global _INSTALLED
+    faults = parse_faults(spec) if isinstance(spec, str) else list(spec)
+    _INSTALLED = FaultPlan(faults)
+    os.environ[ENV_VAR] = spec if isinstance(spec, str) else ",".join(
+        "%s@%d.%d.%d" % (f.action, f.worker, f.round_no, f.incarnation) for f in faults
+    )
+    return _INSTALLED
+
+
+def clear():
+    """Deactivate fault injection."""
+    global _INSTALLED
+    _INSTALLED = None
+    os.environ.pop(ENV_VAR, None)
+
+
+class injected(object):
+    """Context manager: ``with injected("kill@1.2"): run_campaign(...)``."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def __enter__(self):
+        return install(self.spec)
+
+    def __exit__(self, *exc_info):
+        clear()
+        return False
+
+
+def active_plan():
+    """The plan workers consult: installed plan, else ``REPRO_FAULTS``."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return FaultPlan(())
+    return FaultPlan(parse_faults(spec))
+
+
+# -- firing (called from inside worker processes) ------------------------------
+
+
+def fire_sync_fault(fault):
+    """Fire a sync-site fault; returns True if the reply must be dropped."""
+    if fault.action == "kill":
+        # Die the way an OOM kill does: no cleanup, no exception, no reply.
+        os._exit(KILLED_EXIT_CODE)
+    if fault.action == "stall":
+        time.sleep(float(fault.params.get("secs", 3600)))
+        return False
+    if fault.action == "drop":
+        return True
+    return False
+
+
+def fire_checkpoint_fault(fault, path):
+    """Fire a checkpoint-site fault: tear the just-written file."""
+    if fault.action == "truncate":
+        keep = int(fault.params.get("keep", 24))
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)

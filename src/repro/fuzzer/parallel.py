@@ -23,17 +23,37 @@ on a many-core server:
     (``import_input``).  Sync rounds are barriers driven in worker order,
     so the whole campaign is deterministic for a fixed worker count.
 
-Both modes report progress through :mod:`repro.fuzzer.stats`.
+Both modes report progress through :mod:`repro.fuzzer.stats`, and both are
+*supervised* (see :mod:`repro.fuzzer.supervisor`): matrix cells that crash
+or time out can be retried with exponential backoff, and instance workers
+that die or stall are restarted from their last checkpoint (or replayed
+deterministically from round zero) with a restart budget — a worker that
+exhausts it is dropped and the campaign continues degraded instead of
+failing.  The :mod:`repro.fuzzer.faultinject` harness drives every one of
+those recovery paths under test.
 """
 
 import hashlib
+import logging
 import multiprocessing
+import os
 import time
 from collections import deque
 from multiprocessing import connection
 
 from repro.coverage.bitmap import VirginMap
 from repro.fuzzer.stats import CampaignStats, MatrixProgress
+from repro.fuzzer.supervisor import (
+    DEFAULT_WORKER_TIMEOUT,
+    RestartPolicy,
+    SupervisedWorker,
+    Supervisor,
+    WorkerDeadError,
+    WorkerLostError,
+    recv_with_deadline,
+)
+
+logger = logging.getLogger("repro.fuzzer.parallel")
 
 
 def _mp_context():
@@ -48,12 +68,13 @@ def _mp_context():
 class CellFailure(object):
     """Why one matrix cell produced no result."""
 
-    __slots__ = ("key", "kind", "message")
+    __slots__ = ("key", "kind", "message", "restarts")
 
-    def __init__(self, key, kind, message):
+    def __init__(self, key, kind, message, restarts=0):
         self.key = key
         self.kind = kind  # "error" | "crashed" | "timeout"
         self.message = message
+        self.restarts = restarts  # supervised retries consumed before giving up
 
     def __repr__(self):
         return "CellFailure(%s: %s, %s)" % (self.key, self.kind, self.message)
@@ -101,7 +122,15 @@ def _cell_entry(conn, cell_fn, task):
             pass
 
 
-def run_cells(tasks, jobs, timeout=None, cell_fn=None, progress=None):
+def run_cells(
+    tasks,
+    jobs,
+    timeout=None,
+    cell_fn=None,
+    progress=None,
+    max_restarts=None,
+    restart_policy=None,
+):
     """Run independent campaign cells over ``jobs`` worker processes.
 
     ``tasks`` maps cell key -> argument tuple for ``cell_fn`` (default:
@@ -110,26 +139,56 @@ def run_cells(tasks, jobs, timeout=None, cell_fn=None, progress=None):
     :class:`CellFailure` per cell that raised ("error"), died without
     reporting ("crashed"), or exceeded ``timeout`` wall seconds
     ("timeout").  A failing cell never aborts the others.
+
+    Transient failures ("crashed", "timeout") are retried with exponential
+    backoff up to ``max_restarts`` times per cell (default: the
+    ``REPRO_CELL_RESTARTS`` environment knob, 0).  Deterministic failures
+    ("error": the cell raised) are never retried — rerunning them only
+    reproduces the exception more slowly.  With checkpointing enabled
+    (``REPRO_CHECKPOINT_DIR``), a retried campaign cell resumes from its
+    last checkpoint instead of recomputing from zero.
     """
     cell_fn = run_campaign_cell if cell_fn is None else cell_fn
     jobs = max(1, int(jobs))
+    if max_restarts is None:
+        max_restarts = int(os.environ.get("REPRO_CELL_RESTARTS", "0") or 0)
+    policy = restart_policy or RestartPolicy(max_restarts=max_restarts)
     if progress is None:
         progress = MatrixProgress(total=len(tasks))
     ctx = _mp_context()
-    pending = deque(tasks.items())
-    running = {}  # recv conn -> (key, process, started, deadline)
+    # Work items are (key, task, attempt, not_before): ``not_before`` holds
+    # a retried cell out of the pool until its backoff expires.
+    pending = deque((key, task, 0, 0.0) for key, task in tasks.items())
+    running = {}  # recv conn -> (key, task, process, started, deadline, attempt)
     results = {}
     failures = []
 
     def finish(conn, status, wall, execs=0):
-        key = running[conn][0]
-        del running[conn]
+        key, _, _, _, _, attempt = running.pop(conn)
         conn.close()
-        progress.record_cell(key, status, wall, execs)
+        progress.record_cell(key, status, wall, execs, restarts=attempt)
+
+    def retire(conn, kind, message, wall):
+        """Fail one attempt: reschedule if transient and budget remains."""
+        key, task, _, _, _, attempt = running[conn]
+        if kind != "error" and attempt < policy.max_restarts:
+            delay = policy.delay(attempt + 1)
+            progress.record_retry(key, attempt + 1, kind, delay)
+            running.pop(conn)
+            conn.close()
+            pending.append((key, task, attempt + 1, time.monotonic() + delay))
+            return
+        failures.append(CellFailure(key, kind, message, restarts=attempt))
+        finish(conn, kind, wall)
 
     while pending or running:
+        now = time.monotonic()
+        deferred = []
         while pending and len(running) < jobs:
-            key, task = pending.popleft()
+            key, task, attempt, not_before = pending.popleft()
+            if not_before > now:
+                deferred.append((key, task, attempt, not_before))
+                continue
             recv_conn, send_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_cell_entry, args=(send_conn, cell_fn, task), daemon=True
@@ -138,27 +197,38 @@ def run_cells(tasks, jobs, timeout=None, cell_fn=None, progress=None):
             send_conn.close()
             started = time.monotonic()
             deadline = started + timeout if timeout else None
-            running[recv_conn] = (key, proc, started, deadline)
+            running[recv_conn] = (key, task, proc, started, deadline, attempt)
+        for item in reversed(deferred):
+            pending.appendleft(item)
+        wait_until = [d for (_, _, _, _, d, _) in running.values() if d is not None]
+        if deferred and len(running) < jobs:
+            wait_until.append(min(item[3] for item in deferred))
         wait_for = None
-        deadlines = [d for (_, _, _, d) in running.values() if d is not None]
-        if deadlines:
-            wait_for = max(0.0, min(deadlines) - time.monotonic())
+        if wait_until:
+            wait_for = max(0.0, min(wait_until) - time.monotonic())
+        if not running:
+            # Only backed-off retries remain; sleep until the earliest one.
+            if wait_for:
+                time.sleep(wait_for)
+            continue
         ready = connection.wait(list(running), timeout=wait_for)
         now = time.monotonic()
         if not ready:
-            for conn, (key, proc, started, deadline) in list(running.items()):
+            for conn, (key, task, proc, started, deadline, attempt) in list(
+                running.items()
+            ):
                 if deadline is not None and now >= deadline:
                     proc.terminate()
                     proc.join()
-                    failures.append(
-                        CellFailure(
-                            key, "timeout", "exceeded %.1fs wall budget" % timeout
-                        )
+                    retire(
+                        conn,
+                        "timeout",
+                        "exceeded %.1fs wall budget" % timeout,
+                        now - started,
                     )
-                    finish(conn, "timeout", now - started)
             continue
         for conn in ready:
-            key, proc, started, _ = running[conn]
+            key, task, proc, started, _, attempt = running[conn]
             try:
                 status, payload = conn.recv()
             except (EOFError, OSError):
@@ -166,8 +236,7 @@ def run_cells(tasks, jobs, timeout=None, cell_fn=None, progress=None):
                 message = "worker died without reporting (exit code %s)" % (
                     proc.exitcode,
                 )
-                failures.append(CellFailure(key, "crashed", message))
-                finish(conn, "crashed", now - started)
+                retire(conn, "crashed", message, now - started)
                 continue
             proc.join(timeout=10)
             if proc.is_alive():
@@ -177,8 +246,7 @@ def run_cells(tasks, jobs, timeout=None, cell_fn=None, progress=None):
                 results[key] = payload
                 finish(conn, "ok", now - started, getattr(payload, "execs", 0))
             else:
-                failures.append(CellFailure(key, "error", payload))
-                finish(conn, "error", now - started)
+                retire(conn, "error", payload, now - started)
     return results, failures
 
 
@@ -241,24 +309,66 @@ def _build_instance_engine(subject_name, config_name, run_seed, worker_index):
     return subject, engine
 
 
-def _instance_worker(conn, subject_name, config_name, run_seed, worker_index, budget):
-    """Engine worker: obey run/import/finish commands from the parent."""
+def _instance_worker(
+    conn,
+    subject_name,
+    config_name,
+    run_seed,
+    worker_index,
+    budget,
+    resume_path=None,
+    incarnation=0,
+):
+    """Engine worker: obey run/import/checkpoint/finish commands.
+
+    On spawn the worker reports ``("ready", resumed_round, note)``:
+    ``resumed_round`` is how many sync rounds its restored state already
+    embodies (0 for a fresh engine), so the parent knows which history
+    suffix to replay.  A stale/corrupt checkpoint is *refused* (typed
+    validation in :mod:`repro.fuzzer.checkpoint`), reported in ``note``,
+    and the worker falls back to a fresh engine — the supervisor's
+    deterministic replay rebuilds the lost rounds.
+
+    Fault-injection hooks (:mod:`repro.fuzzer.faultinject`) fire at the two
+    protocol sites real campaigns die at: just before the sync reply
+    (kill / stall / drop) and just after a checkpoint write (truncate).
+    """
+    from repro.fuzzer import faultinject
+    from repro.fuzzer.checkpoint import CheckpointError
+
     try:
         subject, engine = _build_instance_engine(
             subject_name, config_name, run_seed, worker_index
         )
-        engine.start(budget)
+        round_no = 0  # sync rounds completed (and embodied in engine state)
         reported = 0  # first entry id not yet shipped to the parent
+        note = ""
+        if resume_path is not None:
+            try:
+                meta = engine.resume(resume_path)
+                round_no = int(meta.get("round", 0))
+                reported = engine.queue.next_entry_id()
+            except (CheckpointError, OSError) as exc:
+                note = "%s: %s" % (type(exc).__name__, exc)
+                resume_path = None
+        if resume_path is None:
+            engine.start(budget)
+        conn.send(("ready", round_no, note))
+        plan = faultinject.active_plan()
         while True:
             command = conn.recv()
             if command[0] == "run":
                 engine.run_until(command[1])
+                round_no += 1
                 fresh = [
                     (entry.data, entry.classified)
                     for entry in engine.queue.entries_since(reported)
                     if not entry.imported
                 ]
                 reported = engine.queue.next_entry_id()
+                fault = plan.match("sync", worker_index, round_no, incarnation)
+                if fault is not None and faultinject.fire_sync_fault(fault):
+                    continue  # injected pipe-message drop: no reply at all
                 conn.send(
                     (
                         "synced",
@@ -279,6 +389,15 @@ def _instance_worker(conn, subject_name, config_name, run_seed, worker_index, bu
                         added += 1
                 reported = engine.queue.next_entry_id()
                 conn.send(("imported", added))
+            elif command[0] == "checkpoint":
+                path, ckpt_round = command[1], command[2]
+                engine.save_checkpoint(
+                    path, meta={"round": ckpt_round, "worker": worker_index}
+                )
+                fault = plan.match("checkpoint", worker_index, ckpt_round, incarnation)
+                if fault is not None:
+                    faultinject.fire_checkpoint_fault(fault, path)
+                conn.send(("checkpointed", ckpt_round))
             elif command[0] == "finish":
                 from repro.fuzzer.campaign import result_from_engines
 
@@ -302,22 +421,27 @@ def _instance_worker(conn, subject_name, config_name, run_seed, worker_index, bu
             pass
 
 
-def _recv_or_raise(conn, worker_index, expected):
-    try:
-        reply = conn.recv()
-    except (EOFError, OSError):
-        raise RuntimeError("instance worker %d died mid-campaign" % worker_index)
-    if reply[0] == "error":
-        raise RuntimeError("instance worker %d failed: %s" % (worker_index, reply[1]))
-    if reply[0] != expected:
-        raise RuntimeError(
-            "instance worker %d sent %r, expected %r"
-            % (worker_index, reply[0], expected)
-        )
-    return reply
+def _recv_or_raise(conn, worker_index, expected, timeout=DEFAULT_WORKER_TIMEOUT):
+    """Deadline-guarded worker reply (typed errors; never blocks forever).
+
+    Kept under its legacy name; the implementation is
+    :func:`repro.fuzzer.supervisor.recv_with_deadline`, which raises
+    :class:`~repro.fuzzer.supervisor.WorkerStallError` once ``timeout``
+    wall seconds pass without a reply instead of hanging on a half-dead
+    worker pipe.
+    """
+    return recv_with_deadline(conn, timeout, worker_index, expected)
 
 
-def merge_instance_results(subject_name, config_name, run_seed, results, queue_size):
+def merge_instance_results(
+    subject_name,
+    config_name,
+    run_seed,
+    results,
+    queue_size,
+    degraded=False,
+    worker_restarts=(),
+):
     """Fold per-worker CampaignResults into one merged campaign record.
 
     Crash buckets merge by stack hash (counts accumulate, earliest
@@ -377,6 +501,8 @@ def merge_instance_results(subject_name, config_name, run_seed, results, queue_s
         ticks=ticks,
         throughput=throughput,
         timeline=sorted(timeline),
+        degraded=degraded,
+        worker_restarts=tuple(worker_restarts),
     )
 
 
@@ -388,6 +514,10 @@ def run_instance_campaign(
     workers=2,
     sync_interval_ticks=None,
     stats=None,
+    supervise=True,
+    restart_policy=None,
+    worker_timeout=None,
+    checkpoint_dir=None,
 ):
     """AFL++-style main/secondary campaign over ``workers`` engine processes.
 
@@ -395,6 +525,18 @@ def run_instance_campaign(
     run the full wall-clock), pausing at sync barriers every
     ``sync_interval_ticks`` (default: budget / 8, the paper's round scale).
     Returns ``(merged_result, worker_results, stats)``.
+
+    The campaign is *supervised*: a worker that dies or stalls (no reply
+    within ``worker_timeout`` wall seconds) is restarted with exponential
+    backoff under ``restart_policy``, resumed from its last on-disk
+    checkpoint (one per worker under ``checkpoint_dir``, written at every
+    sync barrier) or — when no valid checkpoint exists — rebuilt by
+    deterministically replaying the completed rounds.  Either way the
+    recovered campaign is byte-identical to an undisturbed one.  A worker
+    that exhausts its restart budget is dropped: the campaign continues
+    with the survivors and the merged result records ``degraded=True``
+    plus per-worker restart counts.  ``supervise=False`` restores the old
+    fail-fast behavior (any worker failure raises).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -412,29 +554,99 @@ def run_instance_campaign(
         stats = CampaignStats(label="%s/%s#%d" % (subject_name, config_name, run_seed))
     if sync_interval_ticks is None:
         sync_interval_ticks = max(1, budget_ticks // 8)
+    if worker_timeout is None:
+        worker_timeout = DEFAULT_WORKER_TIMEOUT
+    if restart_policy is None:
+        restart_policy = RestartPolicy() if supervise else RestartPolicy(max_restarts=0)
     subject = get_subject(subject_name)  # also validates the name pre-fork
     ctx = _mp_context()
-    conns = []
-    procs = []
-    try:
-        for index in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_instance_worker,
-                args=(
-                    child_conn,
-                    subject_name,
-                    config_name,
-                    run_seed,
-                    index,
-                    budget_ticks,
-                ),
-                daemon=True,
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    def _checkpoint_path(index):
+        if not checkpoint_dir:
+            return None
+        return os.path.join(checkpoint_dir, "worker%d.ckpt" % index)
+
+    current = {"target": None}  # the in-flight round's run target (for replay)
+
+    def spawn(worker):
+        """(Re)start one worker, resuming from its checkpoint when valid."""
+        resume_path = None
+        if (
+            worker.incarnation > 0
+            and worker.checkpoint_path
+            and os.path.exists(worker.checkpoint_path)
+        ):
+            resume_path = worker.checkpoint_path
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_instance_worker,
+            args=(
+                child_conn,
+                subject_name,
+                config_name,
+                run_seed,
+                worker.index,
+                budget_ticks,
+                resume_path,
+                worker.incarnation,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker.attach(proc, parent_conn)
+        ready = recv_with_deadline(parent_conn, worker_timeout, worker.index, "ready")
+        worker.resumed_round = ready[1]
+        if len(ready) > 2 and ready[2]:
+            logger.warning(
+                "worker %d refused checkpoint %s (%s); replaying from scratch",
+                worker.index,
+                worker.checkpoint_path,
+                ready[2],
             )
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
+
+    def _step(worker, command, expected):
+        """One unsupervised round trip (used inside replay)."""
+        try:
+            worker.conn.send(command)
+        except (OSError, ValueError) as exc:
+            raise WorkerDeadError(worker.index, "pipe closed on send (%s)" % (exc,))
+        return recv_with_deadline(worker.conn, worker_timeout, worker.index, expected)
+
+    def replay(worker):
+        """Bring a respawned worker back to the current protocol position.
+
+        Replays the completed rounds its restored state does not yet embody
+        (run target + the exact import list the parent broadcast), then the
+        current round's processed prefix.  Replies are discarded — the
+        parent already merged the originals, and determinism guarantees the
+        replayed ones are identical.
+        """
+        for target, imports in worker.history[worker.resumed_round :]:
+            _step(worker, ("run", target), "synced")
+            if imports:
+                _step(worker, ("import", list(imports)), "imported")
+        if current["target"] is not None and worker.stage >= 1:
+            _step(worker, ("run", current["target"]), "synced")
+            if worker.stage >= 2 and worker.pending_imports:
+                _step(worker, ("import", list(worker.pending_imports)), "imported")
+
+    sup = Supervisor(
+        [
+            SupervisedWorker(i, checkpoint_path=_checkpoint_path(i))
+            for i in range(workers)
+        ],
+        spawn,
+        replay,
+        policy=restart_policy,
+        timeout=worker_timeout,
+        stats=stats,
+    )
+    worker_results = []
+    try:
+        sup.spawn_all()
         # Shared-corpus state: content hashes ever seen (pre-seeded with the
         # subject's own seeds, which every instance already holds) and the
         # merged virgin map under the campaign feedback.
@@ -443,17 +655,26 @@ def run_instance_campaign(
         corpus_size = 0
         targets = list(range(sync_interval_ticks, budget_ticks, sync_interval_ticks))
         targets.append(budget_ticks)
-        for target in targets:
-            for conn in conns:
-                conn.send(("run", target))
+        for round_no, target in enumerate(targets, start=1):
+            current["target"] = target
+            for worker in sup.alive():
+                worker.stage = 0
+                worker.pending_imports = ()
             offered = 0
             accepted_before = corpus_size
-            broadcasts = [[] for _ in range(workers)]
+            broadcasts = {worker.index: [] for worker in sup.alive()}
             # Collect and merge in worker-index order: deterministic.
-            for index, conn in enumerate(conns):
-                _, fresh, worker_stats = _recv_or_raise(conn, index, "synced")
+            for worker in sup.alive():
+                try:
+                    reply = sup.request(worker, ("run", target), "synced")
+                except WorkerLostError:
+                    if not supervise:
+                        raise
+                    continue
+                worker.stage = 1
+                _, fresh, worker_stats = reply
                 stats.record_worker(
-                    index,
+                    worker.index,
                     worker_stats["ticks"],
                     worker_stats["execs"],
                     worker_stats["queue"],
@@ -471,38 +692,63 @@ def run_instance_campaign(
                         continue
                     virgin.merge(classified)
                     corpus_size += 1
-                    for other in range(workers):
-                        if other != index:
-                            broadcasts[other].append(data)
+                    for other in sup.alive():
+                        if other.index != worker.index and other.index in broadcasts:
+                            broadcasts[other.index].append(data)
             imported = [0] * workers
-            for index, conn in enumerate(conns):
-                if broadcasts[index]:
-                    conn.send(("import", broadcasts[index]))
-            for index, conn in enumerate(conns):
-                if broadcasts[index]:
-                    imported[index] = _recv_or_raise(conn, index, "imported")[1]
+            for worker in sup.alive():
+                blob = broadcasts.get(worker.index, ())
+                worker.pending_imports = tuple(blob)
+                if blob:
+                    try:
+                        reply = sup.request(worker, ("import", list(blob)), "imported")
+                    except WorkerLostError:
+                        if not supervise:
+                            raise
+                        continue
+                    imported[worker.index] = reply[1]
+                worker.stage = 2
+            if checkpoint_dir:
+                for worker in sup.alive():
+                    try:
+                        sup.request(
+                            worker,
+                            ("checkpoint", worker.checkpoint_path, round_no),
+                            "checkpointed",
+                        )
+                    except WorkerLostError:
+                        if not supervise:
+                            raise
+                        continue
+            for worker in sup.alive():
+                worker.history.append((target, worker.pending_imports))
+                worker.stage = 0
+                worker.pending_imports = ()
+            current["target"] = None
             stats.record_sync(target, offered, corpus_size - accepted_before, imported)
-        worker_results = []
-        for index, conn in enumerate(conns):
-            conn.send(("finish",))
-            worker_results.append(_recv_or_raise(conn, index, "result")[1])
-        for proc in procs:
-            proc.join()
-    finally:
-        for conn in conns:
+        for worker in sup.alive():
             try:
-                conn.close()
-            except Exception:
-                pass
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+                reply = sup.request(worker, ("finish",), "result")
+            except WorkerLostError:
+                if not supervise:
+                    raise
+                continue
+            worker_results.append(reply[1])
+    finally:
+        sup.terminate_all()
+    if not worker_results:
+        raise RuntimeError(
+            "campaign %s/%s#%d lost all %d workers; no results to merge"
+            % (subject_name, config_name, run_seed, workers)
+        )
+    dropped = [worker for worker in sup.workers if not worker.alive]
     merged = merge_instance_results(
         subject_name,
         config_name,
         run_seed,
         worker_results,
         queue_size=len(subject.seeds) + corpus_size,
+        degraded=bool(dropped),
+        worker_restarts=tuple(worker.restarts for worker in sup.workers),
     )
     return merged, worker_results, stats

@@ -4,6 +4,14 @@ A condensed version of AFL's ``calculate_score``: energy scales with how
 cheap the entry is to execute, how much coverage it exercises, how deep in
 the mutation chain it sits, and how late it joined (handicap).  The result
 multiplies the havoc iteration count.
+
+Scheduling is stateless by design: every input that influences a score
+lives on the :class:`~repro.fuzzer.corpus.QueueEntry` itself (including
+the *decaying* ``handicap`` counter, which this module mutates in place).
+That is what lets checkpoints capture scheduling exactly — snapshotting
+the queue snapshots the schedule, and a resumed engine hands out the same
+energy the uninterrupted one would have (see
+:mod:`repro.fuzzer.checkpoint`).
 """
 
 

@@ -74,6 +74,22 @@ class SyncEvent(object):
         )
 
 
+class RestartEvent(object):
+    """One supervised worker restart (death/stall -> backoff -> respawn)."""
+
+    __slots__ = ("worker", "attempt", "reason", "delay", "wall")
+
+    def __init__(self, worker, attempt, reason, delay, wall):
+        self.worker = worker
+        self.attempt = attempt  # 1-based restart count for this worker
+        self.reason = reason
+        self.delay = delay
+        self.wall = wall
+
+    def __repr__(self):
+        return "RestartEvent(w%d #%d: %s)" % (self.worker, self.attempt, self.reason)
+
+
 class CampaignStats(object):
     """Progress log of one instance-parallel campaign."""
 
@@ -81,6 +97,8 @@ class CampaignStats(object):
         self.label = label
         self.samples = []
         self.sync_events = []
+        self.restarts = []
+        self.degraded_workers = []  # (worker, reason) of dropped workers
         self._start = time.monotonic()
 
     def elapsed(self):
@@ -119,6 +137,33 @@ class CampaignStats(object):
         )
         return event
 
+    def record_restart(self, worker, attempt, reason, delay):
+        event = RestartEvent(worker, attempt, reason, delay, self.elapsed())
+        self.restarts.append(event)
+        logger.warning(
+            "%s worker %d restart #%d after %.2gs backoff: %s",
+            self.label,
+            worker,
+            attempt,
+            delay,
+            reason,
+        )
+        return event
+
+    def record_degraded(self, worker, reason):
+        self.degraded_workers.append((worker, reason))
+        logger.warning(
+            "%s worker %d dropped (campaign degraded): %s", self.label, worker, reason
+        )
+
+    def restart_counts(self, workers):
+        """Per-worker restart totals as a tuple of length ``workers``."""
+        counts = [0] * workers
+        for event in self.restarts:
+            if 0 <= event.worker < workers:
+                counts[event.worker] = max(counts[event.worker], event.attempt)
+        return tuple(counts)
+
     def latest_samples(self):
         """The most recent sample of every worker, keyed by worker index."""
         latest = {}
@@ -149,19 +194,35 @@ class CampaignStats(object):
             "syncs: %d rounds, %d inputs offered, %d accepted"
             % (len(self.sync_events), offered, accepted)
         )
+        if self.restarts:
+            per_worker = {}
+            for event in self.restarts:
+                per_worker[event.worker] = per_worker.get(event.worker, 0) + 1
+            lines.append(
+                "supervision: %d restart(s) (%s)"
+                % (
+                    len(self.restarts),
+                    ", ".join(
+                        "w%d x%d" % (w, n) for w, n in sorted(per_worker.items())
+                    ),
+                )
+            )
+        for worker, reason in self.degraded_workers:
+            lines.append("degraded: worker %d dropped — %s" % (worker, reason))
         return lines
 
 
 class CellRecord(object):
     """Outcome of one matrix cell (a whole campaign) in the fan-out pool."""
 
-    __slots__ = ("key", "status", "wall", "execs")
+    __slots__ = ("key", "status", "wall", "execs", "restarts")
 
-    def __init__(self, key, status, wall, execs):
+    def __init__(self, key, status, wall, execs, restarts=0):
         self.key = key
         self.status = status  # "ok" | "error" | "crashed" | "timeout"
         self.wall = wall
         self.execs = execs
+        self.restarts = restarts  # supervised retries consumed before this outcome
 
     def __repr__(self):
         return "CellRecord(%s: %s in %.1fs)" % (self.key, self.status, self.wall)
@@ -175,8 +236,8 @@ class MatrixProgress(object):
         self.cells = []
         self._start = time.monotonic()
 
-    def record_cell(self, key, status, wall, execs=0):
-        record = CellRecord(key, status, wall, execs)
+    def record_cell(self, key, status, wall, execs=0, restarts=0):
+        record = CellRecord(key, status, wall, execs, restarts)
         self.cells.append(record)
         logger.info(
             "cell %s: %s in %.1fs (%d/%s done)",
@@ -187,6 +248,12 @@ class MatrixProgress(object):
             self.total or "?",
         )
         return record
+
+    def record_retry(self, key, attempt, kind, delay):
+        """A cell failed transiently and will be restarted after ``delay``s."""
+        logger.warning(
+            "cell %s: %s; retry #%d after %.2gs backoff", key, kind, attempt, delay
+        )
 
     def completed(self):
         return [c for c in self.cells if c.status == "ok"]

@@ -1,0 +1,276 @@
+"""Checkpoint/resume tests: the kill-and-resume determinism contract.
+
+The load-bearing property: an engine killed mid-campaign and resumed from
+its last on-disk checkpoint must be *tick-for-tick identical* to one that
+was never interrupted — same executions, same queue, same crashes, same
+timeline.  The file format's paranoia (magic, version, source fingerprint,
+payload digest) is what lets resuming refuse to silently diverge.
+"""
+
+import os
+import random
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.experiments.config import FUZZER_CONFIGS, campaign_rng, run_config
+from repro.experiments.runner import campaign
+from repro.coverage.feedback import PathFeedback
+from repro.fuzzer.checkpoint import (
+    MAGIC,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointStaleError,
+    default_fingerprint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.fuzzer.engine import FuzzEngine
+from repro.subjects import get_subject
+
+BUDGET = 30_000  # ticks: a tiny but non-degenerate campaign
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+    runner._MEMORY_CACHE.clear()
+    yield
+    runner._MEMORY_CACHE.clear()
+
+
+def _engine(seed=0):
+    subject = get_subject("flvmeta")
+    return FuzzEngine(
+        subject.program,
+        PathFeedback(),
+        subject.seeds,
+        random.Random(seed),
+        tokens=subject.tokens,
+    )
+
+
+def _engine_state(engine):
+    """Everything the determinism contract compares."""
+    return {
+        "execs": engine.execs,
+        "hangs": engine.hangs,
+        "ticks": engine.clock.ticks,
+        "cycle": engine.cycle,
+        "queue": [e.data for e in engine.queue.entries],
+        "favored": [e.favored for e in engine.queue.entries],
+        "crash_count": engine.crash_count,
+        "crashes": sorted(
+            (h, r.count, r.found_at) for h, r in engine.unique_crashes.items()
+        ),
+        "virgin": dict(engine.virgin.bits),
+        "timeline": list(engine.timeline),
+        "rng": engine.rng.getstate(),
+    }
+
+
+# -- file format ---------------------------------------------------------------
+
+
+def test_checkpoint_round_trip(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, {"x": [1, 2, 3]}, meta={"round": 7})
+    state, meta = read_checkpoint(path)
+    assert state == {"x": [1, 2, 3]}
+    assert meta == {"round": 7}
+    assert not os.path.exists(path + ".tmp")  # atomic write left no debris
+
+
+def test_checkpoint_bad_magic_is_corrupt(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, "payload")
+    with open(path, "r+b") as handle:
+        handle.write(b"NOTACKPT!!")
+    with pytest.raises(CheckpointCorruptError):
+        read_checkpoint(path)
+
+
+def test_checkpoint_truncation_is_corrupt(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, list(range(1000)))
+    size = os.path.getsize(path)
+    for keep in (size - 5, len(MAGIC) + 30, 3):
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+        write_checkpoint(path, list(range(1000)))
+
+
+def test_checkpoint_version_mismatch_is_stale(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, "payload")
+    with open(path, "r+b") as handle:
+        handle.seek(len(MAGIC))
+        handle.write((99).to_bytes(2, "big"))
+    with pytest.raises(CheckpointStaleError):
+        read_checkpoint(path)
+
+
+def test_checkpoint_fingerprint_mismatch_is_stale(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, "payload", fingerprint="a" * 16)
+    # Default fingerprint (this source tree) does not match "aaaa...".
+    assert default_fingerprint() != "a" * 16
+    with pytest.raises(CheckpointStaleError):
+        read_checkpoint(path)
+    # The matching fingerprint, or opting out of the check, both read fine.
+    state, _ = read_checkpoint(path, fingerprint="a" * 16)
+    assert state == "payload"
+    state, _ = read_checkpoint(path, check_fingerprint=False)
+    assert state == "payload"
+
+
+def test_checkpoint_flipped_payload_byte_is_corrupt(tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, {"k": "v"})
+    with open(path, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        last = handle.read(1)
+        handle.seek(-1, os.SEEK_END)
+        handle.write(bytes([last[0] ^ 0xFF]))
+    with pytest.raises(CheckpointCorruptError):
+        read_checkpoint(path)
+
+
+def test_write_checkpoint_rejects_malformed_fingerprint(tmp_path):
+    with pytest.raises(ValueError):
+        write_checkpoint(str(tmp_path / "x.ckpt"), "s", fingerprint="short")
+
+
+# -- engine snapshot/restore ---------------------------------------------------
+
+
+def test_snapshot_restore_continues_identically():
+    interrupted = _engine(seed=11)
+    interrupted.start(BUDGET)
+    interrupted.run_until(BUDGET // 2)
+    snap = interrupted.snapshot()
+
+    resumed = _engine(seed=999)  # different RNG seed: state must come from snap
+    resumed.restore(snap)
+    resumed.run_until(BUDGET)
+    resumed.finish()
+
+    whole = _engine(seed=11)
+    whole.run(BUDGET)
+    assert _engine_state(resumed) == _engine_state(whole)
+
+
+def test_snapshot_requires_started_engine():
+    with pytest.raises(RuntimeError):
+        _engine().snapshot()
+
+
+def test_snapshot_is_frozen_against_further_fuzzing():
+    engine = _engine(seed=3)
+    engine.start(BUDGET)
+    engine.run_until(BUDGET // 2)
+    snap = engine.snapshot()
+    queue_before = [e.data for e in snap["queue"]["entries"]]
+    ticks_before = snap["clock"][0]
+    engine.run_until(BUDGET)
+    assert [e.data for e in snap["queue"]["entries"]] == queue_before
+    assert snap["clock"][0] == ticks_before
+
+
+def test_kill_and_resume_from_file_is_identical(tmp_path):
+    path = str(tmp_path / "engine.ckpt")
+    victim = _engine(seed=5)
+    victim.start(BUDGET)
+    victim.run_until(BUDGET // 3)
+    victim.save_checkpoint(path, meta={"ticks": victim.clock.ticks})
+    del victim  # the "kill": nothing survives but the file
+
+    resumed = _engine(seed=5)
+    meta = resumed.resume(path)
+    assert meta["ticks"] == resumed.clock.ticks
+    resumed.run_until(BUDGET)
+    resumed.finish()
+
+    whole = _engine(seed=5)
+    whole.run(BUDGET)
+    assert _engine_state(resumed) == _engine_state(whole)
+
+
+def test_resume_refuses_corrupt_file_and_leaves_engine_untouched(tmp_path):
+    path = str(tmp_path / "engine.ckpt")
+    donor = _engine(seed=5)
+    donor.start(BUDGET)
+    donor.run_until(BUDGET // 3)
+    donor.save_checkpoint(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(24)
+    engine = _engine(seed=5)
+    engine.start(BUDGET)
+    before = _engine_state(engine)
+    with pytest.raises(CheckpointError):
+        engine.resume(path)
+    assert _engine_state(engine) == before
+
+
+# -- campaign-level resume -----------------------------------------------------
+
+
+def test_run_config_with_checkpoint_equals_plain(tmp_path):
+    subject = get_subject("flvmeta")
+    plain = run_config(subject, "path", 0, BUDGET)
+    checkpointed = run_config(
+        subject,
+        "path",
+        0,
+        BUDGET,
+        checkpoint_path=str(tmp_path / "cell.ckpt"),
+        checkpoint_every=BUDGET // 4,
+    )
+    assert checkpointed == plain
+
+
+def test_run_config_resumes_partial_checkpoint(tmp_path):
+    """A cell killed mid-run picks up from its snapshot, not from zero."""
+    subject = get_subject("flvmeta")
+    path = str(tmp_path / "cell.ckpt")
+    spec = FUZZER_CONFIGS["path"]
+    partial = FuzzEngine(
+        subject.program,
+        spec.feedback_factory(),
+        subject.seeds,
+        campaign_rng(subject.name, "path", 0),
+        spec.engine_config(subject),
+        subject.tokens,
+    )
+    partial.start(BUDGET)
+    partial.run_until(BUDGET // 2)
+    partial.save_checkpoint(path)
+    execs_done = partial.execs
+
+    resumed = run_config(subject, "path", 0, BUDGET, checkpoint_path=path)
+    uninterrupted = run_config(subject, "path", 0, BUDGET)
+    assert resumed == uninterrupted
+    # It really resumed: the first attempt's executions were not redone.
+    assert resumed.execs >= execs_done
+
+
+def test_run_config_recovers_from_torn_checkpoint(tmp_path):
+    subject = get_subject("flvmeta")
+    path = str(tmp_path / "cell.ckpt")
+    with open(path, "wb") as handle:
+        handle.write(b"garbage that is definitely not a checkpoint")
+    result = run_config(subject, "path", 0, BUDGET, checkpoint_path=path)
+    assert result == run_config(subject, "path", 0, BUDGET)
+
+
+def test_campaign_checkpoints_under_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+    result = campaign("flvmeta", "path", 0, hours=1, scale=0.05)
+    runner._MEMORY_CACHE.clear()
+    monkeypatch.delenv("REPRO_CHECKPOINT_DIR")
+    assert result == campaign("flvmeta", "path", 0, hours=1, scale=0.05)
+    # A completed campaign cleans up its resume point.
+    assert [p for p in os.listdir(str(tmp_path)) if p.endswith(".ckpt")] == []
