@@ -26,7 +26,7 @@ SURR_ENTRY = "surr-entry"  # ENTRY -> v, surrogate for back edge (u, v)
 SURR_EXIT = "surr-exit"  # u -> EXIT, surrogate for back edge (u, v)
 
 
-class DagEdge(object):
+class DagEdge:
     """One edge of the acyclic graph.
 
     ``val`` is the Ball-Larus increment assigned by the numbering pass;
@@ -60,7 +60,7 @@ class DagEdge(object):
         )
 
 
-class Dag(object):
+class Dag:
     """The acyclic view of one function CFG.
 
     ``nodes`` lists block ids (ENTRY first) plus EXIT; ``out_edges`` maps a

@@ -21,7 +21,7 @@ from repro.ballarus.spanning import canonical_increments, place_increments
 from repro.cfg.analysis import loop_depths
 
 
-class FunctionPathPlan(object):
+class FunctionPathPlan:
     """Instrumentation plan for one function (see module docstring)."""
 
     __slots__ = (

@@ -3,7 +3,7 @@
 from repro.cfg.instructions import BR, JMP, RET, format_instr, format_term
 
 
-class BasicBlock(object):
+class BasicBlock:
     """A straight-line run of instructions ended by exactly one terminator.
 
     ``instrs`` is a list of instruction tuples, ``term`` a terminator tuple

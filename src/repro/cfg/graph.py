@@ -4,7 +4,7 @@ from repro.cfg.block import BasicBlock
 from repro.cfg.instructions import BR, JMP, RET
 
 
-class FunctionCFG(object):
+class FunctionCFG:
     """The CFG of one MiniC function.
 
     Block 0 is always the entry.  ``nregs`` is the frame size; parameters

@@ -40,7 +40,7 @@ def lower_program(program_ast, source_name="<program>"):
     return ProgramCFG(funcs, strings.values, source_name)
 
 
-class _StringPool(object):
+class _StringPool:
     """Deduplicating pool of byte-string constants."""
 
     def __init__(self):
@@ -56,7 +56,7 @@ class _StringPool(object):
         return idx
 
 
-class _FuncLowerer(object):
+class _FuncLowerer:
     def __init__(self, funcdef, func_index, strings):
         self._funcdef = funcdef
         self._func_index = func_index

@@ -1,7 +1,7 @@
 """Linked multi-function program units."""
 
 
-class ProgramCFG(object):
+class ProgramCFG:
     """A compiled MiniC program: function CFGs + the string-constant pool.
 
     ``funcs`` is indexed by function index (as used by CALL instructions);

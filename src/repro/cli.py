@@ -6,14 +6,21 @@ Usage::
     python -m repro show cflow
     python -m repro fuzz gdk --config cull --hours 4 --run-seed 1
     python -m repro fuzz gdk --config path --workers 4   # main/secondary
+    python -m repro fuzz gdk --trace out.jsonl           # telemetry trace
     python -m repro report --jobs 8 table2 fig2
+    python -m repro telemetry report out.jsonl --html report.html
+    python -m repro telemetry overhead --gate 5
 
 ``fuzz`` runs one campaign of any registered configuration and prints the
 summary plus the triaged crashes; with ``--workers N`` it becomes an
-AFL++-style instance-parallel campaign with periodic corpus sync.
-``report`` regenerates the paper's tables/figures (see
-:mod:`repro.experiments.report`); ``--jobs N`` fans the campaign matrix
-out over N worker processes with identical results.
+AFL++-style instance-parallel campaign with periodic corpus sync, and with
+``--trace PATH`` the full telemetry pipeline (events, spans, metrics,
+plateaus) is persisted as JSONL.  ``report`` regenerates the paper's
+tables/figures (see :mod:`repro.experiments.report`); ``--jobs N`` fans the
+campaign matrix out over N worker processes with identical results.
+``telemetry`` renders traces (TTY/markdown/HTML) and runs the tracing
+overhead gate.  ``--verbose`` is global: it configures the ``repro`` logger
+for every subcommand.
 """
 
 import argparse
@@ -30,6 +37,8 @@ def build_arg_parser():
         prog="repro",
         description="Path-aware coverage-guided fuzzing (CGO 2026) reproduction",
     )
+    parser.add_argument("--verbose", action="store_true",
+                        help="log campaign progress (any subcommand)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list benchmark subjects")
@@ -67,8 +76,15 @@ def build_arg_parser():
     fuzz.add_argument("--worker-timeout", type=float, default=None,
                       help="wall seconds before a silent worker counts as "
                            "stalled (default 120)")
+    # Back-compat spelling of the global flag.  SUPPRESS keeps this copy
+    # from clobbering a `repro --verbose fuzz ...` value with False.
     fuzz.add_argument("--verbose", action="store_true",
+                      default=argparse.SUPPRESS,
                       help="log per-worker progress and sync events")
+    fuzz.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a telemetry trace (events, spans, metrics, "
+                           "plateaus) to PATH as JSONL; workers write "
+                           "PATH-derived sibling files")
 
     report = commands.add_parser("report", help="regenerate paper artifacts")
     report.add_argument("artifacts", nargs="*", help="table1..table10, fig2, ...")
@@ -80,6 +96,44 @@ def build_arg_parser():
                              "across retries/restarts instead of recomputing "
                              "from zero (sets REPRO_CHECKPOINT_DIR and a "
                              "default REPRO_CELL_RESTARTS=2)")
+
+    telemetry = commands.add_parser(
+        "telemetry", help="render telemetry traces / check tracing overhead"
+    )
+    telemetry_actions = telemetry.add_subparsers(dest="action", required=True)
+
+    tel_report = telemetry_actions.add_parser(
+        "report", help="summarize one or more JSONL trace files"
+    )
+    tel_report.add_argument("traces", nargs="+", metavar="TRACE",
+                            help="JSONL trace file(s); worker sibling files "
+                                 "merge by wall timestamp")
+    tel_report.add_argument("--html", metavar="PATH", default=None,
+                            help="also write a static HTML report")
+    tel_report.add_argument("--markdown", metavar="PATH", default=None,
+                            help="also write a markdown report")
+    tel_report.add_argument("--tail", type=int, default=0, metavar="N",
+                            help="print the last N raw event lines too")
+
+    tel_overhead = telemetry_actions.add_parser(
+        "overhead",
+        help="measure tracing overhead on a smoke campaign and gate it",
+    )
+    tel_overhead.add_argument("--subject", default="flvmeta",
+                              choices=all_subject_names())
+    tel_overhead.add_argument("--config", default="pcguard",
+                              choices=sorted(FUZZER_CONFIGS))
+    tel_overhead.add_argument("--hours", type=float, default=2.0)
+    tel_overhead.add_argument("--scale", type=float, default=4.0)
+    tel_overhead.add_argument("--repeats", type=int, default=3,
+                              help="best-of-N timing repeats (default 3)")
+    tel_overhead.add_argument("--gate", type=float, default=5.0,
+                              metavar="PCT",
+                              help="fail when overhead exceeds PCT%% "
+                                   "(default 5)")
+    tel_overhead.add_argument("--trace-dir", metavar="DIR", default=None,
+                              help="keep the traced run's JSONL under DIR "
+                                   "(default: a temp dir, discarded)")
     return parser
 
 
@@ -119,8 +173,14 @@ def cmd_fuzz(args):
         if args.checkpoint_every
         else None
     )
-    if args.verbose:
-        logging.basicConfig(level=logging.INFO, format="%(message)s")
+    telemetry = None
+    if args.trace:
+        from repro import telemetry as _telemetry
+
+        # Workers inherit the trace destination through the environment and
+        # re-home their sinks to PATH-derived sibling files (child_trace).
+        os.environ[_telemetry.TRACE_ENV] = args.trace
+        _telemetry.start_trace(args.trace)
     if args.workers > 1:
         from repro.fuzzer.parallel import run_instance_campaign
         from repro.fuzzer.supervisor import RestartPolicy
@@ -159,6 +219,19 @@ def cmd_fuzz(args):
             )
         print("fuzzing %s with %r for %.1f virtual hours (%d ticks)..."
               % (subject.name, args.config, args.hours, budget))
+        if args.trace:
+            from repro import telemetry as _telemetry
+            from repro.telemetry.bus import CampaignEvent
+
+            telemetry = _telemetry.engine_telemetry(
+                label="%s-%s-%d" % (subject.name, args.config, args.run_seed),
+                budget_ticks=budget,
+            )
+            if telemetry is not None:
+                telemetry.bus.publish(CampaignEvent(
+                    "begin", subject.name, args.config, args.run_seed,
+                    workers=1, budget=budget,
+                ))
         result = run_config(
             subject,
             args.config,
@@ -166,7 +239,17 @@ def cmd_fuzz(args):
             budget,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
         )
+        if telemetry is not None:
+            from repro.telemetry.bus import CampaignEvent
+
+            telemetry.finish(budget)
+            telemetry.bus.publish(CampaignEvent(
+                "end", subject.name, args.config, args.run_seed,
+                workers=1, budget=budget,
+            ))
+            telemetry.bus.flush()
     print("executions: %d (%d hangs), throughput %.0f exec/vh"
           % (result.execs, result.hangs, result.throughput))
     print("queue: %d entries; edge coverage: %d" % (result.queue_size, len(result.edges)))
@@ -176,7 +259,58 @@ def cmd_fuzz(args):
         function, line, kind = record.bug
         print("  bug %s:%d (%s), first seen at tick %d, %d crashes"
               % (function, line, kind, record.found_at, record.count))
+    plateaus = getattr(result, "plateaus", ())
+    if plateaus:
+        print("coverage plateaus: %d" % len(plateaus))
+        for plateau in plateaus:
+            end = "open" if plateau.open else "tick %d" % plateau.end_tick
+            print("  flat at %d edges from tick %d to %s"
+                  % (plateau.value, plateau.start_tick, end))
+    if args.trace:
+        print("telemetry trace: %s (render with "
+              "`repro telemetry report %s`)" % (args.trace, args.trace))
     return 0
+
+
+def cmd_telemetry(args):
+    from repro.telemetry import render
+
+    if args.action == "report":
+        for path in args.traces:
+            if not os.path.exists(path):
+                raise SystemExit(
+                    "repro telemetry: error: no trace at %r" % path
+                )
+        lines = render.render_report(
+            args.traces, html_path=args.html, markdown_path=args.markdown
+        )
+        for line in lines:
+            print(line)
+        if args.tail:
+            events, _ = render.load_traces(args.traces)
+            print()
+            for line in render.tail_lines(events)[-args.tail:]:
+                print(line)
+        if args.html:
+            print("wrote %s" % args.html)
+        if args.markdown:
+            print("wrote %s" % args.markdown)
+        return 0
+    # action == "overhead"
+    from repro.telemetry.overhead import measure_overhead
+
+    report = measure_overhead(
+        subject_name=args.subject,
+        config_name=args.config,
+        hours=args.hours,
+        scale=args.scale,
+        repeats=args.repeats,
+        gate_pct=args.gate,
+        trace_dir=args.trace_dir,
+    )
+    for line in report.lines():
+        print(line)
+    return 0 if report.passed else 1
 
 
 def cmd_report(args):
@@ -201,11 +335,18 @@ def cmd_report(args):
 
 def main(argv=None):
     args = build_arg_parser().parse_args(argv)
+    if getattr(args, "verbose", False):
+        # Configure the package logger for every subcommand; basicConfig is
+        # a no-op when the root logger is already set up, so this composes
+        # with embedding applications.
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+        logging.getLogger("repro").setLevel(logging.INFO)
     handler = {
         "list": cmd_list,
         "show": cmd_show,
         "fuzz": cmd_fuzz,
         "report": cmd_report,
+        "telemetry": cmd_telemetry,
     }[args.command]
     return handler(args)
 

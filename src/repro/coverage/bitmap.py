@@ -41,7 +41,7 @@ def classify_hits(hits):
     return {idx: classify_count(count) for idx, count in hits.items()}
 
 
-class VirginMap(object):
+class VirginMap:
     """Global record of every (map index, bucket) pair observed so far."""
 
     __slots__ = ("bits",)

@@ -40,7 +40,7 @@ def _stable_hash(text, bits=64):
     return int.from_bytes(digest[: bits // 8], "little")
 
 
-class Instrumentation(object):
+class Instrumentation:
     """Compiled probe tables for one program under one feedback.
 
     ``edge_actions[f][(src, dst)]``, ``ret_actions[f][block]`` and
@@ -104,7 +104,7 @@ class Instrumentation(object):
         self.probe_sites += 1
 
 
-class Feedback(object):
+class Feedback:
     """Base class; subclasses define ``name`` and :meth:`instrument`."""
 
     name = "abstract"

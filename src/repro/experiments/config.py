@@ -43,7 +43,7 @@ CULL_ROUND_FRACTION = 6.0 / 48.0
 OPP_SWITCH_FRACTION = 0.5
 
 
-class ConfigSpec(object):
+class ConfigSpec:
     """How to build and drive one fuzzer configuration."""
 
     def __init__(self, name, kind, feedback_factory=None, engine_style="aflpp",
@@ -131,7 +131,7 @@ def _run_plain_checkpointed(engine, budget_ticks, checkpoint_path, checkpoint_ev
 
 def run_config(
     subject, config_name, run_seed, budget_ticks, checkpoint_path=None,
-    checkpoint_every=None,
+    checkpoint_every=None, telemetry=None,
 ):
     """Run one campaign and return its CampaignResult.
 
@@ -139,6 +139,11 @@ def run_config(
     the engine snapshots there periodically (every ``checkpoint_every``
     ticks, default budget / 8) and resumes from a valid snapshot instead
     of recomputing from zero — see :mod:`repro.fuzzer.checkpoint`.
+
+    ``telemetry`` (plain configs only) is an
+    :class:`~repro.telemetry.trace.EngineTelemetry` for the engine: spans,
+    metric snapshots, and live plateau events, with zero effect on the
+    campaign result (the determinism contract CI asserts).
     """
     spec = FUZZER_CONFIGS[config_name]
     rng = campaign_rng(subject.name, config_name, run_seed)
@@ -151,6 +156,7 @@ def run_config(
             rng,
             engine_config,
             subject.tokens,
+            telemetry=telemetry,
         )
         if checkpoint_path:
             _run_plain_checkpointed(

@@ -148,9 +148,22 @@ def campaign(subject_name, config_name, run_seed, hours, scale=None):
     )
     if checkpoint_path is not None and FUZZER_CONFIGS[config_name].kind != "plain":
         checkpoint_path = None  # phased drivers orchestrate their own engines
+    telemetry = None
+    if FUZZER_CONFIGS[config_name].kind == "plain":
+        # With REPRO_TRACE set, every fresh (uncached) matrix cell traces
+        # into its own suffixed JSONL file; cache hits stay silent.
+        from repro import telemetry as _telemetry
+
+        telemetry = _telemetry.engine_telemetry(
+            label="%s-%s-%d" % (subject_name, config_name, run_seed),
+            budget_ticks=budget,
+        )
     result = run_config(
-        subject, config_name, run_seed, budget, checkpoint_path=checkpoint_path
+        subject, config_name, run_seed, budget, checkpoint_path=checkpoint_path,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.finish(budget)
     _MEMORY_CACHE[key] = result
     if disk_path is not None:
         os.makedirs(_cache_dir(), exist_ok=True)

@@ -12,7 +12,7 @@ from repro.coverage.feedback import EdgeFeedback
 from repro.runtime.interpreter import execute
 
 
-class CrashInfo(object):
+class CrashInfo:
     """Plain (picklable) record of one deduplicated crash bucket."""
 
     __slots__ = ("bug", "hash5", "kind", "count", "afl_unique", "found_at", "stack")
@@ -40,7 +40,7 @@ class CrashInfo(object):
         return "CrashInfo(%s x%d)" % (self.bug, self.count)
 
 
-class CampaignResult(object):
+class CampaignResult:
     """Outcome of one (subject, fuzzer-config, run-seed) campaign."""
 
     # Campaign *science* — what the paper's tables consume, and what the
@@ -62,10 +62,12 @@ class CampaignResult(object):
         "timeline",
     )
 
-    # Supervision metadata: how bumpy the *execution* was (worker restarts,
-    # dropped workers).  Deliberately excluded from __eq__ — a campaign that
-    # was killed and recovered must compare equal to the undisturbed one.
-    __slots__ = _SCIENCE_SLOTS + ("degraded", "worker_restarts")
+    # Supervision and observability metadata: how bumpy the *execution* was
+    # (worker restarts, dropped workers) and what the telemetry layer
+    # derived from the timeline (coverage plateaus).  Deliberately excluded
+    # from __eq__ — a campaign that was killed and recovered, or traced,
+    # must compare equal to the undisturbed/untraced one.
+    __slots__ = _SCIENCE_SLOTS + ("degraded", "worker_restarts", "plateaus")
 
     def __init__(
         self,
@@ -85,6 +87,7 @@ class CampaignResult(object):
         timeline,
         degraded=False,
         worker_restarts=(),
+        plateaus=(),
     ):
         self.subject_name = subject_name
         self.config_name = config_name
@@ -102,6 +105,7 @@ class CampaignResult(object):
         self.timeline = timeline
         self.degraded = degraded
         self.worker_restarts = tuple(worker_restarts)
+        self.plateaus = tuple(plateaus)
 
     @property
     def unique_crash_hashes(self):
@@ -190,9 +194,19 @@ def result_from_engines(subject, config_name, run_seed, engines, final_engine):
     bugs = {record.bug_id() for record in records}
     edges = replay_edge_coverage(subject.program, final_engine.corpus_inputs())
     from repro.fuzzer.clock import TICKS_PER_HOUR
+    from repro.telemetry.plateau import default_window, detect_plateaus
 
     # Executions per virtual hour, the clock's native campaign unit.
     throughput = execs / (ticks / TICKS_PER_HOUR) if ticks else 0.0
+    # Coverage plateaus, derived deterministically from the timeline the
+    # engine records anyway — populated whether or not tracing was on, and
+    # excluded from __eq__ like all observability metadata.  The stall
+    # window scales with the campaign budget, not the observed timeline
+    # span: short campaigns sample sparsely, and a span-derived window
+    # would flag the gap between two final snapshots as a "plateau".
+    plateaus = detect_plateaus(
+        [(t[0], t[2]) for t in timeline], window=default_window(ticks)
+    )
     return CampaignResult(
         subject_name=subject.name,
         config_name=config_name,
@@ -208,4 +222,5 @@ def result_from_engines(subject, config_name, run_seed, engines, final_engine):
         ticks=ticks,
         throughput=throughput,
         timeline=timeline,
+        plateaus=plateaus,
     )

@@ -23,7 +23,7 @@ TICKS_PER_HOUR = 400_000
 EXEC_OVERHEAD = 250
 
 
-class VirtualClock(object):
+class VirtualClock:
     """Monotonic tick counter with a budget."""
 
     __slots__ = ("ticks", "budget")

@@ -12,7 +12,7 @@ Mirrors AFL's queue mechanics:
 """
 
 
-class QueueEntry(object):
+class QueueEntry:
     """One retained test case."""
 
     __slots__ = (
@@ -76,7 +76,7 @@ class QueueEntry(object):
         )
 
 
-class Queue(object):
+class Queue:
     """The fuzzer's corpus with AFL-style favored-entry culling."""
 
     __slots__ = ("entries", "top_rated", "_dirty", "pending_favored", "_next_id")

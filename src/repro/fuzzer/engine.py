@@ -13,6 +13,8 @@ as in the paper.
 repertoire, no cmplog) approximating the AFL 2.52b base of PathAFL.
 """
 
+from time import perf_counter as _perf_counter
+
 from repro.coverage.bitmap import VirginMap, classify_hits
 from repro.fuzzer.clock import EXEC_OVERHEAD, VirtualClock
 from repro.fuzzer.cmplog import candidates_from_log
@@ -23,7 +25,7 @@ from repro.runtime.interpreter import execute
 from repro.triage.stacktrace import stack_hash
 
 
-class EngineConfig(object):
+class EngineConfig:
     """Tunables of the fuzzing loop (defaults model AFL++ 4.07a)."""
 
     __slots__ = (
@@ -76,7 +78,7 @@ def afl_engine_config(**overrides):
     return EngineConfig(**defaults)
 
 
-class CrashRecord(object):
+class CrashRecord:
     """A deduplicated crash bucket (first witness + occurrence count)."""
 
     __slots__ = ("data", "trap", "found_at", "afl_unique", "hash5", "count")
@@ -96,15 +98,27 @@ class CrashRecord(object):
         return "CrashRecord(%s, x%d)" % (self.trap.bug_id(), self.count)
 
 
-class FuzzEngine(object):
-    """One fuzzing campaign phase over a single program and feedback."""
+class FuzzEngine:
+    """One fuzzing campaign phase over a single program and feedback.
 
-    def __init__(self, program, feedback, seeds, rng, config=None, tokens=()):
+    ``telemetry`` (optional) is a
+    :class:`repro.telemetry.trace.EngineTelemetry`: when set, the engine
+    times its stages (mutate / execute / classify / queue / cull) into span
+    histograms and publishes periodic metric snapshots at the timeline
+    cadence.  Telemetry is pure observation — it never touches the virtual
+    clock or the RNG, is excluded from :meth:`snapshot` checkpoints, and a
+    traced campaign's result equals an untraced one field for field.
+    """
+
+    def __init__(
+        self, program, feedback, seeds, rng, config=None, tokens=(), telemetry=None
+    ):
         self.program = program
         self.feedback = feedback
         self.instrumentation = feedback.instrument(program)
         self.rng = rng
         self.config = config or EngineConfig()
+        self.telemetry = telemetry
         self.tokens = tuple(bytes(t) for t in tokens)
         self.queue = Queue()
         self.virgin = VirginMap()
@@ -138,6 +152,8 @@ class FuzzEngine(object):
         """
         self.clock = VirtualClock(budget_ticks)
         self._queue_index = 0
+        if self.telemetry is not None:
+            self.telemetry.begin(budget_ticks)
         self._dry_run_seeds()
         return self
 
@@ -161,8 +177,16 @@ class FuzzEngine(object):
                 self.cycle += 1
             entry = self.queue.entries[self._queue_index]
             self._queue_index += 1
-            self.queue.cull()
+            tel = self.telemetry
+            if tel is None:
+                self.queue.cull()
+            else:
+                t0 = _perf_counter()
+                self.queue.cull()
+                tel.record_stage("cull", _perf_counter() - t0)
             if self._should_skip(entry):
+                if tel is not None:
+                    tel.record_skipped()
                 continue
             self._fuzz_one(entry)
             entry.was_fuzzed = True
@@ -171,6 +195,8 @@ class FuzzEngine(object):
     def finish(self):
         """Record the final timeline sample; returns self for chaining."""
         self._snapshot()
+        if self.telemetry is not None:
+            self.telemetry.finish(self.clock.ticks if self.clock else 0)
         return self
 
     # -- checkpoint / resume ---------------------------------------------------
@@ -321,9 +347,11 @@ class FuzzEngine(object):
                 if self.clock.expired():
                     return
                 self._run_and_process(candidate[: config.max_input_len], entry.depth + 1)
+        tel = self.telemetry
         for _ in range(iterations):
             if self.clock.expired():
                 return
+            t0 = _perf_counter() if tel is not None else 0.0
             mutated = havoc(
                 self.rng,
                 entry.data,
@@ -331,12 +359,15 @@ class FuzzEngine(object):
                 self.tokens,
                 legacy=config.legacy_havoc,
             )
+            if tel is not None:
+                tel.record_stage("mutate", _perf_counter() - t0)
             self._run_and_process(mutated, entry.depth + 1)
         if config.use_splice and len(self.queue.entries) > 1:
             for _ in range(max(2, iterations // 4)):
                 if self.clock.expired():
                     return
                 other = self.rng.choice(self.queue.entries)
+                t0 = _perf_counter() if tel is not None else 0.0
                 spliced = splice(self.rng, entry.data, other.data)
                 mutated = havoc(
                     self.rng,
@@ -345,6 +376,8 @@ class FuzzEngine(object):
                     self.tokens,
                     legacy=config.legacy_havoc,
                 )
+                if tel is not None:
+                    tel.record_stage("mutate", _perf_counter() - t0)
                 self._run_and_process(mutated, entry.depth + 1)
 
     def _cmplog_stage(self, entry):
@@ -373,6 +406,8 @@ class FuzzEngine(object):
     # -- execution plumbing ----------------------------------------------------
 
     def _execute(self, data, cmplog=False):
+        tel = self.telemetry
+        t0 = _perf_counter() if tel is not None else 0.0
         result = execute(
             self.program,
             data,
@@ -381,6 +416,10 @@ class FuzzEngine(object):
             call_depth_limit=self.config.call_depth_limit,
             cmplog=cmplog,
         )
+        if tel is not None:
+            # The "execute" span is the interpreter's whole run loop for one
+            # input: dispatch, probe actions, and budget accounting.
+            tel.record_exec(_perf_counter() - t0, result)
         # Virtual cost: the run itself + the novelty scan over its trace.
         self.clock.charge(EXEC_OVERHEAD + result.virtual_cost + len(result.hits) // 4)
         self.execs += 1
@@ -397,16 +436,24 @@ class FuzzEngine(object):
         if result.crashed:
             self._record_crash(data, result)
             return None
+        tel = self.telemetry
+        t0 = _perf_counter() if tel is not None else 0.0
         classified = classify_hits(result.hits)
         new_indices, new_buckets = self.virgin.probe(classified)
+        if tel is not None:
+            tel.record_stage("classify", _perf_counter() - t0)
         if not (new_indices or new_buckets):
             return None
+        t0 = _perf_counter() if tel is not None else 0.0
         entry = self.queue.make_entry(
             data, result.virtual_cost, classified, depth, found_at=self.clock.ticks
         )
         entry.handicap = self.cycle
         self.queue.add(entry)
         self.virgin.merge(classified)
+        if tel is not None:
+            tel.record_stage("queue", _perf_counter() - t0)
+            tel.record_queued()
         return entry
 
     def _record_crash(self, data, result):
@@ -427,15 +474,24 @@ class FuzzEngine(object):
             record.count += 1
 
     def _snapshot(self):
+        coverage = self.virgin.coverage_count()
         self.timeline.append(
             (
                 self.clock.ticks,
                 len(self.queue.entries),
-                self.virgin.coverage_count(),
+                coverage,
                 self.crash_count,
                 self.execs,
             )
         )
+        if self.telemetry is not None:
+            self.telemetry.sample(
+                self.clock.ticks,
+                coverage,
+                len(self.queue.entries),
+                self.crash_count,
+                self.execs,
+            )
 
     # -- results ---------------------------------------------------------------
 

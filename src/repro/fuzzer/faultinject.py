@@ -45,7 +45,7 @@ class FaultSpecError(ValueError):
     """A fault spec string that does not parse."""
 
 
-class Fault(object):
+class Fault:
     """One injected fault, pinned to (action, worker, round, incarnation)."""
 
     __slots__ = ("action", "worker", "round_no", "incarnation", "params")
@@ -105,7 +105,7 @@ def parse_faults(spec):
     return faults
 
 
-class FaultPlan(object):
+class FaultPlan:
     """The active set of faults; workers query it at protocol sites."""
 
     __slots__ = ("faults",)
@@ -153,7 +153,7 @@ def clear():
     os.environ.pop(ENV_VAR, None)
 
 
-class injected(object):
+class injected:
     """Context manager: ``with injected("kill@1.2"): run_campaign(...)``."""
 
     def __init__(self, spec):

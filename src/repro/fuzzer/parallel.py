@@ -65,7 +65,7 @@ def _mp_context():
 # -- matrix parallelism --------------------------------------------------------
 
 
-class CellFailure(object):
+class CellFailure:
     """Why one matrix cell produced no result."""
 
     __slots__ = ("key", "kind", "message", "restarts")
@@ -108,6 +108,11 @@ def run_campaign_cell(task):
 def _cell_entry(conn, cell_fn, task):
     """Worker process entry: run the cell, ship the outcome, exit."""
     try:
+        from repro import telemetry
+
+        # Re-home tracing: a forked child must not append to the parent's
+        # JSONL stream (its writes are PID-guarded no-ops anyway).
+        telemetry.child_trace("cell%d" % os.getpid())
         result = cell_fn(task)
         conn.send(("ok", result))
     except BaseException as exc:  # report *any* failure, then die quietly
@@ -337,8 +342,14 @@ def _instance_worker(
     from repro.fuzzer.checkpoint import CheckpointError
 
     try:
+        from repro import telemetry
+
+        telemetry.child_trace("w%d" % worker_index)
         subject, engine = _build_instance_engine(
             subject_name, config_name, run_seed, worker_index
+        )
+        engine.telemetry = telemetry.engine_telemetry(
+            label="w%d" % worker_index, budget_ticks=budget
         )
         round_no = 0  # sync rounds completed (and embodied in engine state)
         reported = 0  # first entry id not yet shipped to the parent
@@ -379,6 +390,7 @@ def _instance_worker(
                             "queue": len(engine.queue.entries),
                             "crashes": engine.crash_count,
                             "hangs": engine.hangs,
+                            "coverage": engine.virgin.coverage_count(),
                         },
                     )
                 )
@@ -486,6 +498,15 @@ def merge_instance_results(
                 existing.found_at = min(existing.found_at, record.found_at)
     ticks = max((result.ticks for result in results), default=0)
     throughput = execs / (ticks / TICKS_PER_HOUR) if ticks else 0.0
+    from repro.telemetry.plateau import default_window, detect_plateaus
+
+    # Plateaus over the merged timeline: detect_plateaus rectifies the
+    # interleaved per-worker coverage counts with a running max, so a gain
+    # on *any* instance ends a plateau.  The stall window scales with the
+    # campaign budget (ticks), not the observed timeline span.
+    plateaus = detect_plateaus(
+        [(t[0], t[2]) for t in sorted(timeline)], window=default_window(ticks)
+    )
     return CampaignResult(
         subject_name=subject_name,
         config_name=config_name,
@@ -503,6 +524,7 @@ def merge_instance_results(
         timeline=sorted(timeline),
         degraded=degraded,
         worker_restarts=tuple(worker_restarts),
+        plateaus=plateaus,
     )
 
 
@@ -644,6 +666,18 @@ def run_instance_campaign(
         timeout=worker_timeout,
         stats=stats,
     )
+    from repro.telemetry.bus import CampaignEvent, SpanEvent
+
+    stats.bus.publish(
+        CampaignEvent(
+            "begin",
+            subject_name,
+            config_name,
+            run_seed,
+            workers=workers,
+            budget=budget_ticks,
+        )
+    )
     worker_results = []
     try:
         sup.spawn_all()
@@ -656,6 +690,7 @@ def run_instance_campaign(
         targets = list(range(sync_interval_ticks, budget_ticks, sync_interval_ticks))
         targets.append(budget_ticks)
         for round_no, target in enumerate(targets, start=1):
+            round_start = time.monotonic()
             current["target"] = target
             for worker in sup.alive():
                 worker.stage = 0
@@ -680,6 +715,7 @@ def run_instance_campaign(
                     worker_stats["queue"],
                     worker_stats["crashes"],
                     worker_stats["hangs"],
+                    coverage=worker_stats.get("coverage", 0),
                 )
                 offered += len(fresh)
                 for data, classified in fresh:
@@ -726,6 +762,16 @@ def run_instance_campaign(
                 worker.pending_imports = ()
             current["target"] = None
             stats.record_sync(target, offered, corpus_size - accepted_before, imported)
+            # One coarse span per sync barrier: how long the whole round
+            # (run + merge + broadcast + checkpoint) took in wall time.
+            stats.bus.publish(
+                SpanEvent(
+                    "sync_round",
+                    time.monotonic() - round_start,
+                    tick=target,
+                    attrs={"round": round_no},
+                )
+            )
         for worker in sup.alive():
             try:
                 reply = sup.request(worker, ("finish",), "result")
@@ -741,6 +787,17 @@ def run_instance_campaign(
             "campaign %s/%s#%d lost all %d workers; no results to merge"
             % (subject_name, config_name, run_seed, workers)
         )
+    stats.bus.publish(
+        CampaignEvent(
+            "end",
+            subject_name,
+            config_name,
+            run_seed,
+            workers=workers,
+            budget=budget_ticks,
+        )
+    )
+    stats.bus.flush()
     dropped = [worker for worker in sup.workers if not worker.alive]
     merged = merge_instance_results(
         subject_name,

@@ -1,11 +1,13 @@
 """Campaign observability: per-worker throughput, queue growth, sync events.
 
 Both parallel modes (matrix fan-out and main/secondary instance campaigns)
-report their progress through the structures here, so future performance
-work has one place to hook measurements.  Events are kept in memory (tests
-and callers inspect them) *and* mirrored to the ``repro.fuzzer.parallel``
-logger — enable ``logging.basicConfig(level=logging.INFO)`` or the CLI's
-``--verbose`` flag to watch a campaign live.
+report their progress through the structures here.  Events are kept in
+memory (tests and callers inspect them) *and* published as typed events on
+the :mod:`repro.telemetry` bus, whose default ``LogSink`` mirrors them to
+the ``repro.fuzzer.parallel`` logger with the same line formats as before —
+enable ``logging.basicConfig(level=logging.INFO)`` or the CLI's global
+``--verbose`` flag to watch a campaign live, or attach a JSONL sink
+(``fuzz --trace``) to persist them.
 
 Wall-clock seconds here are real (``time.monotonic``); "virtual" rates are
 executions per virtual hour, the deterministic clock's native unit.
@@ -15,16 +17,36 @@ import logging
 import time
 
 from repro.fuzzer.clock import TICKS_PER_HOUR
+from repro.telemetry.bus import (
+    CellEvent,
+    CellRetryEvent,
+    SyncRoundEvent,
+    WorkerDroppedEvent,
+    WorkerProgressEvent,
+    WorkerRestartEvent,
+    get_bus,
+)
 
 logger = logging.getLogger("repro.fuzzer.parallel")
 
 
-class WorkerSample(object):
+class WorkerSample:
     """One per-worker progress snapshot taken at a sync barrier."""
 
-    __slots__ = ("worker", "tick", "execs", "queue_size", "crashes", "hangs", "wall")
+    __slots__ = (
+        "worker",
+        "tick",
+        "execs",
+        "queue_size",
+        "crashes",
+        "hangs",
+        "wall",
+        "coverage",
+    )
 
-    def __init__(self, worker, tick, execs, queue_size, crashes, hangs, wall):
+    def __init__(
+        self, worker, tick, execs, queue_size, crashes, hangs, wall, coverage=0
+    ):
         self.worker = worker
         self.tick = tick
         self.execs = execs
@@ -32,6 +54,7 @@ class WorkerSample(object):
         self.crashes = crashes
         self.hangs = hangs
         self.wall = wall
+        self.coverage = coverage
 
     def execs_per_vhour(self):
         """Executions per virtual hour so far (0 before the first tick)."""
@@ -54,7 +77,7 @@ class WorkerSample(object):
         )
 
 
-class SyncEvent(object):
+class SyncEvent:
     """One corpus-sync round: what was offered, what survived the merge."""
 
     __slots__ = ("tick", "offered", "accepted", "imported_per_worker", "wall")
@@ -74,7 +97,7 @@ class SyncEvent(object):
         )
 
 
-class RestartEvent(object):
+class RestartEvent:
     """One supervised worker restart (death/stall -> backoff -> respawn)."""
 
     __slots__ = ("worker", "attempt", "reason", "delay", "wall")
@@ -90,11 +113,18 @@ class RestartEvent(object):
         return "RestartEvent(w%d #%d: %s)" % (self.worker, self.attempt, self.reason)
 
 
-class CampaignStats(object):
-    """Progress log of one instance-parallel campaign."""
+class CampaignStats:
+    """Progress log of one instance-parallel campaign.
 
-    def __init__(self, label=""):
+    Every ``record_*`` call keeps its legacy in-memory record *and*
+    publishes the corresponding typed event on ``bus`` (the process-global
+    telemetry bus by default, whose LogSink preserves the old logger
+    mirroring line for line).
+    """
+
+    def __init__(self, label="", bus=None):
         self.label = label
+        self.bus = bus if bus is not None else get_bus()
         self.samples = []
         self.sync_events = []
         self.restarts = []
@@ -104,22 +134,25 @@ class CampaignStats(object):
     def elapsed(self):
         return time.monotonic() - self._start
 
-    def record_worker(self, worker, tick, execs, queue_size, crashes, hangs=0):
+    def record_worker(
+        self, worker, tick, execs, queue_size, crashes, hangs=0, coverage=0
+    ):
         sample = WorkerSample(
-            worker, tick, execs, queue_size, crashes, hangs, self.elapsed()
+            worker, tick, execs, queue_size, crashes, hangs, self.elapsed(), coverage
         )
         self.samples.append(sample)
-        logger.info(
-            "%s worker %d @tick %d: %d execs (%.0f/vh, %.0f/s), queue %d, "
-            "%d crashes",
-            self.label,
-            worker,
-            tick,
-            execs,
-            sample.execs_per_vhour(),
-            sample.execs_per_sec(),
-            queue_size,
-            crashes,
+        self.bus.publish(
+            WorkerProgressEvent(
+                self.label,
+                worker,
+                tick,
+                execs,
+                queue_size,
+                crashes,
+                hangs,
+                coverage=coverage,
+                elapsed=sample.wall,
+            )
         )
         return sample
 
@@ -128,33 +161,31 @@ class CampaignStats(object):
             tick, offered, accepted, tuple(imported_per_worker), self.elapsed()
         )
         self.sync_events.append(event)
-        logger.info(
-            "%s sync @tick %d: %d offered, %d accepted into shared corpus",
-            self.label,
-            tick,
-            offered,
-            accepted,
+        self.bus.publish(
+            SyncRoundEvent(
+                self.label,
+                tick,
+                offered,
+                accepted,
+                imported=event.imported_per_worker,
+                elapsed=event.wall,
+            )
         )
         return event
 
     def record_restart(self, worker, attempt, reason, delay):
         event = RestartEvent(worker, attempt, reason, delay, self.elapsed())
         self.restarts.append(event)
-        logger.warning(
-            "%s worker %d restart #%d after %.2gs backoff: %s",
-            self.label,
-            worker,
-            attempt,
-            delay,
-            reason,
+        self.bus.publish(
+            WorkerRestartEvent(
+                self.label, worker, attempt, reason, delay, elapsed=event.wall
+            )
         )
         return event
 
     def record_degraded(self, worker, reason):
         self.degraded_workers.append((worker, reason))
-        logger.warning(
-            "%s worker %d dropped (campaign degraded): %s", self.label, worker, reason
-        )
+        self.bus.publish(WorkerDroppedEvent(self.label, worker, reason))
 
     def restart_counts(self, workers):
         """Per-worker restart totals as a tuple of length ``workers``."""
@@ -212,7 +243,7 @@ class CampaignStats(object):
         return lines
 
 
-class CellRecord(object):
+class CellRecord:
     """Outcome of one matrix cell (a whole campaign) in the fan-out pool."""
 
     __slots__ = ("key", "status", "wall", "execs", "restarts")
@@ -228,32 +259,34 @@ class CellRecord(object):
         return "CellRecord(%s: %s in %.1fs)" % (self.key, self.status, self.wall)
 
 
-class MatrixProgress(object):
+class MatrixProgress:
     """Progress log of one parallel matrix run (cell completions)."""
 
-    def __init__(self, total=0):
+    def __init__(self, total=0, bus=None):
         self.total = total
+        self.bus = bus if bus is not None else get_bus()
         self.cells = []
         self._start = time.monotonic()
 
     def record_cell(self, key, status, wall, execs=0, restarts=0):
         record = CellRecord(key, status, wall, execs, restarts)
         self.cells.append(record)
-        logger.info(
-            "cell %s: %s in %.1fs (%d/%s done)",
-            key,
-            status,
-            wall,
-            len(self.cells),
-            self.total or "?",
+        self.bus.publish(
+            CellEvent(
+                key,
+                status,
+                wall,
+                execs=execs,
+                restarts=restarts,
+                done=len(self.cells),
+                total=self.total,
+            )
         )
         return record
 
     def record_retry(self, key, attempt, kind, delay):
         """A cell failed transiently and will be restarted after ``delay``s."""
-        logger.warning(
-            "cell %s: %s; retry #%d after %.2gs backoff", key, kind, attempt, delay
-        )
+        self.bus.publish(CellRetryEvent(key, attempt, kind, delay))
 
     def completed(self):
         return [c for c in self.cells if c.status == "ok"]

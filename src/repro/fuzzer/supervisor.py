@@ -59,7 +59,7 @@ class WorkerLostError(WorkerError):
     """Restart budget exhausted: the worker is dropped, the campaign degrades."""
 
 
-class RestartPolicy(object):
+class RestartPolicy:
     """Exponential backoff with a hard restart budget."""
 
     __slots__ = ("max_restarts", "backoff_base", "backoff_factor", "backoff_max")
@@ -117,7 +117,7 @@ def recv_with_deadline(conn, timeout, worker_index, expected=None):
     return reply
 
 
-class SupervisedWorker(object):
+class SupervisedWorker:
     """Parent-side record of one engine worker and its supervision state."""
 
     __slots__ = (
@@ -180,7 +180,7 @@ class SupervisedWorker(object):
         )
 
 
-class Supervisor(object):
+class Supervisor:
     """Restart-with-backoff supervision over a set of workers.
 
     ``spawn_fn(worker)`` must start a fresh process for ``worker`` (honoring

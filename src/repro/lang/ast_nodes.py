@@ -6,7 +6,7 @@ it; the CFG lowering propagates lines onto instructions so that crash sites
 """
 
 
-class Node(object):
+class Node:
     """Base class for AST nodes (equality by type + fields, for tests)."""
 
     __slots__ = ("line",)

@@ -64,7 +64,7 @@ def parse(source):
     return _Parser(tokenize(source)).parse_program()
 
 
-class _Parser(object):
+class _Parser:
     def __init__(self, tokens):
         self._tokens = tokens
         self._pos = 0

@@ -33,7 +33,7 @@ def check_program(program):
         _FuncChecker(func, funcs).run()
 
 
-class _FuncChecker(object):
+class _FuncChecker:
     def __init__(self, func, funcs):
         self._func = func
         self._funcs = funcs

@@ -23,7 +23,7 @@ PUNCT = [
 ]
 
 
-class Token(object):
+class Token:
     """One lexical token: ``kind`` (see module docstring), ``value``, ``line``."""
 
     __slots__ = ("kind", "value", "line")

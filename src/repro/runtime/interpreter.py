@@ -77,7 +77,7 @@ _U64 = (1 << 64) - 1
 PROBE_COSTS = (1, 1, 9, 9, 4, 3)
 
 
-class ExecutionResult(object):
+class ExecutionResult:
     """Outcome of one test-case execution."""
 
     __slots__ = (
@@ -134,7 +134,7 @@ def execute(
     return vm.run(input_bytes)
 
 
-class _Exec(object):
+class _Exec:
     def __init__(self, program, instrumentation, instr_budget, call_depth_limit, cmplog):
         self._program = program
         self._instr = instrumentation

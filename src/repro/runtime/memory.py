@@ -13,7 +13,7 @@ from repro.runtime.values import ArrayRef
 MAX_ALLOC = 1 << 20
 
 
-class Heap(object):
+class Heap:
     """Per-execution heap: grows monotonically, freed wholesale at exit."""
 
     __slots__ = ("_arrays", "_readonly_base")

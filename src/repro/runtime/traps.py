@@ -31,7 +31,7 @@ ALL_KINDS = (
 )
 
 
-class Frame(object):
+class Frame:
     """One stack-trace frame: the function plus the relevant source line."""
 
     __slots__ = ("function", "line")

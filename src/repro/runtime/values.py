@@ -23,7 +23,7 @@ def wrap_int(value):
     return value
 
 
-class ArrayRef(object):
+class ArrayRef:
     """A handle to a heap array.
 
     ``array_id`` indexes the VM heap; ``readonly`` marks string-pool

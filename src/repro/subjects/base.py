@@ -12,7 +12,7 @@ from repro.runtime.interpreter import execute
 from repro.triage.bugs import Bug
 
 
-class Subject(object):
+class Subject:
     """One benchmark program."""
 
     def __init__(

@@ -1,0 +1,126 @@
+"""`repro.telemetry` — the unified observability subsystem.
+
+Layers (each its own module, composable separately):
+
+- :mod:`.bus`      typed events, ring retention, pluggable sinks (JSONL with
+                   atomic rotation, stderr/TTY, logger mirror, null);
+- :mod:`.metrics`  counters / gauges / histograms with snapshot + diff;
+- :mod:`.trace`    context-manager spans and the engine's hot-path facade;
+- :mod:`.plateau`  coverage plateau detection (live stream and post-hoc);
+- :mod:`.render`   JSONL trace -> TTY summary / markdown / static HTML report;
+- :mod:`.overhead` the measured <5 % tracing-overhead gate CI enforces.
+
+**Determinism contract.**  Telemetry observes; it never participates.  No
+virtual-clock charges, no RNG draws, no fields inside ``CampaignResult.__eq__``,
+nothing in engine checkpoints.  A campaign traced with every sink attached is
+field-for-field equal to the same campaign with telemetry disabled — CI
+asserts this together with the overhead gate.
+
+**Activation.**  Tracing is off by default (hot paths see ``telemetry is
+None``).  The CLI's ``fuzz --trace out.jsonl`` turns it on for one process
+tree by exporting ``REPRO_TRACE``; worker processes (instance workers,
+matrix cells) each write a sibling file (``out.w0.jsonl``, ...) because two
+processes appending one stream would tear lines.  ``repro telemetry report
+out.jsonl ...`` merges any number of such files back into one report.
+"""
+
+import os
+
+from repro.telemetry.bus import (
+    CampaignEvent,
+    CellEvent,
+    CellRetryEvent,
+    JsonlSink,
+    LogSink,
+    MetricsSnapshotEvent,
+    NullSink,
+    PlateauEvent,
+    SpanEvent,
+    SyncRoundEvent,
+    TelemetryBus,
+    TelemetryEvent,
+    TTYSink,
+    WorkerDroppedEvent,
+    WorkerProgressEvent,
+    WorkerRestartEvent,
+    get_bus,
+    read_trace,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+from repro.telemetry.plateau import Plateau, PlateauDetector, detect_plateaus
+from repro.telemetry.trace import EngineTelemetry, Span, SpanTracer
+
+#: Environment knob: base path of the JSONL trace (empty/unset: tracing off).
+TRACE_ENV = "REPRO_TRACE"
+
+
+def trace_path():
+    """The configured trace base path, or None when tracing is off."""
+    return os.environ.get(TRACE_ENV) or None
+
+
+def _suffixed(base, suffix):
+    if not suffix:
+        return base
+    root, ext = os.path.splitext(base)
+    return "%s.%s%s" % (root, suffix, ext or ".jsonl")
+
+
+def start_trace(path=None, suffix="", bus=None, tty=False):
+    """Attach a JSONL sink (and optionally a TTY sink) for this process.
+
+    Returns the sink, or None when tracing is not configured.  ``suffix``
+    namespaces per-worker files (``out.w0.jsonl``).  Call this once per
+    process; the sink lands on the global bus by default so stats events,
+    spans, and metric snapshots all reach the same file.
+    """
+    base = path or trace_path()
+    if not base:
+        return None
+    bus = bus if bus is not None else get_bus()
+    sink = bus.attach(JsonlSink(_suffixed(base, suffix)))
+    if tty:
+        bus.attach(TTYSink())
+    return sink
+
+
+def engine_telemetry(label="", suffix="", budget_ticks=None, bus=None):
+    """An :class:`EngineTelemetry` when tracing is configured, else None.
+
+    The one call engine builders need: it opens this process's trace sink
+    (idempotence is the caller's concern — workers call it exactly once)
+    and returns the facade to hand to :class:`~repro.fuzzer.engine.FuzzEngine`.
+    """
+    if trace_path() is None and bus is None:
+        return None
+    if bus is None:
+        bus = get_bus()
+        # Idempotent per process: the trace sink may already be attached
+        # (worker entry points call child_trace() before building engines).
+        if not any(isinstance(sink, JsonlSink) for sink in bus.sinks):
+            start_trace(suffix=suffix, bus=bus)
+    telemetry = EngineTelemetry(bus=bus, label=label)
+    if budget_ticks:
+        telemetry.begin(budget_ticks)
+    return telemetry
+
+
+def child_trace(suffix):
+    """Re-home tracing inside a forked/spawned worker process.
+
+    A forked child inherits the parent's open JSONL sink; its writes are
+    PID-guarded no-ops (see :class:`~repro.telemetry.bus.JsonlSink`), so the
+    child must drop inherited file sinks and open its own suffixed file.
+    Returns the new sink or None when tracing is off.
+    """
+    bus = get_bus()
+    for sink in list(bus.sinks):
+        if isinstance(sink, JsonlSink):
+            bus.detach(sink)
+    return start_trace(suffix=suffix, bus=bus)

@@ -1,0 +1,649 @@
+"""The telemetry event bus: typed events, ring retention, pluggable sinks.
+
+One process-local :class:`TelemetryBus` carries every observability event a
+campaign produces — worker progress samples, corpus-sync rounds, supervised
+restarts, matrix-cell completions, metric snapshots, spans, and plateau
+transitions.  Producers construct a *typed* event (below) and ``publish`` it;
+the bus keeps the most recent events in a bounded ring (tests and the live
+TTY view read it back) and forwards each event to every attached sink:
+
+``NullSink``
+    discards everything — the hot-path default, so producers never branch on
+    "is telemetry on?".
+``LogSink``
+    mirrors events onto the stdlib loggers with the exact line formats the
+    legacy :mod:`repro.fuzzer.stats` logging used, so ``--verbose`` output
+    is unchanged.
+``JsonlSink``
+    appends one JSON object per event to a trace file, with buffered writes
+    and atomic size-based rotation (``path`` -> ``path.1`` via ``os.replace``).
+``TTYSink``
+    human one-liners to a stream (stderr by default) for live watching.
+
+The bus is determinism-neutral by construction: publishing reads the wall
+clock but never touches the virtual clock, the campaign RNG, or any engine
+state, so a traced campaign is field-for-field equal to an untraced one.
+
+Reloading a trace is tolerant: :func:`read_trace` skips lines that are torn
+or malformed (a crashed writer must not take the report down with it) and
+returns how many it skipped.
+"""
+
+import json
+import logging
+import os
+import time
+from collections import deque
+
+logger = logging.getLogger("repro.fuzzer.parallel")
+
+#: Default number of events the in-memory ring retains.
+DEFAULT_RING_CAPACITY = 4096
+
+#: Default JSONL rotation threshold (bytes).  64 MiB of events is far more
+#: than any laptop-scale campaign produces; rotation exists so unattended
+#: long campaigns cannot fill a disk.
+DEFAULT_ROTATE_BYTES = 64 * 1024 * 1024
+
+
+# -- typed events --------------------------------------------------------------
+
+
+class TelemetryEvent:
+    """Base event: a ``kind`` tag plus wall-clock seconds since the epoch."""
+
+    kind = "event"
+    __slots__ = ("wall",)
+
+    def __init__(self, wall=None):
+        self.wall = time.time() if wall is None else wall
+
+    def payload(self):
+        """Subclass fields as a plain dict (no ``kind``/``wall``)."""
+        return {}
+
+    def to_dict(self):
+        data = {"kind": self.kind, "wall": self.wall}
+        data.update(self.payload())
+        return data
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.payload())
+
+
+class CampaignEvent(TelemetryEvent):
+    """Campaign lifecycle: ``action`` is ``"begin"`` or ``"end"``."""
+
+    kind = "campaign"
+    __slots__ = ("action", "subject", "config", "run_seed", "workers", "budget")
+
+    def __init__(
+        self, action, subject, config, run_seed, workers=1, budget=0, wall=None
+    ):
+        super().__init__(wall)
+        self.action = action
+        self.subject = subject
+        self.config = config
+        self.run_seed = run_seed
+        self.workers = workers
+        self.budget = budget
+
+    def payload(self):
+        return {
+            "action": self.action,
+            "subject": self.subject,
+            "config": self.config,
+            "run_seed": self.run_seed,
+            "workers": self.workers,
+            "budget": self.budget,
+        }
+
+
+class WorkerProgressEvent(TelemetryEvent):
+    """One per-worker progress sample taken at a sync barrier."""
+
+    kind = "worker_progress"
+    __slots__ = (
+        "label",
+        "worker",
+        "tick",
+        "execs",
+        "queue",
+        "crashes",
+        "hangs",
+        "coverage",
+        "elapsed",
+    )
+
+    def __init__(
+        self,
+        label,
+        worker,
+        tick,
+        execs,
+        queue,
+        crashes,
+        hangs,
+        coverage=0,
+        elapsed=0.0,
+        wall=None,
+    ):
+        super().__init__(wall)
+        self.label = label
+        self.worker = worker
+        self.tick = tick
+        self.execs = execs
+        self.queue = queue
+        self.crashes = crashes
+        self.hangs = hangs
+        self.coverage = coverage
+        self.elapsed = elapsed
+
+    def payload(self):
+        return {
+            "label": self.label,
+            "worker": self.worker,
+            "tick": self.tick,
+            "execs": self.execs,
+            "queue": self.queue,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "coverage": self.coverage,
+            "elapsed": self.elapsed,
+        }
+
+
+class SyncRoundEvent(TelemetryEvent):
+    """One corpus-sync round: offers, acceptances, per-worker imports."""
+
+    kind = "sync"
+    __slots__ = ("label", "tick", "offered", "accepted", "imported", "elapsed")
+
+    def __init__(self, label, tick, offered, accepted, imported=(), elapsed=0.0,
+                 wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.tick = tick
+        self.offered = offered
+        self.accepted = accepted
+        self.imported = tuple(imported)
+        self.elapsed = elapsed
+
+    def payload(self):
+        return {
+            "label": self.label,
+            "tick": self.tick,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "imported": list(self.imported),
+            "elapsed": self.elapsed,
+        }
+
+
+class WorkerRestartEvent(TelemetryEvent):
+    """One supervised worker restart (death/stall -> backoff -> respawn)."""
+
+    kind = "restart"
+    __slots__ = ("label", "worker", "attempt", "reason", "delay", "elapsed")
+
+    def __init__(self, label, worker, attempt, reason, delay, elapsed=0.0,
+                 wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.worker = worker
+        self.attempt = attempt
+        self.reason = reason
+        self.delay = delay
+        self.elapsed = elapsed
+
+    def payload(self):
+        return {
+            "label": self.label,
+            "worker": self.worker,
+            "attempt": self.attempt,
+            "reason": self.reason,
+            "delay": self.delay,
+            "elapsed": self.elapsed,
+        }
+
+
+class WorkerDroppedEvent(TelemetryEvent):
+    """Restart budget exhausted: the worker was dropped, campaign degraded."""
+
+    kind = "degraded"
+    __slots__ = ("label", "worker", "reason")
+
+    def __init__(self, label, worker, reason, wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.worker = worker
+        self.reason = reason
+
+    def payload(self):
+        return {"label": self.label, "worker": self.worker, "reason": self.reason}
+
+
+class CellEvent(TelemetryEvent):
+    """One matrix cell finished (ok / error / crashed / timeout)."""
+
+    kind = "cell"
+    __slots__ = ("key", "status", "secs", "execs", "restarts", "done", "total")
+
+    def __init__(self, key, status, secs, execs=0, restarts=0, done=0, total=0,
+                 wall=None):
+        super().__init__(wall)
+        self.key = key
+        self.status = status
+        self.secs = secs
+        self.execs = execs
+        self.restarts = restarts
+        self.done = done
+        self.total = total
+
+    def payload(self):
+        return {
+            "key": str(self.key),
+            "status": self.status,
+            "secs": self.secs,
+            "execs": self.execs,
+            "restarts": self.restarts,
+            "done": self.done,
+            "total": self.total,
+        }
+
+
+class CellRetryEvent(TelemetryEvent):
+    """A matrix cell failed transiently and will be restarted after a delay."""
+
+    kind = "cell_retry"
+    __slots__ = ("key", "attempt", "failure", "delay")
+
+    def __init__(self, key, attempt, failure, delay, wall=None):
+        super().__init__(wall)
+        self.key = key
+        self.attempt = attempt
+        self.failure = failure
+        self.delay = delay
+
+    def payload(self):
+        return {
+            "key": str(self.key),
+            "attempt": self.attempt,
+            "failure": self.failure,
+            "delay": self.delay,
+        }
+
+
+class SpanEvent(TelemetryEvent):
+    """One closed span (coarse stages only; hot spans aggregate instead)."""
+
+    kind = "span"
+    __slots__ = ("name", "secs", "tick", "attrs")
+
+    def __init__(self, name, secs, tick=None, attrs=None, wall=None):
+        super().__init__(wall)
+        self.name = name
+        self.secs = secs
+        self.tick = tick
+        self.attrs = dict(attrs) if attrs else {}
+
+    def payload(self):
+        return {"name": self.name, "secs": self.secs, "tick": self.tick,
+                "attrs": self.attrs}
+
+
+class MetricsSnapshotEvent(TelemetryEvent):
+    """Periodic dump of the metrics registry (see :mod:`.metrics`)."""
+
+    kind = "metrics"
+    __slots__ = ("label", "tick", "metrics")
+
+    def __init__(self, label, tick, metrics, wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.tick = tick
+        self.metrics = metrics
+
+    def payload(self):
+        return {"label": self.label, "tick": self.tick, "metrics": self.metrics}
+
+
+class PlateauEvent(TelemetryEvent):
+    """Coverage stopped (``phase="begin"``) or resumed (``phase="end"``)."""
+
+    kind = "plateau"
+    __slots__ = ("label", "phase", "metric", "start_tick", "tick", "value")
+
+    def __init__(self, label, phase, metric, start_tick, tick, value, wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.phase = phase
+        self.metric = metric
+        self.start_tick = start_tick
+        self.tick = tick
+        self.value = value
+
+    def payload(self):
+        return {
+            "label": self.label,
+            "phase": self.phase,
+            "metric": self.metric,
+            "start_tick": self.start_tick,
+            "tick": self.tick,
+            "value": self.value,
+        }
+
+
+EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (
+        CampaignEvent,
+        WorkerProgressEvent,
+        SyncRoundEvent,
+        WorkerRestartEvent,
+        WorkerDroppedEvent,
+        CellEvent,
+        CellRetryEvent,
+        SpanEvent,
+        MetricsSnapshotEvent,
+        PlateauEvent,
+    )
+}
+
+
+# -- sinks ---------------------------------------------------------------------
+
+
+class NullSink:
+    """Discards every event: the zero-cost default for hot paths."""
+
+    def emit(self, event):
+        pass
+
+    def close(self):
+        pass
+
+
+class LogSink:
+    """Mirrors events to stdlib loggers, preserving the legacy line formats.
+
+    This is what re-bases :mod:`repro.fuzzer.stats` on the bus without
+    changing a single ``--verbose`` output line: the stats recorders publish
+    typed events, and this sink renders them exactly as their old direct
+    ``logger.info``/``warning`` calls did.
+    """
+
+    def emit(self, event):
+        kind = event.kind
+        if kind == "worker_progress":
+            vhour = event.execs / (event.tick / _ticks_per_hour()) if event.tick > 0 else 0.0
+            per_sec = event.execs / event.elapsed if event.elapsed > 0 else 0.0
+            logger.info(
+                "%s worker %d @tick %d: %d execs (%.0f/vh, %.0f/s), queue %d, "
+                "%d crashes",
+                event.label, event.worker, event.tick, event.execs,
+                vhour, per_sec, event.queue, event.crashes,
+            )
+        elif kind == "sync":
+            logger.info(
+                "%s sync @tick %d: %d offered, %d accepted into shared corpus",
+                event.label, event.tick, event.offered, event.accepted,
+            )
+        elif kind == "restart":
+            logger.warning(
+                "%s worker %d restart #%d after %.2gs backoff: %s",
+                event.label, event.worker, event.attempt, event.delay, event.reason,
+            )
+        elif kind == "degraded":
+            logger.warning(
+                "%s worker %d dropped (campaign degraded): %s",
+                event.label, event.worker, event.reason,
+            )
+        elif kind == "cell":
+            logger.info(
+                "cell %s: %s in %.1fs (%d/%s done)",
+                event.key, event.status, event.secs, event.done,
+                event.total or "?",
+            )
+        elif kind == "cell_retry":
+            logger.warning(
+                "cell %s: %s; retry #%d after %.2gs backoff",
+                event.key, event.failure, event.attempt, event.delay,
+            )
+        elif kind == "plateau":
+            if event.phase == "begin":
+                logger.info(
+                    "%s %s plateau since tick %d (value %d)",
+                    event.label, event.metric, event.start_tick, event.value,
+                )
+            else:
+                logger.info(
+                    "%s %s plateau ended at tick %d after %d ticks",
+                    event.label, event.metric, event.tick,
+                    event.tick - event.start_tick,
+                )
+
+    def close(self):
+        pass
+
+
+def _ticks_per_hour():
+    from repro.fuzzer.clock import TICKS_PER_HOUR
+
+    return TICKS_PER_HOUR
+
+
+class JsonlSink:
+    """Buffered JSONL writer with atomic size-based rotation.
+
+    Rotation keeps exactly one archive: when the live file would exceed
+    ``rotate_bytes`` it is atomically renamed to ``<path>.1`` (clobbering a
+    previous archive) and a fresh file is started.  Writes are buffered and
+    flushed every ``flush_every`` events (and on ``close``).
+
+    The sink remembers the PID that created it: after a ``fork`` the child
+    inherits the open file object, and two processes appending to one stream
+    tear lines.  A forked child's emits are therefore dropped silently —
+    worker entry points install their own per-worker sink (see
+    :func:`repro.telemetry.child_trace`).
+    """
+
+    def __init__(self, path, rotate_bytes=DEFAULT_ROTATE_BYTES, flush_every=64):
+        self.path = path
+        self.rotate_bytes = int(rotate_bytes)
+        self.flush_every = max(1, int(flush_every))
+        self._pid = os.getpid()
+        self._pending = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def emit(self, event):
+        if self._handle is None or os.getpid() != self._pid:
+            return
+        line = json.dumps(event.to_dict(), separators=(",", ":"), sort_keys=True)
+        self._handle.write(line + "\n")
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+            if self._handle.tell() >= self.rotate_bytes:
+                self._rotate()
+
+    def flush(self):
+        if self._handle is not None:
+            self._handle.flush()
+            self._pending = 0
+
+    def _rotate(self):
+        """Atomically archive the live file and start a fresh one."""
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self):
+        if self._handle is not None and os.getpid() == self._pid:
+            self.flush()
+            self._handle.close()
+        self._handle = None
+
+
+class TTYSink:
+    """Human one-liners to a stream (stderr by default) for live watching."""
+
+    def __init__(self, stream=None):
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event):
+        try:
+            self.stream.write(format_event_line(event.to_dict()) + "\n")
+        except (OSError, ValueError):
+            pass
+
+    def close(self):
+        pass
+
+
+def format_event_line(data):
+    """One-line human rendering of an event dict (TTY sink and tail view)."""
+    kind = data.get("kind", "?")
+    if kind == "worker_progress":
+        return "[w%s @%s] execs=%s queue=%s crashes=%s coverage=%s" % (
+            data.get("worker"), data.get("tick"), data.get("execs"),
+            data.get("queue"), data.get("crashes"), data.get("coverage"),
+        )
+    if kind == "sync":
+        return "[sync @%s] offered=%s accepted=%s" % (
+            data.get("tick"), data.get("offered"), data.get("accepted"))
+    if kind == "restart":
+        return "[restart w%s #%s] %s" % (
+            data.get("worker"), data.get("attempt"), data.get("reason"))
+    if kind == "degraded":
+        return "[degraded w%s] %s" % (data.get("worker"), data.get("reason"))
+    if kind == "cell":
+        return "[cell %s] %s in %.1fs" % (
+            data.get("key"), data.get("status"), data.get("secs") or 0.0)
+    if kind == "cell_retry":
+        return "[cell %s] retry #%s: %s" % (
+            data.get("key"), data.get("attempt"), data.get("failure"))
+    if kind == "span":
+        return "[span %s] %.4fs" % (data.get("name"), data.get("secs") or 0.0)
+    if kind == "metrics":
+        counters = (data.get("metrics") or {}).get("counters", {})
+        return "[metrics @%s] %s" % (
+            data.get("tick"),
+            " ".join("%s=%s" % kv for kv in sorted(counters.items())))
+    if kind == "plateau":
+        if data.get("phase") == "begin":
+            return "[plateau] %s flat since tick %s" % (
+                data.get("metric"), data.get("start_tick"))
+        return "[plateau] %s resumed at tick %s" % (
+            data.get("metric"), data.get("tick"))
+    if kind == "campaign":
+        return "[campaign %s] %s/%s#%s workers=%s" % (
+            data.get("action"), data.get("subject"), data.get("config"),
+            data.get("run_seed"), data.get("workers"))
+    return "[%s] %r" % (kind, data)
+
+
+# -- the bus -------------------------------------------------------------------
+
+
+class TelemetryBus:
+    """Process-local fan-out of telemetry events to a ring and to sinks."""
+
+    def __init__(self, capacity=DEFAULT_RING_CAPACITY):
+        self._ring = deque(maxlen=capacity)
+        self.sinks = []
+
+    def attach(self, sink):
+        """Attach a sink; returns it (for later :meth:`detach`/close)."""
+        self.sinks.append(sink)
+        return sink
+
+    def detach(self, sink):
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+
+    def publish(self, event):
+        """Record ``event`` in the ring and forward it to every sink."""
+        self._ring.append(event)
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    def recent(self, kind=None):
+        """Ring contents, optionally filtered by event kind (oldest first)."""
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def clear(self):
+        self._ring.clear()
+
+    def flush(self):
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self):
+        """Close every sink and detach them all (the ring is kept)."""
+        for sink in self.sinks:
+            sink.close()
+        self.sinks = []
+
+
+# The process-global bus: stats recorders publish here by default, and a
+# LogSink preserves the legacy logger mirroring unconditionally (visibility
+# is still governed by logging levels, exactly as before).
+_GLOBAL_BUS = None
+
+
+def get_bus():
+    """The process-global bus (lazily created with the LogSink attached)."""
+    global _GLOBAL_BUS
+    if _GLOBAL_BUS is None:
+        _GLOBAL_BUS = TelemetryBus()
+        _GLOBAL_BUS.attach(LogSink())
+    return _GLOBAL_BUS
+
+
+# -- trace reload --------------------------------------------------------------
+
+
+def read_trace(path, include_rotated=True):
+    """Load a JSONL trace tolerantly.
+
+    Returns ``(events, skipped)``: ``events`` is a list of plain dicts in
+    file order (the rotated archive ``<path>.1``, when present, is read
+    first so the sequence stays chronological); ``skipped`` counts torn or
+    malformed lines that were ignored.
+    """
+    paths = []
+    if include_rotated and os.path.exists(path + ".1"):
+        paths.append(path + ".1")
+    paths.append(path)
+    events = []
+    skipped = 0
+    for name in paths:
+        try:
+            handle = open(name, encoding="utf-8")
+        except OSError:
+            continue
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    skipped += 1
+                    continue
+                if not isinstance(data, dict) or "kind" not in data:
+                    skipped += 1
+                    continue
+                events.append(data)
+    return events, skipped

@@ -1,0 +1,176 @@
+"""Metrics registry: counters, gauges, histograms, snapshots and diffs.
+
+Every metric carries two timelines when snapshotted: the *virtual tick* (the
+campaign's deterministic clock, supplied by the caller) and the wall clock.
+Snapshots are plain dicts — picklable, JSON-serializable, and diffable — so
+a campaign that checkpoints, dies, and resumes (whose in-memory counters
+restart from zero) still yields a consistent series: renderers difference
+consecutive snapshots and treat a negative counter delta as a resume
+boundary (see :func:`diff_snapshots`).
+
+Histogram bucket semantics are Prometheus-style ``le`` (less-or-equal): a
+value equal to a bound lands in that bound's bucket, values above the last
+bound land in the overflow bucket.  The default bounds are base-2 steps
+from 1 µs to ~8 s — sized for span durations.
+"""
+
+from bisect import bisect_left
+
+#: Default histogram bounds: 2**i microseconds for i in 0..23 (1 µs .. ~8.4 s).
+DURATION_BUCKET_BOUNDS = tuple((1 << i) * 1e-6 for i in range(24))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self.value
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+        return value
+
+    def __repr__(self):
+        return "Gauge(%s=%r)" % (self.name, self.value)
+
+
+class Histogram:
+    """Fixed-bound histogram with ``le`` bucket semantics.
+
+    ``counts[i]`` counts observations ``v <= bounds[i]`` (and greater than
+    ``bounds[i-1]``); ``counts[-1]`` is the overflow bucket for values above
+    the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name, bounds=DURATION_BUCKET_BOUNDS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value):
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """Approximate quantile: the upper bound of the bucket holding it.
+
+        Returns 0.0 on an empty histogram; overflow-bucket hits report the
+        last bound (the histogram cannot resolve beyond its range).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def merge(self, other):
+        """Fold another histogram with identical bounds into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, bucket_count in enumerate(other.counts):
+            self.counts[i] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        return self
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean(),
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+    def __repr__(self):
+        return "Histogram(%s: n=%d, mean=%.3g)" % (self.name, self.count, self.mean())
+
+
+class MetricsRegistry:
+    """Named get-or-create store of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def counter(self, name):
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name):
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name, bounds=DURATION_BUCKET_BOUNDS):
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def snapshot(self):
+        """Plain-dict snapshot of every metric (JSON/pickle friendly)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+def diff_snapshots(older, newer):
+    """Counter deltas between two snapshots, resume-boundary aware.
+
+    Returns ``{name: delta}`` over the union of counter names.  A counter
+    that shrank (the process restarted from a checkpoint and its in-memory
+    counters reset) is treated as having restarted from zero, so the delta
+    is the newer absolute value — the convention that keeps post-resume
+    rate series consistent.
+    """
+    old_counters = older.get("counters", {}) if older else {}
+    new_counters = newer.get("counters", {}) if newer else {}
+    deltas = {}
+    for name in set(old_counters) | set(new_counters):
+        old = old_counters.get(name, 0)
+        new = new_counters.get(name, 0)
+        deltas[name] = new - old if new >= old else new
+    return deltas

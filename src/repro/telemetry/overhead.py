@@ -1,0 +1,155 @@
+"""The tracing-overhead gate: measure, compare, enforce.
+
+Coverage-preserving coverage-guided tracing (Nagy et al.) makes the case
+that instrumentation is only trustworthy when its overhead is *budgeted and
+measured*; this module is that budget made executable.  It runs the same
+benchmark smoke campaign twice — telemetry disabled, then with full tracing
+(JSONL sink, span histograms, metric snapshots, plateau detection) — and
+checks two contracts:
+
+1. **Determinism**: the two `CampaignResult`s are field-for-field equal
+   (``__eq__`` covers every science field);
+2. **Overhead**: the traced run's best-of-N wall time is within ``gate``
+   percent of the untraced best-of-N (best-of-N discards scheduler noise,
+   which on shared CI runners dwarfs the effect being measured).
+
+CI runs ``repro telemetry overhead --gate 5`` on every push.
+"""
+
+import os
+import tempfile
+from time import perf_counter
+
+from repro.fuzzer.clock import hours_to_ticks
+from repro.subjects import get_subject
+
+#: Defaults match the CI smoke profile: big enough (a few thousand
+#: executions, ~half a second) that per-execution instrumentation cost —
+#: the thing the gate protects — dominates fixed costs like opening the
+#: trace file, which would otherwise swamp a percentage gate.
+DEFAULT_SUBJECT = "flvmeta"
+DEFAULT_CONFIG = "pcguard"
+DEFAULT_HOURS = 2.0
+DEFAULT_SCALE = 4.0
+DEFAULT_REPEATS = 3
+DEFAULT_GATE_PCT = 5.0
+
+
+class OverheadReport:
+    """Outcome of one measurement: timings, overhead, verdicts."""
+
+    __slots__ = (
+        "plain_secs",
+        "traced_secs",
+        "overhead_pct",
+        "gate_pct",
+        "deterministic",
+        "execs",
+        "trace_bytes",
+    )
+
+    def __init__(
+        self, plain_secs, traced_secs, gate_pct, deterministic, execs, trace_bytes
+    ):
+        self.plain_secs = plain_secs
+        self.traced_secs = traced_secs
+        self.overhead_pct = (
+            (traced_secs - plain_secs) / plain_secs * 100.0 if plain_secs else 0.0
+        )
+        self.gate_pct = gate_pct
+        self.deterministic = deterministic
+        self.execs = execs
+        self.trace_bytes = trace_bytes
+
+    @property
+    def passed(self):
+        return self.deterministic and self.overhead_pct < self.gate_pct
+
+    def lines(self):
+        return [
+            "untraced: %.3fs (best of N)" % self.plain_secs,
+            "traced:   %.3fs (best of N)" % self.traced_secs,
+            "overhead: %+.2f%% (gate: <%.1f%%)" % (self.overhead_pct, self.gate_pct),
+            "determinism: %s (%d execs, %d trace bytes)"
+            % (
+                "equal" if self.deterministic else "RESULTS DIVERGED",
+                self.execs,
+                self.trace_bytes,
+            ),
+            "verdict: %s" % ("PASS" if self.passed else "FAIL"),
+        ]
+
+
+def _run_once(subject, config_name, run_seed, budget, telemetry):
+    from repro.experiments.config import run_config
+
+    start = perf_counter()
+    result = run_config(subject, config_name, run_seed, budget, telemetry=telemetry)
+    return perf_counter() - start, result
+
+
+def measure_overhead(
+    subject_name=DEFAULT_SUBJECT,
+    config_name=DEFAULT_CONFIG,
+    run_seed=0,
+    hours=DEFAULT_HOURS,
+    scale=DEFAULT_SCALE,
+    repeats=DEFAULT_REPEATS,
+    gate_pct=DEFAULT_GATE_PCT,
+    trace_dir=None,
+):
+    """Run the gate campaign both ways; returns an :class:`OverheadReport`.
+
+    The traced runs write a real JSONL trace (full sink pipeline, not a
+    null sink) so the measured cost is the cost users pay.  ``trace_dir``
+    keeps the trace for artifact upload; a temp dir is used otherwise.
+    """
+    from repro.telemetry import EngineTelemetry
+    from repro.telemetry.bus import JsonlSink, TelemetryBus
+
+    subject = get_subject(subject_name)
+    budget = hours_to_ticks(hours, scale)
+    repeats = max(1, int(repeats))
+
+    plain_best = None
+    plain_result = None
+    for _ in range(repeats):
+        secs, result = _run_once(subject, config_name, run_seed, budget, None)
+        plain_best = secs if plain_best is None else min(plain_best, secs)
+        plain_result = result
+
+    own_tmp = None
+    if trace_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-overhead-")
+        trace_dir = own_tmp.name
+    os.makedirs(trace_dir, exist_ok=True)
+    trace_path = os.path.join(trace_dir, "overhead.jsonl")
+    traced_best = None
+    traced_result = None
+    trace_bytes = 0
+    try:
+        for attempt in range(repeats):
+            if os.path.exists(trace_path):
+                os.remove(trace_path)
+            bus = TelemetryBus()
+            sink = bus.attach(JsonlSink(trace_path))
+            telemetry = EngineTelemetry(bus=bus, label="overhead").begin(budget)
+            secs, result = _run_once(
+                subject, config_name, run_seed, budget, telemetry
+            )
+            telemetry.finish(budget)
+            sink.close()
+            traced_best = secs if traced_best is None else min(traced_best, secs)
+            traced_result = result
+            trace_bytes = os.path.getsize(trace_path)
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+    return OverheadReport(
+        plain_best,
+        traced_best,
+        gate_pct,
+        deterministic=(plain_result == traced_result),
+        execs=plain_result.execs,
+        trace_bytes=trace_bytes,
+    )

@@ -1,0 +1,184 @@
+"""Span tracing: context-manager spans and the engine's telemetry facade.
+
+Two granularities, matching the overhead budget (DESIGN §7):
+
+- **Coarse spans** (sync rounds, checkpoint writes, report cells) use
+  :meth:`SpanTracer.span` — a context manager that records the duration
+  into a per-name histogram *and* publishes a ``SpanEvent`` per occurrence.
+- **Hot spans** (mutate / execute / classify / queue, thousands per
+  campaign) never publish per-occurrence events: the engine calls
+  :meth:`EngineTelemetry.observe` with a pre-measured duration, which is a
+  single histogram insert.  Aggregates surface periodically as
+  ``MetricsSnapshotEvent`` at the engine's existing timeline cadence, so
+  the trace file grows with campaign *rounds*, not executions.
+
+Everything here is wall-clock-only observation: no virtual-clock charges,
+no RNG draws, no engine state — a traced campaign must stay field-for-field
+equal to an untraced one.
+"""
+
+from bisect import bisect_left
+from time import perf_counter
+
+from repro.telemetry.bus import MetricsSnapshotEvent, SpanEvent, get_bus
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.plateau import PlateauDetector
+
+
+class Span:
+    """One timed region; use via :meth:`SpanTracer.span`."""
+
+    __slots__ = ("tracer", "name", "tick", "attrs", "start")
+
+    def __init__(self, tracer, name, tick, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.tick = tick
+        self.attrs = attrs
+        self.start = 0.0
+
+    def __enter__(self):
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.tracer.record(
+            self.name, perf_counter() - self.start, self.tick, self.attrs
+        )
+        return False
+
+
+class SpanTracer:
+    """Duration histograms per span name, with optional per-span events."""
+
+    def __init__(self, registry=None, bus=None, emit_events=True):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.bus = bus
+        self.emit_events = emit_events
+
+    def span(self, name, tick=None, **attrs):
+        """Context manager timing one coarse region."""
+        return Span(self, name, tick, attrs or None)
+
+    def observe(self, name, seconds):
+        """Hot-path record: one histogram insert, no event."""
+        self.registry.histogram("span." + name).observe(seconds)
+
+    def record(self, name, seconds, tick=None, attrs=None):
+        """Record a closed span (histogram + event, for coarse spans)."""
+        self.observe(name, seconds)
+        if self.emit_events and self.bus is not None:
+            self.bus.publish(SpanEvent(name, seconds, tick, attrs))
+
+
+class EngineTelemetry:
+    """Per-engine observability session: metrics + hot spans + plateaus.
+
+    The engine guards every call site with ``if self.telemetry is not None``
+    so a disabled engine pays one attribute load per site; an enabled one
+    pays a couple of ``perf_counter`` reads and histogram inserts per
+    execution — measured and gated below 5 % wall clock (see
+    :mod:`repro.telemetry.overhead`).
+
+    Not part of engine snapshots/checkpoints: a resumed engine restarts its
+    telemetry from zero, and snapshot *diffs* keep the series consistent
+    (:func:`repro.telemetry.metrics.diff_snapshots`).
+    """
+
+    def __init__(self, bus=None, label="", plateau_window=None):
+        self.bus = bus if bus is not None else get_bus()
+        self.label = label
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(self.registry, self.bus)
+        self.plateau_window = plateau_window
+        self._plateau = None
+        self._finished = False
+        # Bound methods cached for the engine's hot path.
+        self.observe = self.tracer.observe
+        self.span = self.tracer.span
+        c = self.registry.counter
+        self._execs = c("execs")
+        self._hangs = c("hangs")
+        self._crashes = c("crashes")
+        self._queued = c("queued")
+        self._skipped = c("skipped")
+        self._instrs = c("instrs")
+        # Hot-path recorders update metric slots directly (no method-call
+        # layers): each exec is tens of microseconds in this interpreter, so
+        # per-exec bookkeeping must stay ~1 µs for the <5 % overhead gate.
+        self._h_exec = self.registry.histogram("span.execute")
+        self._stage_hists = {}
+
+    def begin(self, budget_ticks):
+        """Campaign armed: derive the plateau window from the tick budget."""
+        if self.plateau_window is None and budget_ticks:
+            from repro.telemetry.plateau import default_window
+
+            self.plateau_window = default_window(budget_ticks)
+        return self
+
+    # -- hot-path recorders (pre-measured durations) --------------------------
+
+    def record_exec(self, seconds, result):
+        """One interpreter execution: duration + instruction attribution."""
+        h = self._h_exec
+        h.counts[bisect_left(h.bounds, seconds)] += 1
+        h.count += 1
+        h.sum += seconds
+        self._execs.value += 1
+        self._instrs.value += result.instr_count
+        if result.timeout:
+            self._hangs.value += 1
+        elif result.trap is not None:
+            self._crashes.value += 1
+
+    def record_stage(self, name, seconds):
+        """One mutate/classify/queue/cull stage occurrence."""
+        h = self._stage_hists.get(name)
+        if h is None:
+            h = self._stage_hists[name] = self.registry.histogram("span." + name)
+        h.counts[bisect_left(h.bounds, seconds)] += 1
+        h.count += 1
+        h.sum += seconds
+
+    def record_queued(self):
+        self._queued.value += 1
+
+    def record_skipped(self):
+        self._skipped.value += 1
+
+    # -- periodic sampling (timeline cadence) ---------------------------------
+
+    def sample(self, tick, coverage, queue_size, crashes, execs):
+        """Engine timeline snapshot: update gauges, emit, feed the detector."""
+        gauge = self.registry.gauge
+        gauge("tick").set(tick)
+        gauge("coverage").set(coverage)
+        gauge("queue_size").set(queue_size)
+        gauge("crash_count").set(crashes)
+        self.bus.publish(
+            MetricsSnapshotEvent(self.label, tick, self.registry.snapshot())
+        )
+        if self._plateau is None:
+            # Fallback window when begin() never ran: one first-sample span.
+            window = self.plateau_window or max(1, tick)
+            self._plateau = PlateauDetector(
+                window, bus=self.bus, label=self.label
+            )
+        self._plateau.observe(tick, coverage)
+
+    def finish(self, tick):
+        """Campaign over: close the plateau stream and flush sinks.
+
+        Idempotent: the engine calls it from :meth:`FuzzEngine.finish` and
+        outer drivers may call it again after assembling the result.
+        """
+        if not self._finished:
+            self._finished = True
+            if self._plateau is not None:
+                self._plateau.finish(tick)
+        self.bus.flush()
+
+    def plateaus(self):
+        """Plateaus the live detector has seen so far."""
+        return list(self._plateau.plateaus) if self._plateau is not None else []

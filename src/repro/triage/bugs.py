@@ -9,7 +9,7 @@ every census entry is a real, distinctly-identified defect.
 """
 
 
-class Bug(object):
+class Bug:
     """One planted defect."""
 
     __slots__ = ("bug_id", "description", "witness", "difficulty")

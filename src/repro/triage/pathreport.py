@@ -20,7 +20,7 @@ from repro.coverage.feedback import PathFeedback, _stable_hash
 from repro.runtime.interpreter import execute
 
 
-class PathProfile(object):
+class PathProfile:
     """Decoded per-function path profile of one execution."""
 
     def __init__(self, entries, crashed, trap):
