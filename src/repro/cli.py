@@ -7,6 +7,9 @@ Usage::
     python -m repro fuzz gdk --config cull --hours 4 --run-seed 1
     python -m repro fuzz gdk --config path --workers 4   # main/secondary
     python -m repro fuzz gdk --trace out.jsonl           # telemetry trace
+    python -m repro fuzz gdk --output out/               # durable workspace
+    python -m repro fuzz gdk --resume-dir out/           # continue a killed run
+    python -m repro cmin gdk out/main/queue min/         # minimize a corpus
     python -m repro report --jobs 8 table2 fig2
     python -m repro telemetry report out.jsonl --html report.html
     python -m repro telemetry overhead --gate 5
@@ -15,12 +18,17 @@ Usage::
 summary plus the triaged crashes; with ``--workers N`` it becomes an
 AFL++-style instance-parallel campaign with periodic corpus sync, and with
 ``--trace PATH`` the full telemetry pipeline (events, spans, metrics,
-plateaus) is persisted as JSONL.  ``report`` regenerates the paper's
-tables/figures (see :mod:`repro.experiments.report`); ``--jobs N`` fans the
-campaign matrix out over N worker processes with identical results.
-``telemetry`` renders traces (TTY/markdown/HTML) and runs the tracing
-overhead gate.  ``--verbose`` is global: it configures the ``repro`` logger
-for every subcommand.
+plateaus) is persisted as JSONL.  ``--output DIR`` streams every retained
+input, crash, and hang to an AFL-style on-disk workspace
+(:mod:`repro.fuzzer.store`); ``--resume-dir DIR`` continues a killed
+campaign from whatever that workspace durably holds.  ``cmin`` minimizes an
+on-disk corpus (a store's ``queue/``, say) with the afl-cmin analogue.
+``report`` regenerates the paper's tables/figures (see
+:mod:`repro.experiments.report`); ``--jobs N`` fans the campaign matrix out
+over N worker processes with identical results.  ``telemetry`` renders
+traces (TTY/markdown/HTML) and runs the tracing overhead gate.
+``--verbose`` is global: it configures the ``repro`` logger for every
+subcommand.
 """
 
 import argparse
@@ -85,6 +93,28 @@ def build_arg_parser():
                       help="write a telemetry trace (events, spans, metrics, "
                            "plateaus) to PATH as JSONL; workers write "
                            "PATH-derived sibling files")
+    fuzz.add_argument("--output", metavar="DIR", default=None,
+                      help="durable AFL-style campaign workspace: stream "
+                           "every retained input, crash, and hang to "
+                           "DIR/<worker>/{queue,crashes,hangs}/ as found")
+    fuzz.add_argument("--resume-dir", metavar="DIR", default=None,
+                      help="resume a killed campaign from its --output "
+                           "workspace (lossless for everything durably "
+                           "written; damaged files are quarantined)")
+
+    cmin = commands.add_parser(
+        "cmin", help="minimize an on-disk corpus (afl-cmin analogue)"
+    )
+    cmin.add_argument("subject", choices=all_subject_names())
+    cmin.add_argument("input_dir", metavar="IN",
+                      help="directory of input files (e.g. a store's queue/)")
+    cmin.add_argument("output_dir", metavar="OUT",
+                      help="directory for the minimized corpus")
+    cmin.add_argument("--config", default="pcguard",
+                      choices=sorted(name for name, spec in FUZZER_CONFIGS.items()
+                                     if spec.kind == "plain"),
+                      help="feedback to minimize under (default pcguard, "
+                           "i.e. edge coverage like afl-cmin)")
 
     report = commands.add_parser("report", help="regenerate paper artifacts")
     report.add_argument("artifacts", nargs="*", help="table1..table10, fig2, ...")
@@ -166,6 +196,15 @@ def cmd_fuzz(args):
         raise SystemExit("repro fuzz: error: --workers must be >= 1")
     if args.resume and args.checkpoint and args.resume != args.checkpoint:
         raise SystemExit("repro fuzz: error: --resume and --checkpoint disagree")
+    if args.resume_dir and args.output and args.resume_dir != args.output:
+        raise SystemExit("repro fuzz: error: --resume-dir and --output disagree")
+    if args.resume_dir and not os.path.isdir(args.resume_dir):
+        raise SystemExit(
+            "repro fuzz: error: no campaign workspace at %r to resume"
+            % args.resume_dir
+        )
+    output_dir = args.resume_dir or args.output
+    resume_store = bool(args.resume_dir)
     subject = get_subject(args.subject)
     budget = hours_to_ticks(args.hours, args.scale)
     checkpoint_every = (
@@ -206,6 +245,8 @@ def cmd_fuzz(args):
             checkpoint_dir=args.checkpoint,
             restart_policy=RestartPolicy(max_restarts=args.max_restarts),
             worker_timeout=args.worker_timeout,
+            output_dir=output_dir,
+            resume_store=resume_store,
         )
         for line in stats.summary_lines():
             print("  " + line)
@@ -232,15 +273,37 @@ def cmd_fuzz(args):
                     "begin", subject.name, args.config, args.run_seed,
                     workers=1, budget=budget,
                 ))
-        result = run_config(
-            subject,
-            args.config,
-            args.run_seed,
-            budget,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every,
-            telemetry=telemetry,
-        )
+        store = None
+        if output_dir:
+            from repro.fuzzer.store import CampaignStore
+
+            store = CampaignStore(
+                output_dir,
+                meta={
+                    "subject": subject.name,
+                    "config": args.config,
+                    "run_seed": args.run_seed,
+                },
+            )
+        try:
+            result = run_config(
+                subject,
+                args.config,
+                args.run_seed,
+                budget,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                telemetry=telemetry,
+                store=store,
+                resume_store=resume_store,
+            )
+        finally:
+            if store is not None:
+                store.close()
+        if store is not None and store.quarantine_count:
+            print("WARNING: quarantined %d damaged workspace file(s) under %s"
+                  % (store.quarantine_count,
+                     os.path.join(store.worker_dir, "quarantine")))
         if telemetry is not None:
             from repro.telemetry.bus import CampaignEvent
 
@@ -269,7 +332,62 @@ def cmd_fuzz(args):
     if args.trace:
         print("telemetry trace: %s (render with "
               "`repro telemetry report %s`)" % (args.trace, args.trace))
+    if output_dir:
+        print("campaign workspace: %s (resume with "
+              "`repro fuzz %s --resume-dir %s`)"
+              % (output_dir, args.subject, output_dir))
     return 0
+
+
+def cmd_cmin(args):
+    from repro.fuzzer.cmin import coverage_of, minimize_corpus
+    from repro.fuzzer.store import artifact_name, atomic_write_bytes, content_hash
+
+    subject = get_subject(args.subject)
+    spec = FUZZER_CONFIGS[args.config]
+    if not os.path.isdir(args.input_dir):
+        raise SystemExit(
+            "repro cmin: error: no input directory %r" % args.input_dir
+        )
+    # Collect input files, skipping store sidecars and exact duplicates
+    # (content hash) so identical entries from different worker slices do
+    # not inflate the trace pass.
+    inputs = []
+    seen = set()
+    for name in sorted(os.listdir(args.input_dir)):
+        path = os.path.join(args.input_dir, name)
+        if not os.path.isfile(path):
+            continue
+        if name.endswith((".report.txt", ".triage.json", ".json")) or ".tmp." in name:
+            continue
+        with open(path, "rb") as handle:
+            data = handle.read()
+        digest = content_hash(data)
+        if not data or digest in seen:
+            continue
+        seen.add(digest)
+        inputs.append(data)
+    if not inputs:
+        raise SystemExit(
+            "repro cmin: error: no corpus files in %r" % args.input_dir
+        )
+    feedback = spec.feedback_factory()
+    budget = subject.exec_instr_budget
+    kept = minimize_corpus(
+        subject.program, inputs, feedback=feedback, instr_budget=budget
+    )
+    os.makedirs(args.output_dir, exist_ok=True)
+    for seq, data in enumerate(kept):
+        atomic_write_bytes(
+            os.path.join(args.output_dir, artifact_name(seq, content_hash(data))),
+            data,
+        )
+    before = coverage_of(subject.program, inputs, feedback=feedback, instr_budget=budget)
+    after = coverage_of(subject.program, kept, feedback=feedback, instr_budget=budget)
+    print("minimized %d unique inputs -> %d (%s coverage: %d -> %d indices)"
+          % (len(inputs), len(kept), args.config, len(before), len(after)))
+    print("wrote %d files to %s" % (len(kept), args.output_dir))
+    return 0 if after >= before else 1
 
 
 def cmd_telemetry(args):
@@ -345,6 +463,7 @@ def main(argv=None):
         "list": cmd_list,
         "show": cmd_show,
         "fuzz": cmd_fuzz,
+        "cmin": cmd_cmin,
         "report": cmd_report,
         "telemetry": cmd_telemetry,
     }[args.command]

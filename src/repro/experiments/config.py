@@ -98,7 +98,9 @@ def campaign_rng(subject_name, config_name, run_seed):
     return random.Random(int.from_bytes(digest[:8], "little"))
 
 
-def _run_plain_checkpointed(engine, budget_ticks, checkpoint_path, checkpoint_every):
+def _run_plain_checkpointed(
+    engine, budget_ticks, checkpoint_path, checkpoint_every, resume_store=False
+):
     """Drive a plain engine in checkpointed slices (resume-aware).
 
     If ``checkpoint_path`` holds a valid snapshot of this campaign, the
@@ -106,6 +108,12 @@ def _run_plain_checkpointed(engine, budget_ticks, checkpoint_path, checkpoint_ev
     corrupt files are refused (typed validation) and the campaign restarts
     fresh.  Slicing at ``run_until`` barriers is trajectory-neutral, so the
     result is byte-identical to an uninterrupted :meth:`FuzzEngine.run`.
+
+    With a store attached (``engine.store``), a successful checkpoint
+    resume backfills the store from the snapshot, and a *failed* one falls
+    back to replaying the store's surviving artifacts when ``resume_store``
+    allows (lossless, though not tick-identical — see
+    :mod:`repro.fuzzer.store`).
     """
     from repro.fuzzer.checkpoint import CheckpointError
 
@@ -114,10 +122,15 @@ def _run_plain_checkpointed(engine, budget_ticks, checkpoint_path, checkpoint_ev
         try:
             engine.resume(checkpoint_path)
             resumed = True
+            if engine.store is not None:
+                from repro.fuzzer.store import attach_store
+
+                attach_store(engine, engine.store)
         except (CheckpointError, OSError):
             pass  # unusable snapshot: recompute from zero
     if not resumed:
         engine.start(budget_ticks)
+        _replay_store(engine, resume_store)
     every = checkpoint_every or max(1, budget_ticks // 8)
     while True:
         target = min(budget_ticks, (engine.clock.ticks // every + 1) * every)
@@ -129,9 +142,16 @@ def _run_plain_checkpointed(engine, budget_ticks, checkpoint_path, checkpoint_ev
     return engine
 
 
+def _replay_store(engine, resume_store):
+    """Rebuild a started engine from its store's surviving artifacts."""
+    store = engine.store
+    if store is not None and resume_store and store.has_artifacts():
+        store.replay_into(engine)
+
+
 def run_config(
     subject, config_name, run_seed, budget_ticks, checkpoint_path=None,
-    checkpoint_every=None, telemetry=None,
+    checkpoint_every=None, telemetry=None, store=None, resume_store=False,
 ):
     """Run one campaign and return its CampaignResult.
 
@@ -140,12 +160,26 @@ def run_config(
     ticks, default budget / 8) and resumes from a valid snapshot instead
     of recomputing from zero — see :mod:`repro.fuzzer.checkpoint`.
 
+    ``store`` (plain configs only) attaches a
+    :class:`~repro.fuzzer.store.CampaignStore`: every retained input,
+    crash, and hang streams to the workspace as found, and
+    ``fuzzer_stats`` is finalized at campaign end.  ``resume_store=True``
+    additionally rebuilds the engine from the store's surviving artifacts
+    before fuzzing (the ``--resume-dir`` path; lossless but not
+    tick-identical).  The store is an observer: the campaign result is
+    field-for-field equal to a store-less run.
+
     ``telemetry`` (plain configs only) is an
     :class:`~repro.telemetry.trace.EngineTelemetry` for the engine: spans,
     metric snapshots, and live plateau events, with zero effect on the
     campaign result (the determinism contract CI asserts).
     """
     spec = FUZZER_CONFIGS[config_name]
+    if store is not None and spec.kind != "plain":
+        raise ValueError(
+            "config %r (%s) cannot stream to a campaign store; "
+            "only plain single-engine configs can" % (config_name, spec.kind)
+        )
     rng = campaign_rng(subject.name, config_name, run_seed)
     engine_config = spec.engine_config(subject)
     if spec.kind == "plain":
@@ -158,12 +192,20 @@ def run_config(
             subject.tokens,
             telemetry=telemetry,
         )
+        if store is not None:
+            engine.store = store  # before start(): the dry run streams seeds
         if checkpoint_path:
             _run_plain_checkpointed(
-                engine, budget_ticks, checkpoint_path, checkpoint_every
+                engine, budget_ticks, checkpoint_path, checkpoint_every,
+                resume_store=resume_store,
             )
         else:
-            engine.run(budget_ticks)
+            engine.start(budget_ticks)
+            _replay_store(engine, resume_store)
+            engine.run_until(budget_ticks)
+            engine.finish()
+        if store is not None:
+            store.finalize(engine)
         engines, final = [engine], engine
     elif spec.kind == "cull":
         engines, final = run_culling_campaign(

@@ -40,6 +40,32 @@ class CrashInfo:
         return "CrashInfo(%s x%d)" % (self.bug, self.count)
 
 
+class HangInfo:
+    """Plain (picklable) record of one deduplicated hang bucket.
+
+    Hangs are first-class campaign artifacts: the hanging *input* is carried
+    (it is how a hang is reproduced — there is no meaningful stack), keyed by
+    its content hash, with the first-seen tick and an occurrence count.
+    """
+
+    __slots__ = ("input_hash", "data", "count", "found_at")
+
+    def __init__(self, input_hash, data, count, found_at):
+        self.input_hash = input_hash
+        self.data = data
+        self.count = count
+        self.found_at = found_at
+
+    def _state(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __eq__(self, other):
+        return isinstance(other, HangInfo) and self._state() == other._state()
+
+    def __repr__(self):
+        return "HangInfo(%dB x%d @%d)" % (len(self.data), self.count, self.found_at)
+
+
 class CampaignResult:
     """Outcome of one (subject, fuzzer-config, run-seed) campaign."""
 
@@ -57,6 +83,7 @@ class CampaignResult:
         "edges",
         "execs",
         "hangs",
+        "hang_records",
         "ticks",
         "throughput",
         "timeline",
@@ -85,6 +112,7 @@ class CampaignResult:
         ticks,
         throughput,
         timeline,
+        hang_records=(),
         degraded=False,
         worker_restarts=(),
         plateaus=(),
@@ -100,6 +128,7 @@ class CampaignResult:
         self.edges = edges
         self.execs = execs
         self.hangs = hangs
+        self.hang_records = tuple(hang_records)
         self.ticks = ticks
         self.throughput = throughput
         self.timeline = timeline
@@ -161,6 +190,7 @@ def result_from_engines(subject, config_name, run_seed, engines, final_engine):
     merged across phases by stack hash (counts accumulate).
     """
     merged = {}
+    merged_hangs = {}
     crash_count = 0
     afl_unique = 0
     execs = 0
@@ -172,6 +202,17 @@ def result_from_engines(subject, config_name, run_seed, engines, final_engine):
         afl_unique += engine.afl_unique_crash_count
         execs += engine.execs
         hangs += engine.hangs
+        for digest, hang in engine.unique_hangs.items():
+            existing = merged_hangs.get(digest)
+            if existing is None:
+                merged_hangs[digest] = HangInfo(
+                    input_hash=digest,
+                    data=hang.data,
+                    count=hang.count,
+                    found_at=ticks + hang.found_at,
+                )
+            else:
+                existing.count += hang.count
         for hash5, record in engine.unique_crashes.items():
             existing = merged.get(hash5)
             if existing is None:
@@ -219,6 +260,7 @@ def result_from_engines(subject, config_name, run_seed, engines, final_engine):
         edges=frozenset(edges),
         execs=execs,
         hangs=hangs,
+        hang_records=tuple(merged_hangs.values()),
         ticks=ticks,
         throughput=throughput,
         timeline=timeline,

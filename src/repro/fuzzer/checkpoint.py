@@ -31,7 +31,21 @@ _HEADER_LEN = len(MAGIC) + 2 + _FINGERPRINT_LEN + 32
 
 
 class CheckpointError(RuntimeError):
-    """Base class: a checkpoint file cannot be used."""
+    """Base class: a checkpoint file cannot be used.
+
+    Every concrete error is *actionable*: it carries the offending
+    ``path``, which header ``field`` failed validation, and the
+    ``expected`` vs. ``found`` values — enough for an operator (or a
+    supervisor log line) to tell a torn write from a version skew from a
+    source-tree change without opening the file.
+    """
+
+    def __init__(self, message, path=None, field=None, expected=None, found=None):
+        super().__init__(message)
+        self.path = path
+        self.field = field
+        self.expected = expected
+        self.found = found
 
 
 class CheckpointCorruptError(CheckpointError):
@@ -96,17 +110,32 @@ def read_checkpoint(path, fingerprint=None, check_fingerprint=True):
         blob = handle.read()
     if len(blob) < _HEADER_LEN:
         raise CheckpointCorruptError(
-            "%s: %d bytes is shorter than the %d-byte checkpoint header"
-            % (path, len(blob), _HEADER_LEN)
+            "%s: %d bytes is shorter than the %d-byte checkpoint header "
+            "(truncated write?)" % (path, len(blob), _HEADER_LEN),
+            path=path,
+            field="length",
+            expected=_HEADER_LEN,
+            found=len(blob),
         )
     if not blob.startswith(MAGIC):
-        raise CheckpointCorruptError("%s: bad magic; not a repro checkpoint" % path)
+        raise CheckpointCorruptError(
+            "%s: bad magic; not a repro checkpoint" % path,
+            path=path,
+            field="magic",
+            expected=MAGIC,
+            found=bytes(blob[: len(MAGIC)]),
+        )
     offset = len(MAGIC)
     version = int.from_bytes(blob[offset : offset + 2], "big")
     offset += 2
     if version != VERSION:
         raise CheckpointStaleError(
-            "%s: checkpoint format v%d, this build reads v%d" % (path, version, VERSION)
+            "%s: checkpoint format v%d, this build reads v%d"
+            % (path, version, VERSION),
+            path=path,
+            field="version",
+            expected=VERSION,
+            found=version,
         )
     stored_fp = blob[offset : offset + _FINGERPRINT_LEN].decode("ascii", "replace")
     offset += _FINGERPRINT_LEN
@@ -116,14 +145,25 @@ def read_checkpoint(path, fingerprint=None, check_fingerprint=True):
             raise CheckpointStaleError(
                 "%s: written by source tree %s but this tree is %s; "
                 "refusing to resume across code changes"
-                % (path, stored_fp, expected_fp)
+                % (path, stored_fp, expected_fp),
+                path=path,
+                field="fingerprint",
+                expected=expected_fp,
+                found=stored_fp,
             )
     digest = blob[offset : offset + 32]
     offset += 32
     payload = blob[offset:]
-    if hashlib.sha256(payload).digest() != digest:
+    found_digest = hashlib.sha256(payload).digest()
+    if found_digest != digest:
         raise CheckpointCorruptError(
-            "%s: payload digest mismatch (truncated or corrupt write)" % path
+            "%s: payload sha256 %s does not match header %s over %d payload "
+            "bytes (truncated or corrupt write)"
+            % (path, found_digest.hex()[:16], digest.hex()[:16], len(payload)),
+            path=path,
+            field="sha256",
+            expected=digest.hex(),
+            found=found_digest.hex(),
         )
     try:
         record = pickle.loads(payload)
@@ -132,5 +172,14 @@ def read_checkpoint(path, fingerprint=None, check_fingerprint=True):
     except CheckpointError:
         raise
     except Exception as exc:
-        raise CheckpointCorruptError("%s: undecodable payload (%s)" % (path, exc))
+        # Digest-valid but undecodable: written by a different pickle
+        # universe (missing class, protocol skew) — still a typed error,
+        # never a raw EOFError/UnpicklingError escaping to the caller.
+        raise CheckpointCorruptError(
+            "%s: undecodable payload (%s: %s)" % (path, type(exc).__name__, exc),
+            path=path,
+            field="payload",
+            expected="pickled {meta, state} record",
+            found="%s: %s" % (type(exc).__name__, exc),
+        )
     return state, meta

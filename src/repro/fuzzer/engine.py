@@ -21,6 +21,7 @@ from repro.fuzzer.cmplog import candidates_from_log
 from repro.fuzzer.corpus import Queue
 from repro.fuzzer.mutators import deterministic_mutations, havoc, splice
 from repro.fuzzer.schedule import havoc_iterations, performance_score
+from repro.fuzzer.store import content_hash
 from repro.runtime.interpreter import execute
 from repro.triage.stacktrace import stack_hash
 
@@ -98,6 +99,28 @@ class CrashRecord:
         return "CrashRecord(%s, x%d)" % (self.trap.bug_id(), self.count)
 
 
+class HangRecord:
+    """A deduplicated hang bucket (first witness input + occurrence count).
+
+    Hangs are first-class artifacts like crashes: the hanging input is
+    retained (and streamed to the campaign store's ``hangs/`` directory when
+    one is attached) instead of being silently discarded.  Deduplication is
+    by input content hash — hang stacks are not meaningful the way crash
+    stacks are, since the trap fires wherever the budget ran out.
+    """
+
+    __slots__ = ("data", "found_at", "input_hash", "count")
+
+    def __init__(self, data, found_at, input_hash):
+        self.data = data
+        self.found_at = found_at
+        self.input_hash = input_hash
+        self.count = 1
+
+    def __repr__(self):
+        return "HangRecord(%dB, x%d)" % (len(self.data), self.count)
+
+
 class FuzzEngine:
     """One fuzzing campaign phase over a single program and feedback.
 
@@ -124,6 +147,12 @@ class FuzzEngine:
         self.virgin = VirginMap()
         self.crash_virgin = VirginMap()
         self.unique_crashes = {}  # stack hash -> CrashRecord
+        self.unique_hangs = {}  # input content hash -> HangRecord
+        # Optional durable workspace (repro.fuzzer.store.CampaignStore).
+        # Like telemetry it is pure observation: new queue entries, crashes,
+        # and hangs stream to disk as found, with no effect on the clock,
+        # the RNG, or checkpoints.
+        self.store = None
         self.crash_count = 0
         self.afl_unique_crash_count = 0
         self.execs = 0
@@ -225,8 +254,13 @@ class FuzzEngine:
             )
             for hash5, record in self.unique_crashes.items()
         ]
+        hangs_log = [
+            (digest, record.data, record.found_at, record.count)
+            for digest, record in self.unique_hangs.items()
+        ]
         return {
             "queue": self.queue.snapshot(),
+            "hangs_log": hangs_log,
             "virgin": dict(self.virgin.bits),
             "crash_virgin": dict(self.crash_virgin.bits),
             "crashes": crashes,
@@ -256,6 +290,11 @@ class FuzzEngine:
             record = CrashRecord(data, trap, found_at, afl_unique, hash5)
             record.count = count
             self.unique_crashes[hash5] = record
+        self.unique_hangs = {}
+        for digest, data, found_at, count in state.get("hangs_log", ()):
+            hang = HangRecord(data, found_at, digest)
+            hang.count = count
+            self.unique_hangs[digest] = hang
         self.crash_count = state["crash_count"]
         self.afl_unique_crash_count = state["afl_unique_crash_count"]
         self.execs = state["execs"]
@@ -307,7 +346,7 @@ class FuzzEngine:
                 break
             result = self._execute(seed)
             if result.timeout:
-                self.hangs += 1
+                self._record_hang(seed)
                 continue
             if result.crashed:
                 self._record_crash(seed, result)
@@ -318,6 +357,8 @@ class FuzzEngine:
             )
             self.queue.add(entry)
             self.virgin.merge(classified)
+            if self.store is not None:
+                self.store.save_queue_entry(entry)
 
     def _should_skip(self, entry):
         """AFL's probabilistic skipping of non-favored entries."""
@@ -431,7 +472,7 @@ class FuzzEngine:
         """Execute a candidate; queue it if novel.  Returns the new entry."""
         result = self._execute(data)
         if result.timeout:
-            self.hangs += 1
+            self._record_hang(data)
             return None
         if result.crashed:
             self._record_crash(data, result)
@@ -451,6 +492,8 @@ class FuzzEngine:
         entry.handicap = self.cycle
         self.queue.add(entry)
         self.virgin.merge(classified)
+        if self.store is not None:
+            self.store.save_queue_entry(entry)
         if tel is not None:
             tel.record_stage("queue", _perf_counter() - t0)
             tel.record_queued()
@@ -467,9 +510,23 @@ class FuzzEngine:
         hash5 = stack_hash(result.trap.stack)
         record = self.unique_crashes.get(hash5)
         if record is None:
-            self.unique_crashes[hash5] = CrashRecord(
-                data, result.trap, self.clock.ticks, afl_unique, hash5
-            )
+            record = CrashRecord(data, result.trap, self.clock.ticks, afl_unique, hash5)
+            self.unique_crashes[hash5] = record
+            if self.store is not None:
+                self.store.save_crash(record)
+        else:
+            record.count += 1
+
+    def _record_hang(self, data):
+        """Count a timeout and retain its input (first witness per content)."""
+        self.hangs += 1
+        digest = content_hash(data)
+        record = self.unique_hangs.get(digest)
+        if record is None:
+            record = HangRecord(bytes(data), self.clock.ticks, digest)
+            self.unique_hangs[digest] = record
+            if self.store is not None:
+                self.store.save_hang(data)
         else:
             record.count += 1
 

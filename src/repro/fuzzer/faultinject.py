@@ -14,6 +14,7 @@ into worker processes):
     spec   := fault ("," fault)*
     fault  := action "@" worker "." round ["." incarnation] (":" key "=" value)*
     action := "kill" | "stall" | "drop" | "truncate"
+            | "torn-write" | "corrupt-file"
 
 Examples::
 
@@ -21,6 +22,13 @@ Examples::
     stall@0.1:secs=30     worker 0 wedges 30 s before its round-1 reply
     drop@1.2              worker 1 silently drops its round-2 sync reply
     truncate@1.1:keep=32  worker 1's round-1 checkpoint is torn to 32 bytes
+    torn-write@0.3        worker 0's 3rd store artifact is torn mid-write
+    corrupt-file@0.5      worker 0's 5th store artifact gets its bytes flipped
+
+For the store actions the "round" coordinate is the worker's *n-th
+committed artifact write* (see :class:`repro.fuzzer.store.CampaignStore`) —
+store writes stream continuously, so sync rounds are the wrong clock for
+them.
 
 ``incarnation`` defaults to 0, so a fault fires only in a worker's *first*
 life — its supervised replacement (incarnation 1, 2, ...) runs clean unless
@@ -36,7 +44,10 @@ ENV_VAR = "REPRO_FAULTS"
 # Exit code of a fault-killed worker; distinctive in supervisor logs.
 KILLED_EXIT_CODE = 86
 
-_ACTIONS = ("kill", "stall", "drop", "truncate")
+_ACTIONS = ("kill", "stall", "drop", "truncate", "torn-write", "corrupt-file")
+
+# Actions that damage a just-committed store artifact (site "store").
+_STORE_ACTIONS = ("torn-write", "corrupt-file")
 
 _INSTALLED = None
 
@@ -61,7 +72,11 @@ class Fault:
 
     def site(self):
         """Protocol site the fault fires at."""
-        return "checkpoint" if self.action == "truncate" else "sync"
+        if self.action == "truncate":
+            return "checkpoint"
+        if self.action in _STORE_ACTIONS:
+            return "store"
+        return "sync"
 
     def __repr__(self):
         return "Fault(%s@%d.%d.%d%s)" % (
@@ -140,8 +155,20 @@ def install(spec):
     global _INSTALLED
     faults = parse_faults(spec) if isinstance(spec, str) else list(spec)
     _INSTALLED = FaultPlan(faults)
-    os.environ[ENV_VAR] = spec if isinstance(spec, str) else ",".join(
-        "%s@%d.%d.%d" % (f.action, f.worker, f.round_no, f.incarnation) for f in faults
+    os.environ[ENV_VAR] = (
+        spec
+        if isinstance(spec, str)
+        else ",".join(
+            "%s@%d.%d.%d%s"
+            % (
+                f.action,
+                f.worker,
+                f.round_no,
+                f.incarnation,
+                "".join(":%s=%s" % kv for kv in sorted(f.params.items())),
+            )
+            for f in faults
+        )
     )
     return _INSTALLED
 
@@ -199,3 +226,25 @@ def fire_checkpoint_fault(fault, path):
         keep = int(fault.params.get("keep", 24))
         with open(path, "r+b") as handle:
             handle.truncate(keep)
+
+
+def fire_store_fault(fault, path):
+    """Fire a store-site fault: damage the artifact just committed at ``path``.
+
+    ``torn-write`` simulates a rename that beat its data to the platter
+    (power loss between write and fsync): the file keeps only its first
+    ``keep`` bytes (default 8, 0 tears it to empty).  ``corrupt-file``
+    simulates silent media corruption: every byte is complemented, so the
+    length is right but the content hash is not.  Both must land the file
+    in ``quarantine/`` on the next tolerant scan.
+    """
+    if fault.action == "torn-write":
+        keep = int(fault.params.get("keep", 8))
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+    elif fault.action == "corrupt-file":
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(0)
+            handle.write(bytes(b ^ 0xFF for b in data))
+            handle.truncate(len(data))

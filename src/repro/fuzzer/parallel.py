@@ -323,24 +323,35 @@ def _instance_worker(
     budget,
     resume_path=None,
     incarnation=0,
+    output_dir=None,
+    resume_store=False,
 ):
-    """Engine worker: obey run/import/checkpoint/finish commands.
+    """Engine worker: obey run/import/sync_dir/checkpoint/finish commands.
 
     On spawn the worker reports ``("ready", resumed_round, note)``:
     ``resumed_round`` is how many sync rounds its restored state already
     embodies (0 for a fresh engine), so the parent knows which history
     suffix to replay.  A stale/corrupt checkpoint is *refused* (typed
-    validation in :mod:`repro.fuzzer.checkpoint`), reported in ``note``,
-    and the worker falls back to a fresh engine — the supervisor's
-    deterministic replay rebuilds the lost rounds.
+    validation in :mod:`repro.fuzzer.checkpoint`), reported in ``note``;
+    the worker then falls back to its durable store slice when one holds
+    artifacts (``output_dir`` campaigns), and to a fresh engine otherwise —
+    the supervisor's deterministic replay rebuilds the lost rounds.
 
-    Fault-injection hooks (:mod:`repro.fuzzer.faultinject`) fire at the two
+    With ``output_dir`` the worker owns the ``<output_dir>/w<index>/``
+    workspace slice (:class:`repro.fuzzer.store.CampaignStore`): every new
+    queue entry, crash, and hang streams to disk as found, and corpus sync
+    is AFL's foreign-queue scan over the sibling slices (``sync_dir``)
+    instead of a parent-mediated pipe merge.
+
+    Fault-injection hooks (:mod:`repro.fuzzer.faultinject`) fire at the
     protocol sites real campaigns die at: just before the sync reply
-    (kill / stall / drop) and just after a checkpoint write (truncate).
+    (kill / stall / drop), just after a checkpoint write (truncate), and
+    inside store artifact commits (torn-write / corrupt-file).
     """
     from repro.fuzzer import faultinject
     from repro.fuzzer.checkpoint import CheckpointError
 
+    store = None
     try:
         from repro import telemetry
 
@@ -351,6 +362,25 @@ def _instance_worker(
         engine.telemetry = telemetry.engine_telemetry(
             label="w%d" % worker_index, budget_ticks=budget
         )
+        if output_dir is not None:
+            from repro.fuzzer.store import CampaignStore, worker_name
+
+            store = CampaignStore(
+                output_dir,
+                worker=worker_name(worker_index),
+                meta={
+                    "subject": subject_name,
+                    "config": config_name,
+                    "run_seed": run_seed,
+                },
+                worker_index=worker_index,
+                incarnation=incarnation,
+            )
+            engine.store = store
+        # Foreign-queue dedup: every content hash this worker has already
+        # considered (its own corpus streams through the store, so the
+        # store's hash index covers those).
+        seen = {input_hash(seed) for seed in subject.seeds}
         round_no = 0  # sync rounds completed (and embodied in engine state)
         reported = 0  # first entry id not yet shipped to the parent
         note = ""
@@ -359,11 +389,31 @@ def _instance_worker(
                 meta = engine.resume(resume_path)
                 round_no = int(meta.get("round", 0))
                 reported = engine.queue.next_entry_id()
+                if store is not None:
+                    # Backfill artifacts the snapshot holds but a torn
+                    # store might not (content-deduped, so normally no-op).
+                    from repro.fuzzer.store import attach_store
+
+                    attach_store(engine, store)
             except (CheckpointError, OSError) as exc:
                 note = "%s: %s" % (type(exc).__name__, exc)
                 resume_path = None
         if resume_path is None:
             engine.start(budget)
+            if (
+                store is not None
+                and (resume_store or incarnation > 0)
+                and store.has_artifacts()
+            ):
+                # No (valid) checkpoint: the workspace on disk is the newest
+                # surviving truth.  The tolerant scan quarantines damage and
+                # the survivors replay through import_input — lossless for
+                # everything durably written, though not tick-identical.
+                store.replay_into(engine)
+                round_no = store.rounds()
+                reported = engine.queue.next_entry_id()
+                if note:
+                    note += "; recovered from store (%d rounds)" % round_no
         conn.send(("ready", round_no, note))
         plan = faultinject.active_plan()
         while True:
@@ -371,11 +421,16 @@ def _instance_worker(
             if command[0] == "run":
                 engine.run_until(command[1])
                 round_no += 1
-                fresh = [
-                    (entry.data, entry.classified)
-                    for entry in engine.queue.entries_since(reported)
-                    if not entry.imported
-                ]
+                if store is None:
+                    fresh = [
+                        (entry.data, entry.classified)
+                        for entry in engine.queue.entries_since(reported)
+                        if not entry.imported
+                    ]
+                else:
+                    # Directory sync: fresh entries are already on disk;
+                    # nothing crosses the pipe but the progress sample.
+                    fresh = []
                 reported = engine.queue.next_entry_id()
                 fault = plan.match("sync", worker_index, round_no, incarnation)
                 if fault is not None and faultinject.fire_sync_fault(fault):
@@ -401,6 +456,19 @@ def _instance_worker(
                         added += 1
                 reported = engine.queue.next_entry_id()
                 conn.send(("imported", added))
+            elif command[0] == "sync_dir":
+                sync_round = int(command[1])
+                added = 0
+                scanned = 0
+                skip = seen | store.queue_hashes()
+                for digest, data in store.foreign_entries(skip):
+                    scanned += 1
+                    seen.add(digest)
+                    if engine.import_input(data) is not None:
+                        added += 1
+                reported = engine.queue.next_entry_id()
+                store.record_round(sync_round)
+                conn.send(("imported", added, scanned))
             elif command[0] == "checkpoint":
                 path, ckpt_round = command[1], command[2]
                 engine.save_checkpoint(
@@ -414,6 +482,8 @@ def _instance_worker(
                 from repro.fuzzer.campaign import result_from_engines
 
                 engine.finish()
+                if store is not None:
+                    store.finalize(engine, extra={"rounds": round_no})
                 result = result_from_engines(
                     subject, config_name, run_seed, [engine], engine
                 )
@@ -427,6 +497,11 @@ def _instance_worker(
         except Exception:
             pass
     finally:
+        if store is not None:
+            try:
+                store.close()
+            except Exception:
+                pass
         try:
             conn.close()
         except Exception:
@@ -462,10 +537,11 @@ def merge_instance_results(
     analogue: instances run concurrently), so the merged throughput is the
     *aggregate* execs per virtual hour across all instances.
     """
-    from repro.fuzzer.campaign import CampaignResult, CrashInfo
+    from repro.fuzzer.campaign import CampaignResult, CrashInfo, HangInfo
     from repro.fuzzer.clock import TICKS_PER_HOUR
 
     merged = {}
+    merged_hangs = {}
     crash_count = 0
     afl_unique = 0
     execs = 0
@@ -481,6 +557,18 @@ def merge_instance_results(
         edges.update(result.edges)
         bugs.update(result.bugs)
         timeline.extend(result.timeline)
+        for hang in result.hang_records:
+            existing = merged_hangs.get(hang.input_hash)
+            if existing is None:
+                merged_hangs[hang.input_hash] = HangInfo(
+                    input_hash=hang.input_hash,
+                    data=hang.data,
+                    count=hang.count,
+                    found_at=hang.found_at,
+                )
+            else:
+                existing.count += hang.count
+                existing.found_at = min(existing.found_at, hang.found_at)
         for record in result.crash_records:
             existing = merged.get(record.hash5)
             if existing is None:
@@ -519,6 +607,7 @@ def merge_instance_results(
         edges=frozenset(edges),
         execs=execs,
         hangs=hangs,
+        hang_records=tuple(merged_hangs.values()),
         ticks=ticks,
         throughput=throughput,
         timeline=sorted(timeline),
@@ -526,6 +615,10 @@ def merge_instance_results(
         worker_restarts=tuple(worker_restarts),
         plateaus=plateaus,
     )
+
+
+#: History marker: this round synced through the shared directory, not the pipe.
+_DIR_SYNC = "dir"
 
 
 def run_instance_campaign(
@@ -540,6 +633,8 @@ def run_instance_campaign(
     restart_policy=None,
     worker_timeout=None,
     checkpoint_dir=None,
+    output_dir=None,
+    resume_store=False,
 ):
     """AFL++-style main/secondary campaign over ``workers`` engine processes.
 
@@ -559,6 +654,19 @@ def run_instance_campaign(
     with the survivors and the merged result records ``degraded=True``
     plus per-worker restart counts.  ``supervise=False`` restores the old
     fail-fast behavior (any worker failure raises).
+
+    ``output_dir`` switches the campaign to the *durable workspace* mode:
+    every worker owns an AFL-style ``<output_dir>/w<i>/`` store slice
+    (:mod:`repro.fuzzer.store`) that streams queue entries, crashes, and
+    hangs to disk as found, and sync rounds become AFL's foreign-queue
+    directory scan (dedupe by content hash) instead of in-memory pipe
+    merges.  A restarted worker with no valid checkpoint recovers from its
+    store slice; ``resume_store=True`` makes the *first* spawn recover the
+    same way, which is how ``--resume-dir`` continues a killed campaign.
+    Store-based recovery is lossless for everything durably written but
+    not tick-identical (survivors replay through ``import_input``), so a
+    resumed campaign's result is a superset of the on-disk state, not a
+    byte-identical rerun.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -584,16 +692,25 @@ def run_instance_campaign(
     ctx = _mp_context()
     if checkpoint_dir:
         os.makedirs(checkpoint_dir, exist_ok=True)
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
 
     def _checkpoint_path(index):
         if not checkpoint_dir:
             return None
         return os.path.join(checkpoint_dir, "worker%d.ckpt" % index)
 
-    current = {"target": None}  # the in-flight round's run target (for replay)
+    # The in-flight round's run target and number (for replay).
+    current = {"target": None, "round": 0}
 
     def spawn(worker):
-        """(Re)start one worker, resuming from its checkpoint when valid."""
+        """(Re)start one worker, resuming from checkpoint or store.
+
+        A replacement prefers its last valid checkpoint (tick-identical
+        resume); the worker itself falls back to its durable store slice
+        when the checkpoint is missing or refused, and to a fresh engine
+        plus deterministic replay otherwise.
+        """
         resume_path = None
         if (
             worker.incarnation > 0
@@ -613,6 +730,8 @@ def run_instance_campaign(
                 budget_ticks,
                 resume_path,
                 worker.incarnation,
+                output_dir,
+                resume_store,
             ),
             daemon=True,
         )
@@ -623,7 +742,7 @@ def run_instance_campaign(
         worker.resumed_round = ready[1]
         if len(ready) > 2 and ready[2]:
             logger.warning(
-                "worker %d refused checkpoint %s (%s); replaying from scratch",
+                "worker %d refused checkpoint %s (%s)",
                 worker.index,
                 worker.checkpoint_path,
                 ready[2],
@@ -641,19 +760,27 @@ def run_instance_campaign(
         """Bring a respawned worker back to the current protocol position.
 
         Replays the completed rounds its restored state does not yet embody
-        (run target + the exact import list the parent broadcast), then the
-        current round's processed prefix.  Replies are discarded — the
-        parent already merged the originals, and determinism guarantees the
-        replayed ones are identical.
+        (run target + the exact import list the parent broadcast, or a
+        directory re-scan for store-synced rounds), then the current
+        round's processed prefix.  Replies are discarded — the parent
+        already merged the originals; pipe-mode replay is deterministic,
+        and directory-mode re-scans are idempotent by content hash.
         """
-        for target, imports in worker.history[worker.resumed_round :]:
+        for round_no, (target, imports) in enumerate(
+            worker.history[worker.resumed_round :], start=worker.resumed_round + 1
+        ):
             _step(worker, ("run", target), "synced")
-            if imports:
+            if imports == _DIR_SYNC:
+                _step(worker, ("sync_dir", round_no), "imported")
+            elif imports:
                 _step(worker, ("import", list(imports)), "imported")
         if current["target"] is not None and worker.stage >= 1:
             _step(worker, ("run", current["target"]), "synced")
-            if worker.stage >= 2 and worker.pending_imports:
-                _step(worker, ("import", list(worker.pending_imports)), "imported")
+            if worker.stage >= 2:
+                if worker.pending_imports == _DIR_SYNC:
+                    _step(worker, ("sync_dir", current["round"]), "imported")
+                elif worker.pending_imports:
+                    _step(worker, ("import", list(worker.pending_imports)), "imported")
 
     sup = Supervisor(
         [
@@ -692,13 +819,15 @@ def run_instance_campaign(
         for round_no, target in enumerate(targets, start=1):
             round_start = time.monotonic()
             current["target"] = target
+            current["round"] = round_no
             for worker in sup.alive():
                 worker.stage = 0
                 worker.pending_imports = ()
             offered = 0
             accepted_before = corpus_size
             broadcasts = {worker.index: [] for worker in sup.alive()}
-            # Collect and merge in worker-index order: deterministic.
+            # Run to the barrier and (pipe mode) collect/merge in
+            # worker-index order: deterministic.
             for worker in sup.alive():
                 try:
                     reply = sup.request(worker, ("run", target), "synced")
@@ -732,18 +861,38 @@ def run_instance_campaign(
                         if other.index != worker.index and other.index in broadcasts:
                             broadcasts[other.index].append(data)
             imported = [0] * workers
-            for worker in sup.alive():
-                blob = broadcasts.get(worker.index, ())
-                worker.pending_imports = tuple(blob)
-                if blob:
+            if output_dir:
+                # Directory sync: every worker scans the sibling slices it
+                # has not seen yet (AFL's foreign-queue pass).  The barrier
+                # above guarantees all round-``round_no`` artifacts are
+                # already renamed into place.
+                for worker in sup.alive():
+                    worker.pending_imports = _DIR_SYNC
                     try:
-                        reply = sup.request(worker, ("import", list(blob)), "imported")
+                        reply = sup.request(worker, ("sync_dir", round_no), "imported")
                     except WorkerLostError:
                         if not supervise:
                             raise
                         continue
                     imported[worker.index] = reply[1]
-                worker.stage = 2
+                    offered += reply[2]
+                    corpus_size += reply[1]
+                    worker.stage = 2
+            else:
+                for worker in sup.alive():
+                    blob = broadcasts.get(worker.index, ())
+                    worker.pending_imports = tuple(blob)
+                    if blob:
+                        try:
+                            reply = sup.request(
+                                worker, ("import", list(blob)), "imported"
+                            )
+                        except WorkerLostError:
+                            if not supervise:
+                                raise
+                            continue
+                        imported[worker.index] = reply[1]
+                    worker.stage = 2
             if checkpoint_dir:
                 for worker in sup.alive():
                     try:
@@ -799,12 +948,21 @@ def run_instance_campaign(
     )
     stats.bus.flush()
     dropped = [worker for worker in sup.workers if not worker.alive]
+    if output_dir:
+        # Durable mode: the workspace is the source of truth.  The campaign
+        # corpus is the union of distinct content hashes across all worker
+        # queue slices (seeds included — the dry run streams them to disk).
+        from repro.fuzzer.store import campaign_queue_hashes
+
+        queue_size = len(campaign_queue_hashes(output_dir))
+    else:
+        queue_size = len(subject.seeds) + corpus_size
     merged = merge_instance_results(
         subject_name,
         config_name,
         run_seed,
         worker_results,
-        queue_size=len(subject.seeds) + corpus_size,
+        queue_size=queue_size,
         degraded=bool(dropped),
         worker_restarts=tuple(worker.restarts for worker in sup.workers),
     )

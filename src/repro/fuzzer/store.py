@@ -1,0 +1,711 @@
+"""The durable campaign workspace (AFL-style output directory).
+
+Long campaigns survive machine trouble because the *filesystem*, not the
+fuzzer process, is the source of truth: AFL's ``out/<instance>/queue/``,
+``crashes/`` and ``hangs/`` directories are what secondary instances sync
+through and what a killed campaign resumes from.  This module is that layout
+for the reproduction:
+
+::
+
+    out/
+      <worker>/                 "main" (single instance) or "w0", "w1", ...
+        LOCK                    pidfile; two campaigns cannot share a worker dir
+        manifest.json           versioned campaign identity + round watermark
+        fuzzer_stats            AFL-style ``key : value`` progress summary
+        queue/                  id:NNNNNN,hash:<sha1> retained inputs
+        crashes/                id:NNNNNN,sig:<hash5>,hash:<sha1> + triage sidecars
+        hangs/                  id:NNNNNN,hash:<sha1> hanging inputs
+        quarantine/             torn / hash-mismatched files the scanner evicted
+
+Every write is atomic (tmp + ``fsync`` + ``os.replace``), so a file either
+exists whole or not at all; a crash mid-write leaves at worst a stale
+``*.tmp`` that the next scan quarantines.  Artifact names embed the content
+hash, which makes the store content-addressed (cross-instance dedup needs no
+index) and *self-verifying*: the tolerant scanner (:meth:`CampaignStore.scan`)
+re-hashes every file, moves anything torn, truncated, misnamed, or
+bit-rotted into ``quarantine/`` — counted, logged, published to telemetry,
+never fatal — and hands the survivors back for deterministic re-execution
+through :meth:`~repro.fuzzer.engine.FuzzEngine.import_input`
+(:meth:`CampaignStore.replay_into`).
+
+The store is an *observer* of the engine, like telemetry: it charges no
+virtual clock, draws no RNG, and is excluded from checkpoints; a campaign
+with a store attached is field-for-field equal to one without.
+
+Fault injection (:mod:`repro.fuzzer.faultinject`) targets store paths with
+``torn-write`` / ``corrupt-file`` actions keyed on the store's write
+counter, so the quarantine-and-continue path is provable in CI rather than
+hoped for.
+"""
+
+import errno
+import hashlib
+import json
+import logging
+import os
+
+logger = logging.getLogger("repro.fuzzer.store")
+
+#: Manifest format version; bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+STATS_NAME = "fuzzer_stats"
+LOCK_NAME = "LOCK"
+QUEUE_DIR = "queue"
+CRASH_DIR = "crashes"
+HANG_DIR = "hangs"
+QUARANTINE_DIR = "quarantine"
+
+#: Name of the single-instance worker slice (AFL++ calls it "default").
+MAIN_WORKER = "main"
+
+_ID_WIDTH = 6
+
+
+class StoreError(RuntimeError):
+    """Base class: the campaign workspace cannot be used."""
+
+
+class StoreLockError(StoreError):
+    """Another live campaign owns this worker directory."""
+
+    def __init__(self, path, owner_pid):
+        self.path = path
+        self.owner_pid = owner_pid
+        super().__init__(
+            "%s is locked by live campaign pid %d; refusing to share an "
+            "output directory between two campaigns" % (path, owner_pid)
+        )
+
+
+class StoreMismatchError(StoreError):
+    """The directory's manifest names a different campaign."""
+
+    def __init__(self, path, field, expected, found):
+        self.path = path
+        self.field = field
+        self.expected = expected
+        self.found = found
+        super().__init__(
+            "%s was written by a different campaign: manifest %s is %r, "
+            "this campaign is %r (use a fresh --output directory)"
+            % (path, field, found, expected)
+        )
+
+
+def content_hash(data):
+    """Content identity of one input (same digest the corpus sync uses)."""
+    return hashlib.sha1(bytes(data)).hexdigest()
+
+
+def atomic_write_bytes(path, data, fsync=True):
+    """Write ``data`` to ``path`` atomically: tmp + flush + fsync + rename.
+
+    A crash at any point leaves either the old file (or nothing) at ``path``
+    plus at worst a ``*.tmp.<pid>`` the scanner later quarantines — never a
+    half-written artifact under the real name.
+    """
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return path
+
+
+def _fsync_dir(path):
+    """Best-effort directory fsync so renames survive power loss too."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def artifact_name(seq, digest, sig=None):
+    """AFL-style artifact file name; the embedded hash makes it verifiable."""
+    if sig is not None:
+        return "id:%0*d,sig:%s,hash:%s" % (_ID_WIDTH, seq, sig, digest)
+    return "id:%0*d,hash:%s" % (_ID_WIDTH, seq, digest)
+
+
+def parse_artifact_name(name):
+    """``(seq, sig_or_None, hash)`` from an artifact name, or None."""
+    fields = {}
+    order = []
+    for part in name.split(","):
+        key, colon, value = part.partition(":")
+        if not colon:
+            return None
+        fields[key] = value
+        order.append(key)
+    if order[:1] != ["id"] or "hash" not in fields:
+        return None
+    try:
+        seq = int(fields["id"])
+    except ValueError:
+        return None
+    return seq, fields.get("sig"), fields["hash"]
+
+
+class ScanReport:
+    """Outcome of one tolerant directory scan."""
+
+    __slots__ = ("kind", "survivors", "quarantined")
+
+    def __init__(self, kind):
+        self.kind = kind
+        #: ``(seq, sig, digest, data)`` for every verified artifact, id order.
+        self.survivors = []
+        #: ``(original_path, reason)`` for every file moved to quarantine.
+        self.quarantined = []
+
+    def __repr__(self):
+        return "ScanReport(%s: %d ok, %d quarantined)" % (
+            self.kind,
+            len(self.survivors),
+            len(self.quarantined),
+        )
+
+
+class CampaignStore:
+    """One worker's slice of a durable campaign workspace.
+
+    ``root`` is the campaign output directory; ``worker`` names this
+    instance's subdirectory.  ``meta`` (subject/config/run_seed/...) is
+    recorded in the manifest and *verified* against a pre-existing manifest
+    on reopen — resuming a ``gdk`` campaign onto a ``cflow`` store raises
+    :class:`StoreMismatchError` instead of silently mixing corpora.
+
+    ``lock=True`` (the default) takes an exclusive pidfile lock on the
+    worker directory.  A lock held by a live process raises
+    :class:`StoreLockError`; a lock left behind by a dead one (the killed
+    campaign this store exists to survive) is logged and stolen.
+
+    ``worker_index`` / ``incarnation`` key the fault-injection plan:
+    ``torn-write@<worker_index>.<nth-write>`` tears the store's n-th
+    committed artifact, ``corrupt-file`` flips bytes in it.
+    """
+
+    def __init__(
+        self,
+        root,
+        worker=MAIN_WORKER,
+        meta=None,
+        lock=True,
+        worker_index=0,
+        incarnation=0,
+        fsync=True,
+        bus=None,
+    ):
+        self.root = os.path.abspath(root)
+        self.worker = worker
+        self.worker_dir = os.path.join(self.root, worker)
+        self.worker_index = int(worker_index)
+        self.incarnation = int(incarnation)
+        self.fsync = fsync
+        self._bus = bus
+        self._locked = False
+        self._write_no = 0  # committed artifact writes (fault-plan key)
+        self._seen = {}  # content hash -> artifact kind already on disk
+        self._seq = {QUEUE_DIR: 0, CRASH_DIR: 0, HANG_DIR: 0}
+        self.quarantine_count = 0
+        for sub in (QUEUE_DIR, CRASH_DIR, HANG_DIR, QUARANTINE_DIR):
+            os.makedirs(os.path.join(self.worker_dir, sub), exist_ok=True)
+        if lock:
+            self._acquire_lock()
+        self.meta = self._load_or_init_manifest(dict(meta or {}))
+        self._adopt_existing()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def close(self):
+        """Flush the manifest and release the lock (idempotent)."""
+        if self._locked:
+            self._write_manifest()
+            try:
+                os.unlink(os.path.join(self.worker_dir, LOCK_NAME))
+            except OSError:
+                pass
+            self._locked = False
+
+    def _acquire_lock(self):
+        lock_path = os.path.join(self.worker_dir, LOCK_NAME)
+        payload = ("%d\n" % os.getpid()).encode("ascii")
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                owner = self._read_lock_owner(lock_path)
+                if owner is not None and _pid_alive(owner):
+                    # A live owner — even this very process (a second store
+                    # on the same slice) — means two campaigns would clobber
+                    # one directory.  Refuse.
+                    raise StoreLockError(self.worker_dir, owner)
+                # Stale lock: the owning campaign died.  Steal it.
+                logger.warning(
+                    "%s: stealing stale lock left by dead pid %s",
+                    self.worker_dir,
+                    owner,
+                )
+                try:
+                    os.unlink(lock_path)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.write(fd, payload)
+                if self.fsync:
+                    os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._locked = True
+            return
+
+    @staticmethod
+    def _read_lock_owner(lock_path):
+        try:
+            with open(lock_path, "rb") as handle:
+                return int(handle.read().split()[0])
+        except (OSError, ValueError, IndexError):
+            return None
+
+    # -- manifest / stats ------------------------------------------------------
+
+    def _manifest_path(self):
+        return os.path.join(self.worker_dir, MANIFEST_NAME)
+
+    def _load_or_init_manifest(self, meta):
+        path = self._manifest_path()
+        existing = None
+        if os.path.exists(path):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    existing = json.load(handle)
+            except (OSError, ValueError):
+                # A torn manifest is quarantined like any other torn file;
+                # identity is then re-seeded from ``meta``.
+                self._quarantine(path, "unreadable manifest")
+                existing = None
+        if existing is not None:
+            if int(existing.get("version", -1)) != MANIFEST_VERSION:
+                raise StoreMismatchError(
+                    path, "version", MANIFEST_VERSION, existing.get("version")
+                )
+            for field in ("subject", "config", "run_seed"):
+                want = meta.get(field)
+                have = existing.get(field)
+                if want is not None and have is not None and want != have:
+                    raise StoreMismatchError(path, field, want, have)
+            merged = dict(existing)
+            merged.update({k: v for k, v in meta.items() if v is not None})
+            return merged
+        manifest = {"version": MANIFEST_VERSION, "worker": self.worker, "rounds": 0}
+        manifest.update(meta)
+        self.meta = manifest
+        self._write_manifest()
+        return manifest
+
+    def _write_manifest(self):
+        data = json.dumps(self.meta, indent=2, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self._manifest_path(), data, fsync=self.fsync)
+
+    def record_round(self, round_no):
+        """Watermark the last fully-synced round (recovery replays after it)."""
+        self.meta["rounds"] = int(round_no)
+        self._write_manifest()
+
+    def rounds(self):
+        return int(self.meta.get("rounds", 0))
+
+    def write_stats(self, stats):
+        """Write the AFL-style ``fuzzer_stats`` summary atomically."""
+        lines = ["%-18s: %s" % (key, stats[key]) for key in sorted(stats)]
+        atomic_write_bytes(
+            os.path.join(self.worker_dir, STATS_NAME),
+            ("\n".join(lines) + "\n").encode("utf-8"),
+            fsync=self.fsync,
+        )
+
+    def read_stats(self):
+        """Parse ``fuzzer_stats`` back into a dict (empty if absent/torn)."""
+        path = os.path.join(self.worker_dir, STATS_NAME)
+        stats = {}
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    key, colon, value = line.partition(":")
+                    if colon:
+                        stats[key.strip()] = value.strip()
+        except OSError:
+            pass
+        return stats
+
+    # -- artifact writes -------------------------------------------------------
+
+    def _dir(self, kind):
+        return os.path.join(self.worker_dir, kind)
+
+    def _commit(self, kind, data, sig=None):
+        """Dedupe, atomically write, and fault-check one artifact."""
+        digest = content_hash(data)
+        if self._seen.get((kind, digest)) is not None:
+            return None
+        seq = self._seq[kind]
+        self._seq[kind] = seq + 1
+        path = os.path.join(self._dir(kind), artifact_name(seq, digest, sig))
+        atomic_write_bytes(path, bytes(data), fsync=self.fsync)
+        self._seen[(kind, digest)] = path
+        self._write_no += 1
+        self._fire_store_fault(path)
+        return path
+
+    def _fire_store_fault(self, path):
+        from repro.fuzzer import faultinject
+
+        plan = faultinject.active_plan()
+        if not plan:
+            return
+        fault = plan.match(
+            "store", self.worker_index, self._write_no, self.incarnation
+        )
+        if fault is not None:
+            faultinject.fire_store_fault(fault, path)
+
+    def save_queue_entry(self, entry):
+        """Stream one retained queue entry to ``queue/`` (content-deduped)."""
+        return self._commit(QUEUE_DIR, entry.data)
+
+    def save_crash(self, record):
+        """Stream one deduplicated crash with its triage report sidecars.
+
+        The input lands in ``crashes/`` under its stack-hash signature; the
+        human-readable ASan-style report and a machine-readable triage JSON
+        sit next to it, so a crash directory is actionable without re-running
+        anything.
+        """
+        path = self._commit(CRASH_DIR, record.data, sig=record.hash5)
+        if path is None:
+            return None
+        trap = record.trap
+        report = trap.report() + "\n"
+        atomic_write_bytes(
+            path + ".report.txt", report.encode("utf-8"), fsync=self.fsync
+        )
+        triage = {
+            "bug": list(trap.bug_id()),
+            "kind": trap.kind,
+            "detail": trap.detail,
+            "stack": [[frame.function, frame.line] for frame in trap.stack],
+            "stack_hash": record.hash5,
+            "found_at": record.found_at,
+            "afl_unique": bool(record.afl_unique),
+        }
+        atomic_write_bytes(
+            path + ".triage.json",
+            json.dumps(triage, indent=2, sort_keys=True).encode("utf-8"),
+            fsync=self.fsync,
+        )
+        return path
+
+    def save_hang(self, data):
+        """Stream one hanging input to ``hangs/`` (content-deduped)."""
+        return self._commit(HANG_DIR, data)
+
+    # -- tolerant scanning / recovery ------------------------------------------
+
+    def _adopt_existing(self):
+        """Seed sequence counters and dedupe sets from what is on disk.
+
+        Reopening a store (resume, or a restarted worker) must continue the
+        id sequence and must not re-write artifacts that already exist.
+        Quarantining here is deferred to :meth:`scan` — adoption is cheap
+        and runs on every open.
+        """
+        for kind in (QUEUE_DIR, CRASH_DIR, HANG_DIR):
+            top = 0
+            try:
+                names = os.listdir(self._dir(kind))
+            except OSError:
+                names = []
+            for name in names:
+                parsed = parse_artifact_name(name.split(".")[0])
+                if parsed is None:
+                    continue
+                seq, _, digest = parsed
+                if "." in name:
+                    continue  # sidecar (.report.txt / .triage.json / .tmp)
+                top = max(top, seq + 1)
+                self._seen[(kind, digest)] = os.path.join(self._dir(kind), name)
+            self._seq[kind] = max(self._seq[kind], top)
+
+    def _quarantine(self, path, reason):
+        """Move one damaged file into ``quarantine/`` (never raises)."""
+        qdir = os.path.join(self.worker_dir, QUARANTINE_DIR)
+        base = os.path.basename(path)
+        target = os.path.join(qdir, base)
+        bump = 0
+        while os.path.exists(target):
+            bump += 1
+            target = os.path.join(qdir, "%s.%d" % (base, bump))
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, target)
+        except OSError as exc:
+            logger.warning("%s: could not quarantine (%s); ignoring", path, exc)
+            return
+        self.quarantine_count += 1
+        logger.warning("%s: quarantined (%s)", path, reason)
+
+    def scan(self, kind=QUEUE_DIR):
+        """Verify one artifact directory, quarantining everything damaged.
+
+        Tolerant by contract: a torn write, a stray tmp file, a misnamed
+        file, or a content-hash mismatch moves the file to ``quarantine/``
+        and the scan continues.  Returns a :class:`ScanReport` whose
+        survivors are ``(seq, sig, digest, data)`` in id order.  Publishes a
+        ``store`` telemetry event with the counts.
+        """
+        report = ScanReport(kind)
+        directory = self._dir(kind)
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                continue
+            if ".tmp." in name or name.endswith(".tmp"):
+                self._quarantine(path, "leftover temp file (torn write)")
+                report.quarantined.append((path, "torn-write"))
+                continue
+            if name.endswith(".report.txt") or name.endswith(".triage.json"):
+                continue  # crash sidecars; verified with their artifact
+            parsed = parse_artifact_name(name)
+            if parsed is None:
+                self._quarantine(path, "unparseable artifact name")
+                report.quarantined.append((path, "bad-name"))
+                continue
+            seq, sig, digest = parsed
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError as exc:
+                self._quarantine(path, "unreadable (%s)" % exc)
+                report.quarantined.append((path, "unreadable"))
+                continue
+            if not data:
+                self._quarantine(path, "empty file (torn write)")
+                report.quarantined.append((path, "empty"))
+                continue
+            if content_hash(data) != digest:
+                self._quarantine(path, "content hash mismatch (corrupt)")
+                report.quarantined.append((path, "bad-hash"))
+                continue
+            report.survivors.append((seq, sig, digest, data))
+        report.survivors.sort(key=lambda item: item[0])
+        self._publish_scan(report)
+        return report
+
+    def scan_all(self):
+        """Scan queue, crashes, and hangs; returns ``{kind: ScanReport}``."""
+        return {kind: self.scan(kind) for kind in (QUEUE_DIR, CRASH_DIR, HANG_DIR)}
+
+    def _publish_scan(self, report):
+        try:
+            from repro.telemetry.bus import StoreEvent, get_bus
+
+            bus = self._bus if self._bus is not None else get_bus()
+            bus.publish(
+                StoreEvent(
+                    "scan",
+                    self.worker,
+                    kind=report.kind,
+                    entries=len(report.survivors),
+                    quarantined=len(report.quarantined),
+                )
+            )
+        except Exception:  # telemetry must never take the store down
+            logger.debug("store scan event publish failed", exc_info=True)
+
+    def replay_into(self, engine):
+        """Rebuild engine state from the store via ``import_input``.
+
+        Every surviving input — queue first, then crashes, then hangs, each
+        in id order — is re-executed under the engine's own instrumentation
+        and re-classified deterministically: novel inputs are queued,
+        crashing ones re-enter the crash log, hanging ones the hang log.
+        Damaged files are already in ``quarantine/`` by the time this runs.
+        Returns ``{kind: survivor_count}``.
+        """
+        reports = self.scan_all()
+        counts = {}
+        for kind in (QUEUE_DIR, CRASH_DIR, HANG_DIR):
+            report = reports[kind]
+            counts[kind] = len(report.survivors)
+            for _seq, _sig, _digest, data in report.survivors:
+                engine.import_input(data)
+        logger.info(
+            "%s: resumed %d queue / %d crash / %d hang inputs (%d quarantined)",
+            self.worker_dir,
+            counts[QUEUE_DIR],
+            counts[CRASH_DIR],
+            counts[HANG_DIR],
+            self.quarantine_count,
+        )
+        return counts
+
+    def has_artifacts(self):
+        """Whether any artifact survived a previous run (cheap check)."""
+        return bool(self._seen)
+
+    def queue_hashes(self):
+        """Content hashes of every queue entry this store holds."""
+        return {digest for (kind, digest) in self._seen if kind == QUEUE_DIR}
+
+    # -- cross-instance sync ---------------------------------------------------
+
+    def sibling_workers(self):
+        """Other workers' directory names under the shared root."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        siblings = []
+        for name in names:
+            if name == self.worker:
+                continue
+            if os.path.isdir(os.path.join(self.root, name, QUEUE_DIR)):
+                siblings.append(name)
+        return siblings
+
+    def foreign_entries(self, seen_hashes):
+        """AFL's foreign-queue scan: new inputs from sibling workers' queues.
+
+        Reads every sibling's ``queue/`` directly (no locking — artifacts
+        are immutable once renamed into place), skipping content hashes in
+        ``seen_hashes``.  Damaged foreign files are *skipped*, not
+        quarantined: only the owning worker evicts its own files.  Yields
+        ``(digest, data)`` in (worker, id) order — deterministic for a fixed
+        worker set.
+        """
+        for sibling in self.sibling_workers():
+            directory = os.path.join(self.root, sibling, QUEUE_DIR)
+            try:
+                names = sorted(os.listdir(directory))
+            except OSError:
+                continue
+            entries = []
+            for name in names:
+                parsed = parse_artifact_name(name)
+                if parsed is None:
+                    continue
+                seq, _sig, digest = parsed
+                if digest in seen_hashes:
+                    continue
+                entries.append((seq, digest, os.path.join(directory, name)))
+            for seq, digest, path in sorted(entries):
+                try:
+                    with open(path, "rb") as handle:
+                        data = handle.read()
+                except OSError:
+                    continue
+                if not data or content_hash(data) != digest:
+                    continue  # torn or corrupt foreign file: owner's problem
+                yield digest, data
+
+    # -- engine bookkeeping ----------------------------------------------------
+
+    def finalize(self, engine, extra=None):
+        """Write the final ``fuzzer_stats`` + manifest for one engine run."""
+        stats = {
+            "execs_done": engine.execs,
+            "paths_total": len(engine.queue.entries),
+            "cycles_done": engine.cycle,
+            "crashes_total": engine.crash_count,
+            "unique_crashes": len(engine.unique_crashes),
+            "unique_hangs": len(engine.unique_hangs),
+            "hangs_total": engine.hangs,
+            "coverage": engine.virgin.coverage_count(),
+            "ticks": engine.clock.ticks if engine.clock else 0,
+            "quarantined": self.quarantine_count,
+            "worker": self.worker,
+        }
+        stats.update(extra or {})
+        self.write_stats(stats)
+        self._write_manifest()
+        _fsync_dir(self.worker_dir)
+        return stats
+
+
+def worker_name(index):
+    """Directory name of instance ``index`` (``w0``, ``w1``, ...)."""
+    return "w%d" % index
+
+
+def campaign_queue_hashes(root):
+    """Distinct queue-entry content hashes across every worker slice.
+
+    The directory-synced analogue of the pipe-merged shared-corpus size:
+    artifacts are content-addressed, so the union of embedded hashes *is*
+    the deduplicated campaign corpus.
+    """
+    hashes = set()
+    try:
+        workers = os.listdir(root)
+    except OSError:
+        return hashes
+    for worker in workers:
+        directory = os.path.join(root, worker, QUEUE_DIR)
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            continue
+        for name in names:
+            parsed = parse_artifact_name(name)
+            if parsed is not None:
+                hashes.add(parsed[2])
+    return hashes
+
+
+def attach_store(engine, store):
+    """Attach a store to an engine and backfill artifacts found pre-attach."""
+    engine.store = store
+    for entry in engine.queue.entries:
+        store.save_queue_entry(entry)
+    for record in engine.unique_crashes.values():
+        store.save_crash(record)
+    for record in engine.unique_hangs.values():
+        store.save_hang(record.data)
+    return engine

@@ -36,6 +36,7 @@ from repro.telemetry.bus import (
     NullSink,
     PlateauEvent,
     SpanEvent,
+    StoreEvent,
     SyncRoundEvent,
     TelemetryBus,
     TelemetryEvent,

@@ -334,6 +334,36 @@ class PlateauEvent(TelemetryEvent):
         }
 
 
+class StoreEvent(TelemetryEvent):
+    """One durable-workspace operation (see :mod:`repro.fuzzer.store`).
+
+    ``action`` is ``"scan"`` (tolerant recovery scan: ``entries`` survivors,
+    ``quarantined`` files moved aside) — the counter the acceptance criteria
+    watch: damage must surface here, never as a campaign failure.
+    """
+
+    kind = "store"
+    __slots__ = ("action", "worker", "artifact", "entries", "quarantined")
+
+    def __init__(self, action, worker, kind=None, entries=0, quarantined=0,
+                 wall=None):
+        super().__init__(wall)
+        self.action = action
+        self.worker = worker
+        self.artifact = kind  # artifact kind: "queue" | "crashes" | "hangs"
+        self.entries = entries
+        self.quarantined = quarantined
+
+    def payload(self):
+        return {
+            "action": self.action,
+            "worker": self.worker,
+            "artifact": self.artifact,
+            "entries": self.entries,
+            "quarantined": self.quarantined,
+        }
+
+
 EVENT_TYPES = {
     cls.kind: cls
     for cls in (
@@ -347,6 +377,7 @@ EVENT_TYPES = {
         SpanEvent,
         MetricsSnapshotEvent,
         PlateauEvent,
+        StoreEvent,
     )
 }
 
@@ -410,6 +441,12 @@ class LogSink:
                 "cell %s: %s; retry #%d after %.2gs backoff",
                 event.key, event.failure, event.attempt, event.delay,
             )
+        elif kind == "store":
+            if event.quarantined:
+                logger.warning(
+                    "%s store scan %s: %d entries, %d quarantined",
+                    event.worker, event.artifact, event.entries, event.quarantined,
+                )
         elif kind == "plateau":
             if event.phase == "begin":
                 logger.info(
@@ -544,6 +581,10 @@ def format_event_line(data):
         return "[campaign %s] %s/%s#%s workers=%s" % (
             data.get("action"), data.get("subject"), data.get("config"),
             data.get("run_seed"), data.get("workers"))
+    if kind == "store":
+        return "[store %s %s/%s] entries=%s quarantined=%s" % (
+            data.get("action"), data.get("worker"), data.get("artifact"),
+            data.get("entries"), data.get("quarantined"))
     return "[%s] %r" % (kind, data)
 
 

@@ -274,3 +274,67 @@ def test_campaign_checkpoints_under_env_dir(tmp_path, monkeypatch):
     assert result == campaign("flvmeta", "path", 0, hours=1, scale=0.05)
     # A completed campaign cleans up its resume point.
     assert [p for p in os.listdir(str(tmp_path)) if p.endswith(".ckpt")] == []
+
+
+# -- typed, actionable error detail --------------------------------------------
+
+
+def test_truncated_checkpoint_error_carries_path_and_lengths(tmp_path):
+    path = str(tmp_path / "c.ckpt")
+    write_checkpoint(path, {"x": 1}, fingerprint="f" * 16)
+    with open(path, "r+b") as handle:
+        handle.truncate(10)
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        read_checkpoint(path, fingerprint="f" * 16)
+    err = excinfo.value
+    assert err.path == path
+    assert err.field == "length"
+    assert (err.expected, err.found) == (len(MAGIC) + 2 + 16 + 32, 10)
+    assert path in str(err) and "10 bytes" in str(err)
+
+
+def test_digest_mismatch_error_carries_both_digests(tmp_path):
+    path = str(tmp_path / "c.ckpt")
+    write_checkpoint(path, {"x": 1}, fingerprint="f" * 16)
+    with open(path, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        handle.write(b"\x00")
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        read_checkpoint(path, fingerprint="f" * 16)
+    err = excinfo.value
+    assert err.field == "sha256"
+    assert err.expected != err.found
+    assert len(err.expected) == 64 and len(err.found) == 64
+
+
+def test_fingerprint_mismatch_error_carries_expected_vs_found(tmp_path):
+    path = str(tmp_path / "c.ckpt")
+    write_checkpoint(path, {"x": 1}, fingerprint="a" * 16)
+    with pytest.raises(CheckpointStaleError) as excinfo:
+        read_checkpoint(path, fingerprint="b" * 16)
+    err = excinfo.value
+    assert err.field == "fingerprint"
+    assert (err.expected, err.found) == ("b" * 16, "a" * 16)
+
+
+def test_undecodable_payload_is_typed_never_raw(tmp_path):
+    import hashlib as _hashlib
+
+    path = str(tmp_path / "c.ckpt")
+    # Hand-craft a checkpoint whose digest is valid but whose payload is
+    # not a pickle: the loader must raise a typed error, not UnpicklingError.
+    payload = b"this is not a pickle"
+    blob = (
+        MAGIC
+        + (1).to_bytes(2, "big")
+        + b"f" * 16
+        + _hashlib.sha256(payload).digest()
+        + payload
+    )
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        read_checkpoint(path, fingerprint="f" * 16)
+    err = excinfo.value
+    assert err.field == "payload"
+    assert "UnpicklingError" in err.found

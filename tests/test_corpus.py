@@ -80,3 +80,47 @@ def test_cull_is_lazy():
     queue.pending_favored = marker
     queue.cull()  # not dirty: must not recompute
     assert queue.pending_favored is marker
+
+
+def test_snapshot_restore_roundtrips_flags_across_cull():
+    queue = Queue()
+    a = entry(queue, b"a", 10, [1, 2, 3])
+    b = entry(queue, b"b", 10, [3])
+    c = entry(queue, b"c", 10, [4])
+    queue.cull()  # marks favored
+    a.was_fuzzed = True
+    b.imported = True
+    snap = queue.snapshot()
+
+    restored = Queue()
+    restored.restore(snap)
+    by_id = {e.entry_id: e for e in restored.entries}
+    for original in (a, b, c):
+        twin = by_id[original.entry_id]
+        assert twin.data == original.data
+        assert twin.favored == original.favored
+        assert twin.was_fuzzed == original.was_fuzzed
+        assert twin.imported == original.imported
+    # A cull on the restored queue reproduces the original's: same favored
+    # subset, same pending count (only c is favored-and-unfuzzed now).
+    for q in (queue, restored):
+        q._dirty = True
+        q.cull()
+    assert {e.entry_id for e in restored.entries if e.favored} == {
+        e.entry_id for e in queue.entries if e.favored
+    }
+    assert restored.pending_favored == queue.pending_favored
+
+
+def test_snapshot_is_deep_and_isolated_from_later_mutation():
+    queue = Queue()
+    a = entry(queue, b"a", 10, [1])
+    queue.cull()
+    snap = queue.snapshot()
+    a.was_fuzzed = True
+    a.favored = False
+    restored = Queue()
+    restored.restore(snap)
+    twin = restored.entries[0]
+    assert twin.was_fuzzed is False  # pre-mutation state preserved
+    assert twin.favored is True
