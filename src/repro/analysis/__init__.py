@@ -1,0 +1,62 @@
+"""Static analysis over the MiniC IR.
+
+Layers, bottom up:
+
+- :mod:`repro.analysis.dataflow` — generic worklist solver plus reaching
+  definitions, liveness, and must-defined analyses;
+- :mod:`repro.analysis.constprop` — conditional constant propagation with
+  executable-edge tracking (dead CFG edges);
+- :mod:`repro.analysis.verify` — IR well-formedness verifier and the
+  trap-site preservation check that guards every optimizer pass;
+- :mod:`repro.analysis.feasibility` — static pruning of the Ball-Larus
+  path space (how many numbered acyclic paths can never execute);
+- :mod:`repro.analysis.lint` — the MiniC linter (imported on demand: it
+  pulls in the whole front end).
+"""
+
+from repro.analysis.constprop import ConstResult, conditional_constants
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowAnalysis,
+    DataflowResult,
+    Liveness,
+    MustDefined,
+    ReachingDefinitions,
+    solve,
+)
+from repro.analysis.feasibility import (
+    FunctionFeasibility,
+    analyze_function,
+    analyze_program,
+    program_path_space,
+)
+from repro.analysis.verify import (
+    VerificationError,
+    check_trap_preservation,
+    trap_signature,
+    verify_function,
+    verify_program,
+)
+
+__all__ = [
+    "FORWARD",
+    "BACKWARD",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "ReachingDefinitions",
+    "Liveness",
+    "MustDefined",
+    "solve",
+    "ConstResult",
+    "conditional_constants",
+    "VerificationError",
+    "verify_function",
+    "verify_program",
+    "trap_signature",
+    "check_trap_preservation",
+    "FunctionFeasibility",
+    "analyze_function",
+    "analyze_program",
+    "program_path_space",
+]

@@ -1,0 +1,201 @@
+"""Conditional constant propagation with executable-edge tracking.
+
+The Wegman-Zadeck sparse conditional constant propagation idea adapted to
+the (non-SSA) tuple IR: block-entry environments map registers to lattice
+values (TOP = no information yet, a concrete int, or BOTTOM = varies),
+and environments only flow along edges proven *executable*.  A branch
+whose condition evaluates to a constant marks a single out-edge
+executable; the other side never contributes to joins, which is what lets
+facts like ``var debug = 0; ... if (debug == 1)`` survive the join that a
+pessimistic analysis would smear to BOTTOM.
+
+Evaluation reuses :func:`repro.cfg.optimize.fold_binop` /
+:func:`fold_unop`, so the abstract semantics match the VM (64-bit
+wrap-around) and the middle end bit for bit.  Division, modulo and
+out-of-range shifts are never evaluated — they may trap, and a trapping
+site must stay a runtime event.
+
+The result feeds three consumers: the linter (constant conditions,
+unreachable blocks), the Ball-Larus path-feasibility pruner (dead CFG
+edges shrink the numbered path space), and tests cross-checking the
+optimizer.
+"""
+
+from repro.cfg.instructions import BIN, BR, CONST, JMP, MOV, RET, UN, instr_def
+from repro.cfg.optimize import fold_binop, fold_unop
+
+# Lattice: TOP (optimistic "unknown yet") and BOTTOM ("provably varies").
+# Concrete constants are plain ints.  TOP is represented by *absence* from
+# an environment; BOTTOM by this sentinel.
+BOTTOM = object()
+
+
+class ConstResult:
+    """The SCCP fixed point for one function CFG.
+
+    ``entry_env[b]`` maps registers to constants (or BOTTOM) at the entry
+    of block ``b``; blocks absent from the map were never proven
+    executable.  ``executable_edges`` is the set of CFG edges that can be
+    taken; :meth:`dead_edges` is its complement restricted to executable
+    sources — edges the program provably never takes.
+    """
+
+    __slots__ = ("cfg", "entry_env", "executable_blocks", "executable_edges")
+
+    def __init__(self, cfg, entry_env, executable_blocks, executable_edges):
+        self.cfg = cfg
+        self.entry_env = entry_env
+        self.executable_blocks = executable_blocks
+        self.executable_edges = executable_edges
+
+    def dead_edges(self):
+        """CFG edges with an executable source that are never taken."""
+        return {
+            (src, dst)
+            for src, dst in self.cfg.edges()
+            if src in self.executable_blocks
+            and (src, dst) not in self.executable_edges
+        }
+
+    def unreachable_blocks(self):
+        """Blocks never executable (dead code guarded by constants)."""
+        return {
+            block.id
+            for block in self.cfg.blocks
+            if block.id not in self.executable_blocks
+        }
+
+    def constant_branches(self):
+        """Executable BR terminators with exactly one live out-edge.
+
+        Returns ``[(block_id, cond_value)]`` where ``cond_value`` is the
+        branch condition's known constant.
+        """
+        found = []
+        for block in self.cfg.blocks:
+            if block.id not in self.executable_blocks:
+                continue
+            term = block.term
+            if term is None or term[0] != BR or term[2] == term[3]:
+                continue
+            value = _eval_block_reg(block, term[1], self.entry_env.get(block.id, {}))
+            if value is not BOTTOM and value is not None:
+                found.append((block.id, value))
+        return found
+
+
+def _eval_block_reg(block, reg, entry_env):
+    """Re-evaluate ``reg`` at the end of ``block`` from its entry env."""
+    env = dict(entry_env)
+    for instr in block.instrs:
+        _transfer(instr, env)
+    return env.get(reg)
+
+
+def _transfer(instr, env):
+    """Abstract-interpret one instruction over ``env`` (in place)."""
+    op = instr[0]
+    if op == CONST:
+        env[instr[1]] = instr[2]
+        return
+    if op == MOV:
+        src = env.get(instr[2])
+        if src is None:
+            env.pop(instr[1], None)
+        else:
+            env[instr[1]] = src
+        return
+    if op == BIN:
+        a = env.get(instr[3])
+        b = env.get(instr[4])
+        if a is BOTTOM or b is BOTTOM:
+            env[instr[2]] = BOTTOM
+            return
+        if a is None or b is None:
+            env.pop(instr[2], None)  # stays TOP until operands resolve
+            return
+        folded = fold_binop(instr[1], a, b)
+        env[instr[2]] = BOTTOM if folded is None else folded
+        return
+    if op == UN:
+        a = env.get(instr[3])
+        if a is BOTTOM:
+            env[instr[2]] = BOTTOM
+        elif a is None:
+            env.pop(instr[2], None)
+        else:
+            env[instr[2]] = fold_unop(instr[1], a)
+        return
+    # LOAD/STORE/CALL/BUILTIN/STR: any written register becomes unknown.
+    dst = instr_def(instr)
+    if dst is not None:
+        env[dst] = BOTTOM
+
+
+def _join_value(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is BOTTOM or b is BOTTOM or a != b:
+        return BOTTOM
+    return a
+
+
+def _join_env(into, other):
+    """Join ``other`` into ``into``; True when ``into`` changed."""
+    changed = False
+    for reg, value in other.items():
+        joined = _join_value(into.get(reg), value)
+        if joined is not into.get(reg) and joined != into.get(reg):
+            into[reg] = joined
+            changed = True
+    return changed
+
+
+def conditional_constants(cfg):
+    """Run SCCP over ``cfg``; returns a :class:`ConstResult`."""
+    entry_env = {0: {reg: BOTTOM for reg in range(cfg.nparams)}}
+    executable_blocks = set()
+    executable_edges = set()
+    worklist = [0]
+    pending = {0}
+    while worklist:
+        block_id = worklist.pop()
+        pending.discard(block_id)
+        executable_blocks.add(block_id)
+        block = cfg.blocks[block_id]
+        env = dict(entry_env.get(block_id, {}))
+        for instr in block.instrs:
+            _transfer(instr, env)
+        term = block.term
+        if term is None:
+            continue
+        targets = _executable_targets(term, env)
+        for target in targets:
+            edge = (block_id, target)
+            first_time = edge not in executable_edges
+            executable_edges.add(edge)
+            target_env = entry_env.setdefault(target, {})
+            changed = _join_env(target_env, env)
+            if (first_time or changed) and target not in pending:
+                worklist.append(target)
+                pending.add(target)
+    return ConstResult(cfg, entry_env, executable_blocks, executable_edges)
+
+
+def _executable_targets(term, env):
+    op = term[0]
+    if op == JMP:
+        return (term[1],)
+    if op == RET:
+        return ()
+    # BR: a known-constant condition selects one side; TOP and BOTTOM are
+    # both treated as "could go either way" (TOP conservatively so — a
+    # never-resolving condition register only occurs on malformed IR).
+    if term[2] == term[3]:
+        return (term[2],)
+    cond = env.get(term[1])
+    if cond is None or cond is BOTTOM:
+        return (term[2], term[3])
+    return (term[2],) if cond != 0 else (term[3],)

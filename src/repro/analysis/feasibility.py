@@ -1,0 +1,248 @@
+"""Static path-feasibility pruning for the Ball-Larus path space.
+
+The Ball-Larus numbering assigns ids to *every* acyclic CFG path, but a
+fuzzer can only ever observe the feasible ones: a path that takes both
+the ``kind == 2`` and the ``kind == 3`` sides of sequential equality
+tests is numbered, wasted space.  This module bounds that waste
+statically and reports, per subject, how many numbered paths can never
+execute — context for coverage plateaus and for sizing path maps.
+
+Two complementary techniques, both built on
+:mod:`repro.analysis.constprop`:
+
+1. **Dead-edge pruning.**  SCCP proves some CFG edges never taken; a
+   dynamic-programming pass over the Ball-Larus DAG counts the paths
+   avoiding all dead edges.  Cheap, works at any path count.
+2. **Path-sensitive simulation.**  Each numbered path is decoded back to
+   its block sequence (:meth:`FunctionPathPlan.regenerate_blocks`) and
+   abstractly executed with constant propagation *refined by the taken
+   branch direction*: taking the true edge of ``r == k`` pins ``r`` to
+   ``k``, so a later ``r == j`` (``j != k``) folds to false and taking
+   its true edge is a contradiction.  Only run when the function's path
+   count is under a cap (enumeration is linear in the path count).
+
+Both are sound over-approximations: a path reported infeasible provably
+cannot execute; feasible merely means "not refuted statically".
+"""
+
+from repro.analysis.constprop import BOTTOM, _transfer, conditional_constants
+from repro.ballarus.dag import EXIT, REGULAR
+from repro.ballarus.plan import FunctionPathPlan
+from repro.cfg.instructions import BIN, BR, OP_EQ, OP_NE, instr_def
+
+# Above this many numbered paths per function, fall back to the dead-edge
+# DP bound instead of enumerating.
+DEFAULT_PATH_CAP = 20_000
+
+
+class FunctionFeasibility:
+    """Feasibility summary for one function's numbered path space."""
+
+    __slots__ = (
+        "func_name",
+        "func_index",
+        "num_paths",
+        "feasible_paths",
+        "infeasible_paths",
+        "dead_edges",
+        "method",
+    )
+
+    def __init__(
+        self,
+        func_name,
+        func_index,
+        num_paths,
+        feasible_paths,
+        dead_edges,
+        method,
+    ):
+        self.func_name = func_name
+        self.func_index = func_index
+        self.num_paths = num_paths
+        self.feasible_paths = feasible_paths
+        self.infeasible_paths = num_paths - feasible_paths
+        self.dead_edges = dead_edges
+        self.method = method
+
+    def to_dict(self):
+        return {
+            "function": self.func_name,
+            "num_paths": self.num_paths,
+            "feasible_paths": self.feasible_paths,
+            "infeasible_paths": self.infeasible_paths,
+            "dead_edges": sorted(self.dead_edges),
+            "method": self.method,
+        }
+
+
+def analyze_function(cfg, plan=None, path_cap=DEFAULT_PATH_CAP):
+    """Bound the feasible Ball-Larus path count of one function.
+
+    When a ``plan`` is supplied its ``feasible_num_paths`` attribute is
+    filled in as a side effect.
+    """
+    if plan is None:
+        plan = FunctionPathPlan(cfg)
+    const = conditional_constants(cfg)
+    dead = const.dead_edges()
+    if plan.num_paths <= path_cap:
+        feasible = len(feasible_path_ids(cfg, plan, const))
+        method = "enumerated"
+    else:
+        feasible = _dead_edge_path_count(plan.dag, dead)
+        method = "dead-edge-bound"
+    plan.feasible_num_paths = feasible
+    return FunctionFeasibility(
+        cfg.name, cfg.index, plan.num_paths, feasible, dead, method
+    )
+
+
+def analyze_program(program, plans=None, path_cap=DEFAULT_PATH_CAP):
+    """Per-function feasibility for every function of ``program``.
+
+    ``plans`` (as from :func:`~repro.ballarus.plan.build_program_plans`)
+    are reused and annotated when given; otherwise fresh canonical plans
+    are built.
+    """
+    results = []
+    for func in program.funcs:
+        plan = plans[func.index] if plans is not None else None
+        results.append(analyze_function(func, plan, path_cap))
+    return results
+
+
+def program_path_space(program, path_cap=DEFAULT_PATH_CAP):
+    """Whole-program path-space summary dict (for the CLI and reports)."""
+    per_func = analyze_program(program, path_cap=path_cap)
+    return {
+        "num_paths": sum(f.num_paths for f in per_func),
+        "feasible_paths": sum(f.feasible_paths for f in per_func),
+        "infeasible_paths": sum(f.infeasible_paths for f in per_func),
+        "dead_edges": sum(len(f.dead_edges) for f in per_func),
+        "functions": [f.to_dict() for f in per_func],
+    }
+
+
+# --------------------------------------------------------------------------
+# Dead-edge DP bound
+# --------------------------------------------------------------------------
+
+
+def _dead_edge_path_count(dag, dead):
+    """ENTRY -> EXIT path count avoiding dead regular edges."""
+    counts = {EXIT: 1}
+    for node in reversed(dag.topological_order()):
+        if node == EXIT:
+            continue
+        total = 0
+        for edge in dag.out_edges[node]:
+            if edge.kind == REGULAR and (edge.src, edge.dst) in dead:
+                continue
+            total += counts[edge.dst]
+        counts[node] = total
+    return counts[dag.nodes[0]]
+
+
+# --------------------------------------------------------------------------
+# Path-sensitive constant simulation
+# --------------------------------------------------------------------------
+
+
+def feasible_path_ids(cfg, plan, const=None):
+    """The set of statically-feasible path ids of ``plan``.
+
+    Enumerates the whole numbered space — callers enforce their own cap.
+    Any path id a real execution emits is guaranteed to be in this set
+    (the analysis only refutes, never over-prunes).
+    """
+    if const is None:
+        const = conditional_constants(cfg)
+    dead = const.dead_edges()
+    ids = set()
+    for path_id in range(plan.num_paths):
+        blocks = plan.regenerate_blocks(path_id)
+        if _path_feasible(cfg, blocks, const, dead):
+            ids.add(path_id)
+    return ids
+
+
+def _path_feasible(cfg, blocks, const, dead):
+    """Can the decoded block sequence possibly execute?
+
+    Abstractly interprets the path with the SCCP transfer function,
+    seeding from the (flow-insensitive but edge-aware) SCCP entry facts
+    of the first block, and refining register values from each branch
+    direction the path commits to.  Returns False only on a proven
+    contradiction.
+    """
+    first = blocks[0]
+    if first not in const.executable_blocks:
+        return False
+    env = {
+        reg: value
+        for reg, value in const.entry_env.get(first, {}).items()
+        if value is not BOTTOM
+    }
+    facts = {}
+    for position, block_id in enumerate(blocks):
+        block = cfg.blocks[block_id]
+        _walk_block(block, env, facts)
+        if position + 1 >= len(blocks):
+            break
+        taken = blocks[position + 1]
+        if (block_id, taken) in dead:
+            return False
+        term = block.term
+        if term[0] != BR or term[2] == term[3]:
+            continue
+        taken_true = taken == term[2]
+        cond = env.get(term[1])
+        if cond is not None and cond is not BOTTOM:
+            if taken_true == (cond == 0):
+                return False
+            continue
+        _refine(term[1], taken_true, env, facts)
+    return True
+
+
+def _walk_block(block, env, facts):
+    """Run SCCP transfer over a block, tracking equality facts.
+
+    ``facts[dst] = (binop, reg, const)`` records that ``dst`` holds the
+    (unknown) result of ``reg ==/!= const``; facts are invalidated when
+    either register involved is overwritten.
+    """
+    for instr in block.instrs:
+        candidate = None
+        if instr[0] == BIN and instr[1] in (OP_EQ, OP_NE):
+            va = env.get(instr[3])
+            vb = env.get(instr[4])
+            conc_a = va is not None and va is not BOTTOM
+            conc_b = vb is not None and vb is not BOTTOM
+            if conc_a and not conc_b and instr[2] != instr[4]:
+                candidate = (instr[1], instr[4], va)
+            elif conc_b and not conc_a and instr[2] != instr[3]:
+                candidate = (instr[1], instr[3], vb)
+        _transfer(instr, env)
+        dst = instr_def(instr)
+        if dst is not None:
+            facts.pop(dst, None)
+            stale = [r for r, fact in facts.items() if fact[1] == dst]
+            for r in stale:
+                del facts[r]
+            if candidate is not None:
+                facts[dst] = candidate
+
+
+def _refine(cond_reg, taken_true, env, facts):
+    """Narrow ``env`` given that the branch on ``cond_reg`` went one way."""
+    fact = facts.get(cond_reg)
+    if fact is not None:
+        binop, reg, const = fact
+        if (binop == OP_EQ) == taken_true:
+            # (reg == const) held, or (reg != const) failed: reg is const.
+            env[reg] = const
+        env[cond_reg] = 1 if taken_true else 0
+    elif not taken_true:
+        env[cond_reg] = 0

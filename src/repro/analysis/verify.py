@@ -1,0 +1,260 @@
+"""IR/CFG verifier: structural well-formedness plus trap-site preservation.
+
+:func:`verify_program` is the machine-checkable contract between the
+lowering, the optimizer, and everything downstream (VM, Ball-Larus
+instrumentation, linter).  It extends the basic ``validate()`` structural
+checks with instruction-level invariants:
+
+- dense block ids (``blocks[i].id == i``) and function indices;
+- every block terminated, targets in range, at least one RET;
+- instruction tuples have the exact arity their opcode demands;
+- every register operand is within ``0 <= r < nregs``;
+- CALL targets an existing function with the right argument count;
+- BUILTIN codes exist and arities match the builtin spec;
+- STR indices point into the string pool;
+- every register *use* is dominated by a definition on all paths
+  (the :class:`~repro.analysis.dataflow.MustDefined` must-analysis).
+
+:func:`trap_signature` / :func:`check_trap_preservation` additionally pin
+down the optimizer's central soundness obligation from the paper's
+threat model: potential crash *sites* (division, memory accesses, calls)
+are bug identity, so no pass may add, remove, or move one.  Shift sites
+may legally disappear (folding an in-range constant shift removes a
+provably-non-trapping site) but never appear.
+
+Raises :class:`VerificationError` (a ``ValueError``) with a message
+naming the function, block, and instruction at fault.
+"""
+
+from repro.analysis.dataflow import MustDefined
+from repro.cfg.instructions import (
+    BIN,
+    BR,
+    BUILTIN,
+    CALL,
+    INSTR_ARITY,
+    JMP,
+    LOAD,
+    OP_DIV,
+    OP_MOD,
+    OP_SHL,
+    OP_SHR,
+    RET,
+    STORE,
+    STR,
+    format_instr,
+    instr_def,
+    instr_uses,
+)
+from repro.lang.builtins_spec import BUILTIN_NAMES, BUILTINS
+
+
+class VerificationError(ValueError):
+    """The IR violates a structural or semantic invariant."""
+
+
+def _fail(func, block_id, what):
+    raise VerificationError("%s: b%d: %s" % (func.name, block_id, what))
+
+
+def verify_function(func, program=None):
+    """Check one function CFG; raise VerificationError on the first fault.
+
+    ``program`` enables the cross-function checks (CALL indices/arities,
+    string-pool bounds); pass None for a standalone CFG.
+    """
+    nblocks = len(func.blocks)
+    for position, block in enumerate(func.blocks):
+        if block.id != position:
+            _fail(func, block.id, "non-dense block id at position %d" % position)
+        for instr in block.instrs:
+            _check_instr(func, block.id, instr, program)
+        _check_term(func, block.id, block.term, nblocks)
+    if not any(b.term[0] == RET for b in func.blocks):
+        raise VerificationError("%s: no return block" % func.name)
+    _check_defined_before_use(func)
+
+
+def _check_instr(func, block_id, instr, program):
+    op = instr[0]
+    arity = INSTR_ARITY.get(op)
+    if arity is None:
+        _fail(func, block_id, "unknown opcode %r" % (op,))
+    if len(instr) != arity:
+        _fail(
+            func,
+            block_id,
+            "opcode %d arity %d != %d" % (op, len(instr), arity),
+        )
+    dst = instr_def(instr)
+    if dst is not None and not 0 <= dst < func.nregs:
+        _fail(func, block_id, "destination r%d out of range" % dst)
+    for reg in instr_uses(instr):
+        if not 0 <= reg < func.nregs:
+            _fail(
+                func,
+                block_id,
+                "operand r%d out of range in %s" % (reg, format_instr(instr)),
+            )
+    if op == CALL:
+        if program is not None:
+            if not 0 <= instr[2] < len(program.funcs):
+                _fail(func, block_id, "call to missing function f%d" % instr[2])
+            callee = program.funcs[instr[2]]
+            if len(instr[3]) != callee.nparams:
+                _fail(
+                    func,
+                    block_id,
+                    "call to %s with %d args, expected %d"
+                    % (callee.name, len(instr[3]), callee.nparams),
+                )
+    elif op == BUILTIN:
+        name = BUILTIN_NAMES.get(instr[2])
+        if name is None:
+            _fail(func, block_id, "unknown builtin code %d" % instr[2])
+        if len(instr[3]) != BUILTINS[name]:
+            _fail(
+                func,
+                block_id,
+                "builtin %s with %d args, expected %d"
+                % (name, len(instr[3]), BUILTINS[name]),
+            )
+    elif op == STR and program is not None:
+        if not 0 <= instr[2] < len(program.strings):
+            _fail(func, block_id, "string index %d out of pool" % instr[2])
+
+
+def _check_term(func, block_id, term, nblocks):
+    if term is None:
+        _fail(func, block_id, "missing terminator")
+    op = term[0]
+    if op == JMP:
+        targets = (term[1],)
+    elif op == BR:
+        if not 0 <= term[1] < func.nregs:
+            _fail(func, block_id, "branch condition r%d out of range" % term[1])
+        targets = (term[2], term[3])
+    elif op == RET:
+        if term[1] != -1 and not 0 <= term[1] < func.nregs:
+            _fail(func, block_id, "return value r%d out of range" % term[1])
+        targets = ()
+    else:
+        _fail(func, block_id, "unknown terminator %r" % (op,))
+    for target in targets:
+        if not 0 <= target < nblocks:
+            _fail(func, block_id, "edge to missing b%d" % target)
+
+
+def _check_defined_before_use(func):
+    problems = MustDefined().undefined_uses(func)
+    if problems:
+        block_id, index, reg = problems[0]
+        block = func.blocks[block_id]
+        where = (
+            "terminator"
+            if index == len(block.instrs)
+            else format_instr(block.instrs[index])
+        )
+        _fail(
+            func,
+            block_id,
+            "r%d may be used before definition in %s" % (reg, where),
+        )
+
+
+def verify_program(program):
+    """Verify every function of ``program`` plus program-level structure."""
+    for position, func in enumerate(program.funcs):
+        if func.index != position:
+            raise VerificationError(
+                "%s: function %s has index %d at position %d"
+                % (program.source_name, func.name, func.index, position)
+            )
+    try:
+        program.validate()
+    except ValueError as exc:
+        raise VerificationError(str(exc)) from exc
+    for func in program.funcs:
+        verify_function(func, program)
+
+
+# --------------------------------------------------------------------------
+# Trap-site preservation
+# --------------------------------------------------------------------------
+
+_MEM_OPS = (LOAD, STORE)
+
+
+def trap_signature(program):
+    """Per-function sets of potential trap/call sites, keyed by source line.
+
+    Returns ``{func_name: {kind: frozenset(lines)}}`` with kinds ``div``
+    (division/modulo), ``shift`` (over-shift traps), ``mem`` (array
+    accesses), ``call`` and ``builtin``.  Two programs with equal
+    signatures crash at the same source lines on the same inputs.
+    """
+    signature = {}
+    for func in program.funcs:
+        div_lines = set()
+        shift_lines = set()
+        mem_lines = set()
+        call_lines = set()
+        builtin_lines = set()
+        for block in func.blocks:
+            for instr in block.instrs:
+                op = instr[0]
+                if op == BIN:
+                    if instr[1] in (OP_DIV, OP_MOD):
+                        div_lines.add(instr[5])
+                    elif instr[1] in (OP_SHL, OP_SHR):
+                        shift_lines.add(instr[5])
+                elif op in _MEM_OPS:
+                    mem_lines.add(instr[4])
+                elif op == CALL:
+                    call_lines.add(instr[4])
+                elif op == BUILTIN:
+                    builtin_lines.add(instr[4])
+        signature[func.name] = {
+            "div": frozenset(div_lines),
+            "shift": frozenset(shift_lines),
+            "mem": frozenset(mem_lines),
+            "call": frozenset(call_lines),
+            "builtin": frozenset(builtin_lines),
+        }
+    return signature
+
+
+def check_trap_preservation(before, after, source_name="<program>"):
+    """Compare two :func:`trap_signature` results; raise on any drift.
+
+    ``div``/``mem``/``call``/``builtin`` sites must match exactly; shift
+    sites may shrink (an in-range constant shift folds away) but never
+    grow or move to new lines.
+    """
+    for name in before:
+        if name not in after:
+            raise VerificationError(
+                "%s: function %s disappeared during optimization"
+                % (source_name, name)
+            )
+    for name, sig_after in after.items():
+        sig_before = before.get(name)
+        if sig_before is None:
+            raise VerificationError(
+                "%s: function %s appeared during optimization"
+                % (source_name, name)
+            )
+        for kind in ("div", "mem", "call", "builtin"):
+            if sig_before[kind] != sig_after[kind]:
+                gone = sorted(sig_before[kind] - sig_after[kind])
+                new = sorted(sig_after[kind] - sig_before[kind])
+                raise VerificationError(
+                    "%s: %s: %s sites changed (removed lines %r, added %r)"
+                    % (source_name, name, kind, gone, new)
+                )
+        extra = sig_after["shift"] - sig_before["shift"]
+        if extra:
+            raise VerificationError(
+                "%s: %s: shift sites appeared at lines %r"
+                % (source_name, name, sorted(extra))
+            )

@@ -33,6 +33,7 @@ class FunctionPathPlan:
         "back_edge_events",
         "dag",
         "optimized",
+        "feasible_num_paths",
     )
 
     def __init__(self, cfg, optimize=True):
@@ -40,6 +41,9 @@ class FunctionPathPlan:
         self.func_name = cfg.name
         self.func_index = cfg.index
         self.num_paths = number_paths(dag)
+        # Filled in by repro.analysis.feasibility when path pruning runs:
+        # the statically-feasible subset of num_paths (None = not analyzed).
+        self.feasible_num_paths = None
         self.dag = dag
         self.optimized = optimize
         if optimize:

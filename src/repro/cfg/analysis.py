@@ -108,8 +108,66 @@ def _intersect(a, b, idom, rpo_index):
     return a
 
 
+class DominatorTree:
+    """The dominator tree of one CFG, memoized for O(1) queries.
+
+    ``dominates()`` walking the idom chain is O(depth) per query; the
+    liveness/feasibility passes issue enough queries that the chain walk
+    shows up.  This precomputes, in one O(n) DFS over the tree, each
+    block's *depth* and an Euler interval ``[pre, post)``: ``a`` dominates
+    ``b`` exactly when ``a``'s interval contains ``b``'s entry time.
+    """
+
+    __slots__ = ("idom", "_depth", "_pre", "_post")
+
+    def __init__(self, cfg=None, idom=None):
+        if idom is None:
+            idom = dominators(cfg)
+        self.idom = idom
+        children = {}
+        for node, parent in idom.items():
+            if node != parent:
+                children.setdefault(parent, []).append(node)
+        self._depth = {0: 0}
+        self._pre = {}
+        self._post = {}
+        clock = 0
+        stack = [(0, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                self._post[node] = clock
+                continue
+            self._pre[node] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in sorted(children.get(node, ()), reverse=True):
+                self._depth[child] = self._depth[node] + 1
+                stack.append((child, False))
+
+    def depth(self, block_id):
+        """Depth of ``block_id`` in the dominator tree (entry is 0)."""
+        return self._depth[block_id]
+
+    def dominates(self, a, b):
+        """True when ``a`` dominates ``b`` — O(1) via Euler intervals."""
+        if a == b:
+            return True
+        pre_b = self._pre.get(b)
+        pre_a = self._pre.get(a)
+        if pre_a is None or pre_b is None:
+            return False
+        return pre_a < pre_b and self._post[b] <= self._post[a]
+
+
 def dominates(idom, a, b):
-    """True when block ``a`` dominates block ``b`` (under idom map)."""
+    """True when block ``a`` dominates block ``b``.
+
+    ``idom`` may be a plain immediate-dominator map (walks the chain, the
+    legacy behaviour) or a :class:`DominatorTree` (answers in O(1)).
+    """
+    if isinstance(idom, DominatorTree):
+        return idom.dominates(a, b)
     node = b
     while True:
         if node == a:
@@ -126,11 +184,11 @@ def natural_loops(cfg):
     Only back edges whose target dominates their source (true natural loops)
     are included; on reducible CFGs that is every DFS back edge.
     """
-    idom = dominators(cfg)
+    dom_tree = DominatorTree(cfg)
     preds = cfg.predecessors()
     loops = {}
     for src, dst in back_edges(cfg):
-        if not dominates(idom, dst, src):
+        if not dom_tree.dominates(dst, src):
             continue
         body = {dst, src}
         stack = [src]

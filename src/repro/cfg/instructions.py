@@ -98,6 +98,62 @@ _OPCODE_NAMES = {
     STR: "str",
 }
 
+# Expected tuple length per opcode (the encoding is positional).
+INSTR_ARITY = {
+    CONST: 3,
+    MOV: 3,
+    BIN: 6,
+    UN: 4,
+    LOAD: 5,
+    STORE: 5,
+    CALL: 5,
+    BUILTIN: 5,
+    STR: 3,
+}
+
+# LOAD/CALL/BUILTIN/STR/CONST/MOV write instr[1]; BIN/UN write instr[2];
+# STORE writes memory, not a register.
+_DEST_AT_1 = frozenset([CONST, MOV, LOAD, CALL, BUILTIN, STR])
+_DEST_AT_2 = frozenset([BIN, UN])
+
+
+def instr_def(instr):
+    """The register an instruction writes, or None (STORE writes memory)."""
+    op = instr[0]
+    if op in _DEST_AT_1:
+        return instr[1]
+    if op in _DEST_AT_2:
+        return instr[2]
+    return None
+
+
+def instr_uses(instr):
+    """The registers an instruction reads, as a tuple (may repeat)."""
+    op = instr[0]
+    if op == MOV:
+        return (instr[2],)
+    if op == BIN:
+        return (instr[3], instr[4])
+    if op == UN:
+        return (instr[3],)
+    if op == LOAD:
+        return (instr[2], instr[3])
+    if op == STORE:
+        return (instr[1], instr[2], instr[3])
+    if op in (CALL, BUILTIN):
+        return tuple(instr[3])
+    return ()  # CONST, STR read nothing
+
+
+def term_uses(term):
+    """The registers a terminator reads (BR condition / RET value)."""
+    op = term[0]
+    if op == BR:
+        return (term[1],)
+    if op == RET and term[1] != -1:
+        return (term[1],)
+    return ()
+
 _BINOP_NAMES = {code: sym for sym, code in BINOPS.items()}
 _UNOP_NAMES = {code: sym for sym, code in UNOPS.items()}
 

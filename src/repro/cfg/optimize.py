@@ -16,13 +16,9 @@ never folded away).
 from repro.cfg.instructions import (
     BIN,
     BR,
-    BUILTIN,
-    CALL,
     CONST,
     JMP,
-    LOAD,
     MOV,
-    STR,
     OP_ADD,
     OP_AND,
     OP_DIV,
@@ -43,6 +39,7 @@ from repro.cfg.instructions import (
     OP_BNOT,
     OP_LNOT,
     OP_NEG,
+    instr_def,
 )
 from repro.cfg.graph import remap_targets
 from repro.runtime.values import wrap_int
@@ -102,7 +99,7 @@ def fold_constants(cfg):
                 new_instrs.append(instr)
                 continue
             if op == BIN and instr[3] in known and instr[4] in known:
-                folded = _fold_bin(instr[1], known[instr[3]], known[instr[4]])
+                folded = fold_binop(instr[1], known[instr[3]], known[instr[4]])
                 if folded is not None:
                     known[instr[2]] = folded
                     new_instrs.append((CONST, instr[2], folded))
@@ -111,18 +108,25 @@ def fold_constants(cfg):
                 new_instrs.append(instr)
                 continue
             if op == UN and instr[3] in known:
-                folded = wrap_int(_FOLDABLE_UN[instr[1]](known[instr[3]]))
+                folded = fold_unop(instr[1], known[instr[3]])
                 known[instr[2]] = folded
                 new_instrs.append((CONST, instr[2], folded))
                 continue
-            dst = _dest_register(instr)
+            dst = instr_def(instr)
             if dst is not None:
                 known.pop(dst, None)
             new_instrs.append(instr)
         block.instrs = new_instrs
 
 
-def _fold_bin(binop, a, b):
+def fold_binop(binop, a, b):
+    """Statically evaluate ``a binop b``, or None when it must stay runtime.
+
+    Division and modulo are never evaluated (a constant zero divisor must
+    trap at its original site), and shifts only for in-range amounts.  The
+    result matches the VM bit for bit (64-bit wrap-around), so the constant
+    propagation analyses share these exact semantics.
+    """
     if binop in (OP_DIV, OP_MOD):
         return None
     if binop in (OP_SHL, OP_SHR):
@@ -132,19 +136,9 @@ def _fold_bin(binop, a, b):
     return wrap_int(_FOLDABLE_BIN[binop](a, b))
 
 
-# LOAD/CALL/BUILTIN/STR write instr[1]; BIN/UN write instr[2]; STORE none.
-_DEST_AT_1 = frozenset([CONST, MOV, LOAD, CALL, BUILTIN, STR])
-_DEST_AT_2 = frozenset([BIN, UN])
-
-
-def _dest_register(instr):
-    """The register an instruction writes, or None (STORE writes memory)."""
-    op = instr[0]
-    if op in _DEST_AT_1:
-        return instr[1]
-    if op in _DEST_AT_2:
-        return instr[2]
-    return None
+def fold_unop(unop, a):
+    """Statically evaluate ``unop a`` (always foldable; no unary op traps)."""
+    return wrap_int(_FOLDABLE_UN[unop](a))
 
 
 def thread_jumps(cfg):
@@ -152,7 +146,11 @@ def thread_jumps(cfg):
 
     A block is bypassable when it has no instructions and ends in ``jmp``.
     Chains are followed to a fixed point (with cycle protection: a
-    self-reaching chain, i.e. an empty infinite loop, is left alone).
+    self-reaching chain, i.e. an empty infinite loop, is left alone).  A
+    ``br`` whose resolved true and false targets coincide degenerates into a
+    ``jmp`` — reading the (side-effect-free) condition register is the only
+    thing dropped — which lets later pruning and the Ball-Larus DAG see one
+    edge instead of a fake two-way branch.
     """
     forward = {}
     for block in cfg.blocks:
@@ -173,7 +171,12 @@ def thread_jumps(cfg):
         if term[0] == JMP:
             block.term = (JMP, resolve(term[1]))
         elif term[0] == BR:
-            block.term = (BR, term[1], resolve(term[2]), resolve(term[3]))
+            true_target = resolve(term[2])
+            false_target = resolve(term[3])
+            if true_target == false_target:
+                block.term = (JMP, true_target)
+            else:
+                block.term = (BR, term[1], true_target, false_target)
 
 
 def prune_unreachable(cfg):

@@ -10,6 +10,9 @@ Usage::
     python -m repro fuzz gdk --output out/               # durable workspace
     python -m repro fuzz gdk --resume-dir out/           # continue a killed run
     python -m repro cmin gdk out/main/queue min/         # minimize a corpus
+    python -m repro lint                                 # lint all 18 subjects
+    python -m repro lint lame path/to/prog.mc --paths    # + path-space pruning
+    python -m repro lint --check-baseline results/lint_baseline.json
     python -m repro report --jobs 8 table2 fig2
     python -m repro telemetry report out.jsonl --html report.html
     python -m repro telemetry overhead --gate 5
@@ -23,6 +26,10 @@ input, crash, and hang to an AFL-style on-disk workspace
 (:mod:`repro.fuzzer.store`); ``--resume-dir DIR`` continues a killed
 campaign from whatever that workspace durably holds.  ``cmin`` minimizes an
 on-disk corpus (a store's ``queue/``, say) with the afl-cmin analogue.
+``lint`` runs the MiniC static analyzer (:mod:`repro.analysis.lint`) over
+subject names and/or source files; ``--paths`` adds the Ball-Larus
+path-feasibility report, ``--json`` emits machine-readable findings, and
+``--check-baseline``/``--write-baseline`` gate CI on finding drift.
 ``report`` regenerates the paper's tables/figures (see
 :mod:`repro.experiments.report`); ``--jobs N`` fans the campaign matrix out
 over N worker processes with identical results.  ``telemetry`` renders
@@ -116,6 +123,28 @@ def build_arg_parser():
                       help="feedback to minimize under (default pcguard, "
                            "i.e. edge coverage like afl-cmin)")
 
+    lint = commands.add_parser(
+        "lint", help="run the MiniC linter / path-feasibility analysis"
+    )
+    lint.add_argument("targets", nargs="*", metavar="TARGET",
+                      help="subject names and/or MiniC source files "
+                           "(default: all 18 evaluation subjects)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings (and path spaces) as JSON")
+    lint.add_argument("--paths", action="store_true",
+                      help="also report statically-infeasible Ball-Larus "
+                           "paths per target")
+    lint.add_argument("--path-cap", type=int, default=None, metavar="N",
+                      help="enumerate path feasibility only for functions "
+                           "with at most N numbered paths (default 20000); "
+                           "larger functions fall back to the dead-edge bound")
+    lint.add_argument("--check-baseline", metavar="PATH", default=None,
+                      help="compare findings + path spaces against a "
+                           "committed baseline; exit 1 on drift")
+    lint.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="write the current findings + path spaces as the "
+                           "new baseline")
+
     report = commands.add_parser("report", help="regenerate paper artifacts")
     report.add_argument("artifacts", nargs="*", help="table1..table10, fig2, ...")
     report.add_argument("--jobs", type=int, default=None,
@@ -183,6 +212,12 @@ def cmd_show(args):
           "%(edges)d edges" % stats)
     print("  seeds: %d, dictionary tokens: %d, max input: %d bytes"
           % (len(subject.seeds), len(subject.tokens), subject.max_input_len))
+    from repro.analysis.feasibility import program_path_space
+
+    space = program_path_space(subject.program)
+    print("  path space: %d Ball-Larus paths, %d statically infeasible "
+          "(%d feasible)" % (space["num_paths"], space["infeasible_paths"],
+                             space["feasible_paths"]))
     print("  bug census (%d):" % len(subject.bugs))
     for bug in subject.bugs:
         function, line, kind = bug.bug_id
@@ -390,6 +425,118 @@ def cmd_cmin(args):
     return 0 if after >= before else 1
 
 
+def _lint_payload(args):
+    """Lint every target; {name: {findings, path_space?}} plus Findings."""
+    from repro.analysis.feasibility import DEFAULT_PATH_CAP, program_path_space
+    from repro.analysis.lint import lint_source
+    from repro.lang import compile_source
+    from repro.subjects import SUITE_NAMES
+
+    targets = args.targets or list(SUITE_NAMES)
+    path_cap = args.path_cap if args.path_cap is not None else DEFAULT_PATH_CAP
+    want_paths = bool(
+        args.paths or args.json or args.check_baseline or args.write_baseline
+    )
+    payload = {}
+    all_findings = []
+    for target in targets:
+        if os.path.isfile(target):
+            with open(target) as handle:
+                source = handle.read()
+            name = target
+            program = compile_source(source, name) if want_paths else None
+        else:
+            try:
+                subject = get_subject(target)
+            except KeyError:
+                raise SystemExit(
+                    "repro lint: error: %r is neither a subject nor a file"
+                    % target
+                )
+            source = subject.source
+            name = subject.name
+            program = subject.program if want_paths else None
+        findings = lint_source(source, name)
+        entry = {"findings": [f.to_dict() for f in findings]}
+        if program is not None:
+            space = program_path_space(program, path_cap=path_cap)
+            entry["path_space"] = {
+                key: space[key]
+                for key in (
+                    "num_paths",
+                    "feasible_paths",
+                    "infeasible_paths",
+                    "dead_edges",
+                )
+            }
+        payload[name] = entry
+        all_findings.extend(findings)
+    return payload, all_findings
+
+
+def cmd_lint(args):
+    import json
+
+    from repro.analysis.lint import render_text
+
+    payload, findings = _lint_payload(args)
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump({"subjects": payload}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote baseline for %d target(s) to %s"
+              % (len(payload), args.write_baseline))
+        return 0
+    if args.check_baseline:
+        with open(args.check_baseline) as handle:
+            baseline = json.load(handle).get("subjects", {})
+        # Round-trip through JSON so tuples/ints normalize identically.
+        current = json.loads(json.dumps(payload))
+        drift = []
+        for name in sorted(set(baseline) | set(current)):
+            if name not in baseline:
+                drift.append("%s: not in baseline" % name)
+            elif name not in current:
+                drift.append("%s: in baseline but not linted" % name)
+            elif baseline[name] != current[name]:
+                got = len(current[name]["findings"])
+                want = len(baseline[name]["findings"])
+                detail = "%d findings (baseline %d)" % (got, want)
+                if baseline[name].get("path_space") != current[name].get(
+                    "path_space"
+                ):
+                    detail += "; path space changed %r -> %r" % (
+                        baseline[name].get("path_space"),
+                        current[name].get("path_space"),
+                    )
+                drift.append("%s: %s" % (name, detail))
+        if drift:
+            print("lint baseline drift (%d target(s)):" % len(drift))
+            for line in drift:
+                print("  " + line)
+            print("re-record with: repro lint --write-baseline %s"
+                  % args.check_baseline)
+            return 1
+        print("lint baseline clean: %d target(s), %d finding(s)"
+              % (len(payload), len(findings)))
+        return 0
+    # Error-severity findings fail the command (warnings/info do not).
+    status = 1 if any(f.severity == "error" for f in findings) else 0
+    if args.json:
+        print(json.dumps({"subjects": payload}, indent=2, sort_keys=True))
+        return status
+    print(render_text(findings))
+    if args.paths:
+        for name in sorted(payload):
+            space = payload[name].get("path_space")
+            if space:
+                print("%s: %d of %d Ball-Larus paths statically infeasible "
+                      "(%d dead edges)"
+                      % (name, space["infeasible_paths"], space["num_paths"],
+                         space["dead_edges"]))
+    return status
+
+
 def cmd_telemetry(args):
     from repro.telemetry import render
 
@@ -464,6 +611,7 @@ def main(argv=None):
         "show": cmd_show,
         "fuzz": cmd_fuzz,
         "cmin": cmd_cmin,
+        "lint": cmd_lint,
         "report": cmd_report,
         "telemetry": cmd_telemetry,
     }[args.command]

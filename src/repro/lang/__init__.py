@@ -19,18 +19,38 @@ __all__ = [
 ]
 
 
-def compile_source(source, name="<program>", optimize=True):
+def compile_source(source, name="<program>", optimize=True, verify=True):
     """Compile MiniC ``source`` into a validated ProgramCFG.
 
     Pipeline: lex -> parse -> semantic checks -> CFG lowering ->
     (optionally) middle-end cleanups -> validation.  This mirrors the paper's
     setup where path instrumentation runs after the optimizer, on the final
     CFG shape.
+
+    With ``verify`` (the default) the full IR verifier runs after lowering
+    and again after optimization, together with the trap-site preservation
+    check: optimizer bugs fail compilation instead of silently corrupting
+    bug identities downstream.
     """
     program_ast = parse(source)
     check_program(program_ast)
     program = lower_program(program_ast, name)
-    if optimize:
+    if verify:
+        # Imported lazily: repro.analysis.verify depends on this package
+        # for the builtin spec.
+        from repro.analysis.verify import (
+            check_trap_preservation,
+            trap_signature,
+            verify_program,
+        )
+
+        verify_program(program)
+        if optimize:
+            before = trap_signature(program)
+            optimize_program(program)
+            verify_program(program)
+            check_trap_preservation(before, trap_signature(program), name)
+    elif optimize:
         optimize_program(program)
     program.validate()
     return program

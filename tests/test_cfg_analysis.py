@@ -3,6 +3,7 @@
 from hypothesis import given, settings
 
 from repro.cfg.analysis import (
+    DominatorTree,
     back_edges,
     depth_first_order,
     dominates,
@@ -11,6 +12,8 @@ from repro.cfg.analysis import (
     natural_loops,
     reverse_postorder,
 )
+from repro.cfg.graph import FunctionCFG
+from repro.cfg.instructions import BR, JMP, RET
 from repro.lang import compile_source
 from tests.genprog import programs
 
@@ -132,6 +135,90 @@ def test_removing_back_edges_yields_dag_property(source):
                 if indeg[succ] == 0:
                     ready.append(succ)
         assert seen == len(cfg.blocks)
+
+
+def hand_cfg(terms):
+    """Build a CFG from {block_id: terminator tuple}; blocks are empty and
+    branch conditions read the single parameter register."""
+    cfg = FunctionCFG("hand", 0, 1)
+    for _ in terms:
+        cfg.new_block()
+    for block_id, term in terms.items():
+        cfg.blocks[block_id].term = term
+    return cfg
+
+
+def test_nested_loops_sharing_a_header():
+    # Two back edges into the same header b1: an inner latch b2 -> b1 and
+    # an outer latch b3 -> b1.  Both are natural loops; the outer body
+    # strictly contains the inner one.
+    cfg = hand_cfg({
+        0: (JMP, 1),
+        1: (BR, 0, 2, 4),
+        2: (BR, 0, 1, 3),
+        3: (JMP, 1),
+        4: (RET, -1),
+    })
+    assert back_edges(cfg) == {(2, 1), (3, 1)}
+    loops = natural_loops(cfg)
+    assert loops[(2, 1)] == {1, 2}
+    assert loops[(3, 1)] == {1, 2, 3}
+    depths = loop_depths(cfg)
+    assert depths == {0: 0, 1: 2, 2: 2, 3: 1, 4: 0}
+
+
+def test_back_edge_whose_target_does_not_dominate_source():
+    # DFS finds the retreating edge (2, 1), but b1 does not dominate b2
+    # (b2 is reachable via b0 directly), so it is NOT a natural loop.
+    cfg = hand_cfg({
+        0: (BR, 0, 1, 2),
+        1: (JMP, 2),
+        2: (BR, 0, 1, 3),
+        3: (RET, -1),
+    })
+    assert back_edges(cfg) == {(2, 1)}
+    assert natural_loops(cfg) == {}
+    assert all(depth == 0 for depth in loop_depths(cfg).values())
+
+
+def test_dominator_tree_matches_chain_walk():
+    for source in (NESTED, "fn main(input) { if (input) { return 1; } return 2; }"):
+        cfg = main_cfg(source)
+        idom = dominators(cfg)
+        tree = DominatorTree(cfg)
+        blocks = [b.id for b in cfg.blocks]
+        for a in blocks:
+            for b in blocks:
+                assert tree.dominates(a, b) == dominates(idom, a, b), (a, b)
+                assert dominates(tree, a, b) == dominates(idom, a, b)
+
+
+def test_dominator_tree_depths():
+    cfg = hand_cfg({
+        0: (BR, 0, 1, 2),
+        1: (JMP, 3),
+        2: (JMP, 3),
+        3: (RET, -1),
+    })
+    tree = DominatorTree(cfg)
+    assert tree.depth(0) == 0
+    assert tree.depth(1) == tree.depth(2) == tree.depth(3) == 1
+    assert tree.dominates(0, 3)
+    assert not tree.dominates(1, 3)
+    assert not tree.dominates(2, 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_dominator_tree_property_on_random_programs(source):
+    program = compile_source(source)
+    for cfg in program.funcs:
+        idom = dominators(cfg)
+        tree = DominatorTree(cfg)
+        blocks = [b.id for b in cfg.blocks]
+        for a in blocks:
+            for b in blocks:
+                assert tree.dominates(a, b) == dominates(idom, a, b)
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,167 @@
+"""Dataflow framework tests: solver, reaching defs, liveness, must-defined."""
+
+from hypothesis import given, settings
+
+from repro.analysis.dataflow import (
+    Liveness,
+    MustDefined,
+    ReachingDefinitions,
+    solve,
+)
+from repro.cfg.graph import FunctionCFG
+from repro.cfg.instructions import BIN, BR, CONST, JMP, MOV, OP_ADD, OP_LT, RET
+from repro.lang import compile_source
+from tests.genprog import programs
+
+
+def diamond_cfg():
+    """Entry branches on the param; each arm defines r1; arms rejoin.
+
+        b0: br r0 ? b1 : b2
+        b1: r1 = 10      ; jmp b3
+        b2: r1 = 20      ; jmp b3
+        b3: r2 = r1 + r0 ; ret r2
+    """
+    cfg = FunctionCFG("diamond", 0, 1)
+    for _ in range(4):
+        cfg.new_block()
+    cfg.nregs = 3
+    cfg.blocks[0].term = (BR, 0, 1, 2)
+    cfg.blocks[1].instrs = [(CONST, 1, 10)]
+    cfg.blocks[1].term = (JMP, 3)
+    cfg.blocks[2].instrs = [(CONST, 1, 20)]
+    cfg.blocks[2].term = (JMP, 3)
+    cfg.blocks[3].instrs = [(BIN, OP_ADD, 2, 1, 0, 1)]
+    cfg.blocks[3].term = (RET, 2)
+    return cfg
+
+
+def loop_cfg():
+    """A counting loop reading its induction register across the back edge.
+
+        b0: r1 = 0                ; jmp b1
+        b1: r2 = r1 < r0          ; br r2 ? b2 : b3
+        b2: r1 = r1 + r0 (reuse)  ; jmp b1
+        b3: ret r1
+    """
+    cfg = FunctionCFG("loop", 0, 1)
+    for _ in range(4):
+        cfg.new_block()
+    cfg.nregs = 3
+    cfg.blocks[0].instrs = [(CONST, 1, 0)]
+    cfg.blocks[0].term = (JMP, 1)
+    cfg.blocks[1].instrs = [(BIN, OP_LT, 2, 1, 0, 2)]
+    cfg.blocks[1].term = (BR, 2, 2, 3)
+    cfg.blocks[2].instrs = [(BIN, OP_ADD, 1, 1, 0, 3)]
+    cfg.blocks[2].term = (JMP, 1)
+    cfg.blocks[3].term = (RET, 1)
+    return cfg
+
+
+# -- reaching definitions ----------------------------------------------------
+
+
+def test_reaching_defs_join_at_merge():
+    cfg = diamond_cfg()
+    reaching = ReachingDefinitions().definitions_reaching_uses(cfg)
+    # The use of r1 in b3 sees both arm definitions and nothing else.
+    assert reaching[(3, 0, 1)] == frozenset({(1, 0), (2, 0)})
+    # The use of r0 (a parameter never redefined) sees only the param site.
+    assert reaching[(3, 0, 0)] == frozenset({("param", 0)})
+
+
+def test_reaching_defs_kill_within_block():
+    cfg = FunctionCFG("kills", 0, 0)
+    cfg.new_block()
+    cfg.nregs = 1
+    cfg.blocks[0].instrs = [(CONST, 0, 1), (CONST, 0, 2), (MOV, 0, 0)]
+    cfg.blocks[0].term = (RET, 0)
+    reaching = ReachingDefinitions().definitions_reaching_uses(cfg)
+    # The MOV's read of r0 sees only the second CONST (the first is killed).
+    assert reaching[(0, 2, 0)] == frozenset({(0, 1)})
+
+
+def test_reaching_defs_flow_around_loop():
+    cfg = loop_cfg()
+    reaching = ReachingDefinitions().definitions_reaching_uses(cfg)
+    # In the header, r1 may come from the init or from the latch update.
+    assert reaching[(1, 0, 1)] == frozenset({(0, 0), (2, 0)})
+
+
+# -- liveness ----------------------------------------------------------------
+
+
+def test_liveness_keeps_loop_carried_register():
+    cfg = loop_cfg()
+    result = solve(cfg, Liveness())
+    # r1 is live at the latch exit (read by the header next iteration).
+    assert 1 in result.exit[2]
+    # Nothing is dead in this function.
+    assert Liveness().dead_writes(cfg) == []
+
+
+def test_dead_write_detected():
+    cfg = FunctionCFG("deadwrite", 0, 1)
+    cfg.new_block()
+    cfg.nregs = 3
+    cfg.blocks[0].instrs = [(CONST, 1, 5), (CONST, 2, 7), (MOV, 1, 0)]
+    cfg.blocks[0].term = (RET, 1)
+    dead = Liveness().dead_writes(cfg)
+    # CONST r1,5 is overwritten before any read; CONST r2,7 is never read.
+    assert (0, 0) in dead
+    assert (0, 1) in dead
+    assert (0, 2) not in dead  # the MOV feeds the RET
+
+
+def test_branch_condition_counts_as_use():
+    cfg = diamond_cfg()
+    result = solve(cfg, Liveness())
+    assert 0 in result.entry[0]  # the param feeds the entry branch
+
+
+# -- must-defined ------------------------------------------------------------
+
+
+def test_must_defined_accepts_both_arm_definition():
+    assert MustDefined().undefined_uses(diamond_cfg()) == []
+
+
+def test_must_defined_rejects_one_arm_definition():
+    cfg = diamond_cfg()
+    cfg.blocks[2].instrs = []  # drop the false-arm definition of r1
+    problems = MustDefined().undefined_uses(cfg)
+    assert (3, 0, 1) in problems
+
+
+def test_must_defined_sees_loop_init():
+    assert MustDefined().undefined_uses(loop_cfg()) == []
+
+
+def test_must_defined_terminator_use():
+    cfg = FunctionCFG("retuse", 0, 0)
+    cfg.new_block()
+    cfg.nregs = 1
+    cfg.blocks[0].term = (RET, 0)  # r0 never written, no params
+    assert MustDefined().undefined_uses(cfg) == [(0, 0, 0)]
+
+
+# -- whole-program properties ------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_compiled_programs_are_fully_defined(source):
+    program = compile_source(source)
+    for cfg in program.funcs:
+        assert MustDefined().undefined_uses(cfg) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_liveness_entry_needs_only_params(source):
+    # At function entry only parameters may be live: anything else would be
+    # a use-before-def, which the verifier guarantees cannot happen.
+    program = compile_source(source)
+    for cfg in program.funcs:
+        live_in = solve(cfg, Liveness()).entry[0]
+        assert all(reg < cfg.nparams for reg in live_in)

@@ -1,0 +1,138 @@
+"""Path-feasibility tests: pruning counts, soundness against real runs."""
+
+from hypothesis import given, settings
+
+from repro.analysis.constprop import conditional_constants
+from repro.analysis.feasibility import (
+    _dead_edge_path_count,
+    analyze_function,
+    analyze_program,
+    feasible_path_ids,
+    program_path_space,
+)
+from repro.ballarus.plan import FunctionPathPlan, build_program_plans
+from repro.lang import compile_source
+from repro.subjects import get_subject
+from repro.triage.pathreport import profile_input
+from tests.genprog import programs
+
+EXCLUSIVE = """
+fn main(input) {
+    var kind = input[0];
+    var out = 0;
+    if (kind == 2) { out = 10; }
+    if (kind == 3) { out = 20; }
+    return out;
+}
+"""
+
+DEAD_BRANCH = """
+fn main(input) {
+    var debug = 0;
+    if (debug) { return 99; }
+    return input[0];
+}
+"""
+
+
+def test_mutually_exclusive_equalities_prune_one_path():
+    cfg = compile_source(EXCLUSIVE).func("main")
+    result = analyze_function(cfg)
+    # 2 branches -> 4 numbered paths; taking both true edges needs
+    # kind == 2 AND kind == 3 simultaneously: exactly one path dies.
+    assert result.num_paths == 4
+    assert result.infeasible_paths == 1
+    assert result.method == "enumerated"
+
+
+def test_constant_guard_creates_dead_edge():
+    cfg = compile_source(DEAD_BRANCH).func("main")
+    const = conditional_constants(cfg)
+    assert len(const.dead_edges()) >= 1
+    result = analyze_function(cfg)
+    assert result.infeasible_paths >= 1
+    assert result.dead_edges == const.dead_edges()
+
+
+def test_dead_edge_bound_is_no_tighter_than_enumeration():
+    for source in (EXCLUSIVE, DEAD_BRANCH):
+        cfg = compile_source(source).func("main")
+        plan = FunctionPathPlan(cfg)
+        const = conditional_constants(cfg)
+        enumerated = len(feasible_path_ids(cfg, plan, const))
+        bound = _dead_edge_path_count(plan.dag, const.dead_edges())
+        assert enumerated <= bound <= plan.num_paths
+
+
+def test_path_cap_falls_back_to_dead_edge_bound():
+    cfg = compile_source(DEAD_BRANCH).func("main")
+    result = analyze_function(cfg, path_cap=0)
+    assert result.method == "dead-edge-bound"
+    assert result.infeasible_paths >= 1
+
+
+def test_analyze_program_annotates_plans():
+    program = compile_source(EXCLUSIVE)
+    plans = build_program_plans(program)
+    assert all(plan.feasible_num_paths is None for plan in plans)
+    results = analyze_program(program, plans)
+    for plan, result in zip(plans, results):
+        assert plan.feasible_num_paths == result.feasible_paths
+        assert plan.feasible_num_paths <= plan.num_paths
+
+
+def test_program_path_space_totals():
+    space = program_path_space(compile_source(EXCLUSIVE))
+    assert space["num_paths"] == space["feasible_paths"] + space["infeasible_paths"]
+    assert space["functions"]
+
+
+def test_lame_prunes_most_of_its_path_space():
+    # lame's window-switching kind dispatch is the paper-style example of
+    # path explosion; most numbered paths mix exclusive kind tests.
+    subject = get_subject("lame")
+    space = program_path_space(subject.program)
+    assert space["infeasible_paths"] > space["num_paths"] // 2
+
+
+# -- soundness: every dynamically observed path is statically feasible -------
+
+
+def _observed_vs_feasible(subject_name, inputs):
+    subject = get_subject(subject_name)
+    program = subject.program
+    feasible = {}
+    for func in program.funcs:
+        plan = FunctionPathPlan(func)
+        feasible[func.name] = feasible_path_ids(func, plan)
+    for data in inputs:
+        profile = profile_input(program, bytes(data))
+        for function, path_id in profile.keys():
+            assert path_id in feasible[function], (
+                subject_name,
+                function,
+                path_id,
+            )
+
+
+def test_feasibility_sound_on_seeds_and_witnesses():
+    for name in ("gdk", "lame", "mp3gain", "jq", "flvmeta"):
+        subject = get_subject(name)
+        inputs = list(subject.seeds) + [bug.witness for bug in subject.bugs]
+        _observed_vs_feasible(name, inputs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs())
+def test_feasibility_sound_on_generated_programs(source):
+    program = compile_source(source)
+    feasible = {}
+    for func in program.funcs:
+        plan = FunctionPathPlan(func)
+        if plan.num_paths > 4000:
+            return  # enumeration too large for a property iteration
+        feasible[func.name] = feasible_path_ids(func, plan)
+    for data in (b"", b"a", b"\xff\x00\x7f", bytes(range(16))):
+        profile = profile_input(program, data)
+        for function, path_id in profile.keys():
+            assert path_id in feasible[function]

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings
 
-from repro.cfg.instructions import BIN, CONST
+from repro.cfg.instructions import BIN, BR, CONST
 from repro.lang import compile_source
 from repro.runtime import execute
 from tests.genprog import programs
@@ -74,6 +74,34 @@ def test_threading_preserves_loop_semantics():
     raw, opt = both(source)
     data = bytes([5, 9, 11])
     assert execute(raw, data).retval == execute(opt, data).retval == 25
+
+
+def test_branch_with_coinciding_targets_collapses_to_jmp():
+    # Both arms of the if are empty, so after threading the true and false
+    # targets resolve to the same join block: the br degenerates to a jmp
+    # and no two-way branch survives in main.
+    raw, opt = both("fn main(input) { if (len(input)) { } else { } return 7; }")
+    raw_brs = sum(
+        1 for b in raw.func("main").blocks if b.term[0] == BR
+    )
+    opt_brs = sum(
+        1 for b in opt.func("main").blocks if b.term[0] == BR
+    )
+    assert raw_brs == 1
+    assert opt_brs == 0
+    assert execute(opt, b"x").retval == 7
+    assert execute(opt, b"").retval == 7
+
+
+def test_branch_collapse_shrinks_path_space():
+    # The collapsed branch removes a fake two-way split from the
+    # Ball-Larus DAG: the optimized function numbers fewer paths.
+    from repro.ballarus.plan import FunctionPathPlan
+
+    raw, opt = both("fn main(input) { if (len(input)) { } return 7; }")
+    assert FunctionPathPlan(opt.func("main")).num_paths < FunctionPathPlan(
+        raw.func("main")
+    ).num_paths
 
 
 def test_empty_infinite_loop_survives_threading():

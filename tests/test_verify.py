@@ -1,0 +1,252 @@
+"""IR verifier tests: structural checks, trap preservation, and mutation
+tests proving the verifier catches deliberately-seeded optimizer bugs."""
+
+import pytest
+
+from repro.analysis.verify import (
+    VerificationError,
+    check_trap_preservation,
+    trap_signature,
+    verify_function,
+    verify_program,
+)
+from repro.cfg.graph import FunctionCFG
+from repro.cfg.instructions import (
+    BIN,
+    BR,
+    BUILTIN,
+    CALL,
+    CONST,
+    JMP,
+    LOAD,
+    MOV,
+    OP_DIV,
+    OP_SHL,
+    RET,
+)
+from repro.lang import compile_source
+from repro.subjects import all_subject_names, get_subject
+
+LOOPY = """
+fn helper(a, b) {
+    return a + b;
+}
+fn main(input) {
+    var n = len(input);
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+        acc = acc + input[i] / (n - i);
+        i = i + 1;
+    }
+    return helper(acc, n);
+}
+"""
+
+
+def small_cfg():
+    cfg = FunctionCFG("small", 0, 1)
+    cfg.new_block()
+    cfg.nregs = 2
+    cfg.blocks[0].instrs = [(CONST, 1, 3)]
+    cfg.blocks[0].term = (RET, 1)
+    return cfg
+
+
+# -- structural checks -------------------------------------------------------
+
+
+def test_all_subjects_verify():
+    for name in all_subject_names():
+        verify_program(get_subject(name).program)
+
+
+def test_small_function_verifies():
+    verify_function(small_cfg())
+
+
+def test_bad_arity_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].instrs = [(CONST, 1)]  # missing the immediate
+    with pytest.raises(VerificationError, match="arity"):
+        verify_function(cfg)
+
+
+def test_out_of_range_register_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].instrs = [(CONST, 9, 3)]
+    with pytest.raises(VerificationError, match="out of range"):
+        verify_function(cfg)
+
+
+def test_missing_terminator_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].term = None
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(cfg)
+
+
+def test_edge_to_missing_block_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].term = (JMP, 5)
+    with pytest.raises(VerificationError, match="missing b5"):
+        verify_function(cfg)
+
+
+def test_non_dense_block_ids_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].id = 7
+    with pytest.raises(VerificationError, match="non-dense"):
+        verify_function(cfg)
+
+
+def test_use_before_definition_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].instrs = [(MOV, 1, 1)]  # r1 read before ever written
+    with pytest.raises(VerificationError, match="before definition"):
+        verify_function(cfg)
+
+
+def test_unknown_builtin_rejected():
+    cfg = small_cfg()
+    cfg.blocks[0].instrs = [(BUILTIN, 1, 999, (0,), 1)]
+    with pytest.raises(VerificationError, match="builtin"):
+        verify_function(cfg)
+
+
+def test_call_arity_checked_against_program():
+    program = compile_source(LOOPY)
+    main = program.func("main")
+    for block in main.blocks:
+        for index, instr in enumerate(block.instrs):
+            if instr[0] == CALL:
+                block.instrs[index] = instr[:3] + (instr[3][:-1],) + instr[4:]
+    with pytest.raises(VerificationError, match="args"):
+        verify_program(program)
+
+
+# -- trap preservation -------------------------------------------------------
+
+
+def run_checked(source, bad_pass):
+    """Apply ``bad_pass`` to a compiled program under the same harness the
+    compiler uses for real passes: verify + trap-preservation check."""
+    program = compile_source(source)
+    before = trap_signature(program)
+    bad_pass(program)
+    verify_program(program)
+    check_trap_preservation(before, trap_signature(program), "mutated")
+
+
+def test_trap_signature_is_stable_across_optimization():
+    raw = compile_source(LOOPY, optimize=False)
+    opt = compile_source(LOOPY, optimize=True)
+    check_trap_preservation(trap_signature(raw), trap_signature(opt))
+
+
+def test_good_pass_passes_the_harness():
+    run_checked(LOOPY, lambda program: None)
+
+
+# -- mutation tests: each seeded optimizer bug must be caught ----------------
+
+
+def test_mutation_dropped_div_trap_caught():
+    def drop_div(program):
+        # An illegally-eager constant folder: divisions become constants,
+        # losing their potential division-by-zero trap sites.
+        for func in program.funcs:
+            for block in func.blocks:
+                block.instrs = [
+                    (CONST, instr[2], 1)
+                    if instr[0] == BIN and instr[1] == OP_DIV
+                    else instr
+                    for instr in block.instrs
+                ]
+
+    with pytest.raises(VerificationError, match="div sites"):
+        run_checked(LOOPY, drop_div)
+
+
+def test_mutation_stale_branch_target_caught():
+    def retarget(program):
+        for func in program.funcs:
+            for block in func.blocks:
+                if block.term[0] == BR:
+                    block.term = (BR, block.term[1], block.term[2], 99)
+                    return
+
+    with pytest.raises(VerificationError, match="missing b99"):
+        run_checked(LOOPY, retarget)
+
+
+def test_mutation_clobbered_register_caught():
+    def clobber(program):
+        # Redirect every CONST 0 initializer to a fresh register: the
+        # original registers are now read without ever being written.
+        for func in program.funcs:
+            for block in func.blocks:
+                block.instrs = [
+                    (CONST, func.nregs - 1, instr[2])
+                    if instr[0] == CONST and instr[2] == 0
+                    else instr
+                    for instr in block.instrs
+                ]
+
+    with pytest.raises(VerificationError, match="before definition"):
+        run_checked(LOOPY, clobber)
+
+
+def test_mutation_moved_memory_site_caught():
+    def shift_load_lines(program):
+        for func in program.funcs:
+            for block in func.blocks:
+                block.instrs = [
+                    instr[:4] + (instr[4] + 1,) if instr[0] == LOAD else instr
+                    for instr in block.instrs
+                ]
+
+    with pytest.raises(VerificationError, match="mem sites"):
+        run_checked(LOOPY, shift_load_lines)
+
+
+def test_mutation_added_shift_site_caught():
+    def add_shift(program):
+        main = program.func("main")
+        reg = main.nregs - 1
+        main.blocks[0].instrs = [
+            (CONST, reg, 1),
+            (BIN, OP_SHL, reg, reg, reg, 998),
+        ] + main.blocks[0].instrs
+
+    with pytest.raises(VerificationError, match="shift sites"):
+        run_checked(LOOPY, add_shift)
+
+
+def test_mutation_dropped_call_caught():
+    def drop_calls(program):
+        for func in program.funcs:
+            for block in func.blocks:
+                block.instrs = [
+                    (CONST, instr[1], 0) if instr[0] == CALL else instr
+                    for instr in block.instrs
+                ]
+
+    with pytest.raises(VerificationError, match="call sites"):
+        run_checked(LOOPY, drop_calls)
+
+
+def test_mutation_swapped_blocks_caught():
+    def swap(program):
+        main = program.func("main")
+        main.blocks[1], main.blocks[2] = main.blocks[2], main.blocks[1]
+
+    with pytest.raises(VerificationError, match="non-dense"):
+        run_checked(LOOPY, swap)
+
+
+def test_compile_source_runs_the_verifier_end_to_end():
+    # The default pipeline accepts a sound program...
+    compile_source(LOOPY)
+    # ...and verify=False still compiles (escape hatch for IR experiments).
+    compile_source(LOOPY, verify=False)
