@@ -23,6 +23,21 @@ _RESULTS_DIR = os.path.join(
 )
 
 
+@pytest.fixture(params=["interp", "compile"])
+def backend(request, monkeypatch):
+    """Regenerate the artifact under each execution backend.
+
+    Sets REPRO_BACKEND so everything routed through
+    :func:`repro.runtime.backend.make_backend` (engines, replay loops)
+    executes under the parametrized backend.  The artifacts are virtual-
+    clock quantities and must come out identical either way; the fixture
+    exists to prove that, not to time the backends (``repro bench`` does
+    the timing).
+    """
+    monkeypatch.setenv("REPRO_BACKEND", request.param)
+    return request.param
+
+
 @pytest.fixture
 def show(request):
     """Print a rendered artifact and persist it to results/benchmarks/."""

@@ -10,8 +10,10 @@ from conftest import one_shot
 from repro.experiments import table5
 from repro.experiments.tables import geomean
 
+_BY_BACKEND = {}
 
-def test_table5_instrumentation_overhead(benchmark, show):
+
+def test_table5_instrumentation_overhead(benchmark, show, backend):
     data = one_shot(benchmark, table5.collect)
     show(table5.render(data))
     ratios = [path / max(edge, 1) for _n, edge, path, _es, _ps in data.values()]
@@ -21,3 +23,8 @@ def test_table5_instrumentation_overhead(benchmark, show):
     # Ball-Larus places fewer probe sites than per-edge instrumentation.
     fewer = sum(1 for _n, _e, _p, es, ps in data.values() if ps < es)
     assert fewer >= len(data) * 0.8
+    # Virtual cost is a model quantity: both backends must regenerate the
+    # table cell-for-cell.
+    _BY_BACKEND[backend] = data
+    if len(_BY_BACKEND) == 2:
+        assert _BY_BACKEND["interp"] == _BY_BACKEND["compile"]

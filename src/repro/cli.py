@@ -193,6 +193,33 @@ def build_arg_parser():
     tel_overhead.add_argument("--trace-dir", metavar="DIR", default=None,
                               help="keep the traced run's JSONL under DIR "
                                    "(default: a temp dir, discarded)")
+
+    bench = commands.add_parser(
+        "bench",
+        help="measure interp vs compiled backend throughput per subject",
+    )
+    bench.add_argument("subjects", nargs="*", metavar="SUBJECT",
+                       help="subjects to bench (default: the 18-subject "
+                            "evaluation suite)")
+    bench.add_argument("--quick", action="store_true",
+                       help="short CI-sized passes (noisier, ~10x faster)")
+    bench.add_argument("--feedback", default=None,
+                       help="instrumentation to bench under (default path)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="best-of-N interleaved timing passes")
+    bench.add_argument("--out-dir", metavar="DIR", default=".",
+                       help="directory for BENCH_<date>.json (default .)")
+    bench.add_argument("--baseline", metavar="PATH",
+                       default="results/bench_baseline.json",
+                       help="committed speedup baseline to gate against "
+                            "(default results/bench_baseline.json; gate "
+                            "skipped when the file is absent)")
+    bench.add_argument("--gate-pct", type=float, default=10.0, metavar="PCT",
+                       help="fail when a speedup drops more than PCT%% "
+                            "below the baseline (default 10)")
+    bench.add_argument("--write-baseline", action="store_true",
+                       help="rewrite the baseline from this run instead of "
+                            "gating against it")
     return parser
 
 
@@ -578,6 +605,48 @@ def cmd_telemetry(args):
     return 0 if report.passed else 1
 
 
+def cmd_bench(args):
+    from repro.experiments import bench as _bench
+
+    feedback = args.feedback or _bench.DEFAULT_FEEDBACK
+    report = _bench.run_bench(
+        subjects=args.subjects or None,
+        feedback=feedback,
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=lambda row: print(_bench.format_row(row)),
+    )
+    print("geomean speedup: %.2fx" % report["geomean_speedup"])
+    path = _bench.write_report(report, args.out_dir)
+    print("wrote %s" % path)
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            import json
+
+            json.dump(_bench.baseline_from_report(report), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.baseline)
+        return 0
+    if not os.path.exists(args.baseline):
+        print("no baseline at %s; gate skipped" % args.baseline)
+        return 0
+    with open(args.baseline) as fh:
+        import json
+
+        baseline = json.load(fh)
+    failures = _bench.check_against_baseline(
+        report, baseline, gate_pct=args.gate_pct
+    )
+    for failure in failures:
+        print("REGRESSION: %s" % failure)
+    if failures:
+        return 1
+    print("bench gate passed (within %.0f%% of baseline)" % args.gate_pct)
+    return 0
+
+
 def cmd_report(args):
     from repro.experiments.report import main as report_main
 
@@ -614,6 +683,7 @@ def main(argv=None):
         "lint": cmd_lint,
         "report": cmd_report,
         "telemetry": cmd_telemetry,
+        "bench": cmd_bench,
     }[args.command]
     return handler(args)
 

@@ -13,7 +13,7 @@ from repro.coverage.feedback import EdgeFeedback, PathFeedback
 from repro.experiments.runner import campaign, profile_subjects
 from repro.experiments.tables import geomean, render_table
 from repro.fuzzer.engine import FuzzEngine
-from repro.runtime.interpreter import execute
+from repro.runtime.backend import make_backend
 from repro.subjects import get_subject
 
 QUEUE_HOURS = 24
@@ -43,31 +43,36 @@ def _seed_queue(subject_name):
     return [entry.data for entry in engine.queue.entries]
 
 
-def replay_cost(subject, inputs, feedback):
+def replay_cost(subject, inputs, feedback, backend=None):
     """Total virtual cost of processing ``inputs`` once under ``feedback``.
 
     Includes the novelty-scan term (proportional to the trace size), like
-    AFL's initial calibration the paper measures.
+    AFL's initial calibration the paper measures.  ``backend`` picks the
+    execution backend (None: honor REPRO_BACKEND); virtual cost is a model
+    quantity, so the result is backend-invariant — the table regenerates
+    identically under the interpreter and the compiler.
     """
     instrumentation = feedback.instrument(subject.program)
+    run = make_backend(subject.program, instrumentation, backend=backend).execute
     total = 0
     for data in inputs:
-        result = execute(
-            subject.program, data, instrumentation,
-            instr_budget=subject.exec_instr_budget,
-        )
+        result = run(data, instr_budget=subject.exec_instr_budget)
         total += result.virtual_cost + len(result.hits) // 4
     return total, instrumentation.probe_sites
 
 
-def collect(subjects=None):
+def collect(subjects=None, backend=None):
     subjects = profile_subjects() if subjects is None else subjects
     data = {}
     for name in subjects:
         subject = get_subject(name)
         inputs = _seed_queue(name)
-        edge_cost, edge_sites = replay_cost(subject, inputs, EdgeFeedback())
-        path_cost, path_sites = replay_cost(subject, inputs, PathFeedback())
+        edge_cost, edge_sites = replay_cost(
+            subject, inputs, EdgeFeedback(), backend=backend
+        )
+        path_cost, path_sites = replay_cost(
+            subject, inputs, PathFeedback(), backend=backend
+        )
         data[name] = (len(inputs), edge_cost, path_cost, edge_sites, path_sites)
     return data
 

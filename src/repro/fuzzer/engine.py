@@ -22,7 +22,7 @@ from repro.fuzzer.corpus import Queue
 from repro.fuzzer.mutators import deterministic_mutations, havoc, splice
 from repro.fuzzer.schedule import havoc_iterations, performance_score
 from repro.fuzzer.store import content_hash
-from repro.runtime.interpreter import execute
+from repro.runtime.backend import make_backend
 from repro.triage.stacktrace import stack_hash
 
 
@@ -40,6 +40,9 @@ class EngineConfig:
         "call_depth_limit",
         "timeline_interval",
         "cmplog_max_candidates",
+        "backend",
+        "probe_prune",
+        "saturation_interval",
     )
 
     def __init__(
@@ -54,6 +57,9 @@ class EngineConfig:
         call_depth_limit=64,
         timeline_interval=256,
         cmplog_max_candidates=48,
+        backend=None,
+        probe_prune=False,
+        saturation_interval=0,
     ):
         self.max_input_len = max_input_len
         self.use_cmplog = use_cmplog
@@ -65,6 +71,15 @@ class EngineConfig:
         self.call_depth_limit = call_depth_limit
         self.timeline_interval = timeline_interval
         self.cmplog_max_candidates = cmplog_max_candidates
+        # Execution backend: None defers to REPRO_BACKEND (default interp).
+        # probe_prune elides flow-derivable probes under the compiled
+        # backend (coverage maps unchanged; probe charges drop).
+        # saturation_interval > 0 additionally de-instruments bucket-
+        # saturated cells every that-many execs — a throughput layer that,
+        # like changing instrumentation, perturbs the virtual clock.
+        self.backend = backend
+        self.probe_prune = probe_prune
+        self.saturation_interval = saturation_interval
 
 
 def afl_engine_config(**overrides):
@@ -141,6 +156,12 @@ class FuzzEngine:
         self.instrumentation = feedback.instrument(program)
         self.rng = rng
         self.config = config or EngineConfig()
+        self.backend = make_backend(
+            program,
+            self.instrumentation,
+            backend=self.config.backend,
+            probe_prune=self.config.probe_prune,
+        )
         self.telemetry = telemetry
         self.tokens = tuple(bytes(t) for t in tokens)
         self.queue = Queue()
@@ -310,6 +331,8 @@ class FuzzEngine:
         """Write a validated on-disk checkpoint (see :mod:`.checkpoint`)."""
         from repro.fuzzer.checkpoint import write_checkpoint
 
+        meta = dict(meta or {})
+        meta.setdefault("backend", self.backend.name)
         return write_checkpoint(
             path, self.snapshot(), meta=meta, fingerprint=fingerprint
         )
@@ -449,23 +472,26 @@ class FuzzEngine:
     def _execute(self, data, cmplog=False):
         tel = self.telemetry
         t0 = _perf_counter() if tel is not None else 0.0
-        result = execute(
-            self.program,
+        result = self.backend.execute(
             data,
-            self.instrumentation,
             instr_budget=self.config.exec_instr_budget,
             call_depth_limit=self.config.call_depth_limit,
             cmplog=cmplog,
         )
         if tel is not None:
-            # The "execute" span is the interpreter's whole run loop for one
-            # input: dispatch, probe actions, and budget accounting.
+            # The "execute" span is the backend's whole run for one input:
+            # dispatch, probe actions, and budget accounting.
             tel.record_exec(_perf_counter() - t0, result)
         # Virtual cost: the run itself + the novelty scan over its trace.
         self.clock.charge(EXEC_OVERHEAD + result.virtual_cost + len(result.hits) // 4)
         self.execs += 1
         if self.execs % self.config.timeline_interval == 0:
             self._snapshot()
+        interval = self.config.saturation_interval
+        if interval and self.execs % interval == 0:
+            # Reads only the virgin map, so resuming a checkpoint replays
+            # the same respecialization points.
+            self.backend.respecialize(self.virgin)
         return result
 
     def _run_and_process(self, data, depth):

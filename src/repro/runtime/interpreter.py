@@ -158,8 +158,7 @@ class _Exec:
     def run(self, input_bytes):
         input_ref = self._heap.alloc(len(input_bytes))
         storage = self._heap.storage(input_ref)
-        for i, byte in enumerate(input_bytes):
-            storage[i] = byte
+        storage[: len(input_bytes)] = input_bytes
         retval, trap, timeout = 0, None, False
         try:
             retval = self._call(self._program.main_index, [input_ref])

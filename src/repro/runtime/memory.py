@@ -13,6 +13,25 @@ from repro.runtime.values import ArrayRef
 MAX_ALLOC = 1 << 20
 
 
+# String pools are immutable at runtime (every write path traps on readonly
+# refs first), so the materialized per-string lists can be shared by every
+# execution of the same program instead of re-copied per Heap.  Keyed on the
+# pool's identity; the stored pool reference guards against id reuse.
+_POOL_CACHE = {}
+_POOL_CACHE_CAP = 64
+
+
+def _materialize_pool(string_pool):
+    cached = _POOL_CACHE.get(id(string_pool))
+    if cached is not None and cached[0] is string_pool:
+        return cached[1]
+    arrays = [list(s) for s in string_pool]
+    if len(_POOL_CACHE) >= _POOL_CACHE_CAP:
+        _POOL_CACHE.clear()
+    _POOL_CACHE[id(string_pool)] = (string_pool, arrays)
+    return arrays
+
+
 class Heap:
     """Per-execution heap: grows monotonically, freed wholesale at exit."""
 
@@ -20,7 +39,7 @@ class Heap:
 
     def __init__(self, string_pool=()):
         # Read-only string constants occupy the first array ids.
-        self._arrays = [list(s) for s in string_pool]
+        self._arrays = list(_materialize_pool(string_pool)) if string_pool else []
         self._readonly_base = len(self._arrays)
 
     def alloc(self, size):
