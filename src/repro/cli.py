@@ -16,6 +16,10 @@ Usage::
     python -m repro report --jobs 8 table2 fig2
     python -m repro telemetry report out.jsonl --html report.html
     python -m repro telemetry overhead --gate 5
+    python -m repro serve svc/ --submit gdk --submit mp3gain:path:1
+    python -m repro job svc/ submit gdk --tenant sec --priority 1
+    python -m repro job svc/ status                  # read-only journal fold
+    python -m repro job svc/ crashes j000000
 
 ``fuzz`` runs one campaign of any registered configuration and prints the
 summary plus the triaged crashes; with ``--workers N`` it becomes an
@@ -33,7 +37,12 @@ path-feasibility report, ``--json`` emits machine-readable findings, and
 ``report`` regenerates the paper's tables/figures (see
 :mod:`repro.experiments.report`); ``--jobs N`` fans the campaign matrix out
 over N worker processes with identical results.  ``telemetry`` renders
-traces (TTY/markdown/HTML) and runs the tracing overhead gate.
+traces (TTY/markdown/HTML) and runs the tracing overhead gate.  ``serve``
+runs the crash-safe campaign service (:mod:`repro.service`): it recovers
+whatever an earlier (possibly killed) service journaled under ROOT, admits
+``--submit`` jobs, and drives everything to a terminal state; ``job``
+inspects or feeds a service root without running one (``submit`` journals
+a submission for the next serve, ``status``/``crashes`` are read-only).
 ``--verbose`` is global: it configures the ``repro`` logger for every
 subcommand.
 """
@@ -193,6 +202,76 @@ def build_arg_parser():
     tel_overhead.add_argument("--trace-dir", metavar="DIR", default=None,
                               help="keep the traced run's JSONL under DIR "
                                    "(default: a temp dir, discarded)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the campaign service: schedule job campaigns to completion",
+    )
+    serve.add_argument("root", metavar="ROOT",
+                       help="service root directory (journal + job stores)")
+    serve.add_argument("--submit", action="append", default=[],
+                       metavar="SUBJECT[:CONFIG[:SEED[:TENANT[:PRIO]]]]",
+                       help="submit a job before serving (repeatable); "
+                            "previously journaled pending jobs run too")
+    serve.add_argument("--max-workers", type=int, default=2,
+                       help="concurrent job worker processes (default 2)")
+    serve.add_argument("--budget-ticks", type=int, default=60_000,
+                       help="virtual-tick budget per submitted job "
+                            "(default 60000)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="per-job retry budget before it degrades "
+                            "(default 2)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       help="seconds of heartbeat silence before an attempt "
+                            "counts as stalled (default 30)")
+    serve.add_argument("--wall-budget", type=float, default=600.0,
+                       help="wall seconds per job attempt (default 600)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME:RUN:PEND:RETRIES",
+                       help="tenant policy: max running, max pending, "
+                            "retry budget (repeatable)")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on journal/store writes (tests only: "
+                            "trades crash-safety for speed)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the service telemetry trace to PATH "
+                            "as JSONL")
+
+    job = commands.add_parser(
+        "job", help="inspect or feed a service root (safe while it serves)"
+    )
+    job.add_argument("root", metavar="ROOT", help="service root directory")
+    job_actions = job.add_subparsers(dest="action", required=True)
+
+    job_submit = job_actions.add_parser(
+        "submit", help="journal a job submission for the next `repro serve`"
+    )
+    job_submit.add_argument("subject", choices=all_subject_names())
+    job_submit.add_argument("--config", default="path",
+                            choices=sorted(FUZZER_CONFIGS))
+    job_submit.add_argument("--run-seed", type=int, default=0)
+    job_submit.add_argument("--tenant", default="default")
+    job_submit.add_argument("--priority", type=int, default=0)
+    job_submit.add_argument("--budget-ticks", type=int, default=60_000)
+    job_submit.add_argument("--max-retries", type=int, default=2)
+    job_submit.add_argument("--require-checkpoint", action="store_true",
+                            help="degrade (typed checkpoint-corrupt) instead "
+                                 "of replaying the store when the resume "
+                                 "checkpoint is damaged")
+
+    job_status = job_actions.add_parser(
+        "status", help="fold the journal (read-only) and print the job table"
+    )
+    job_status.add_argument("job_id", nargs="?", default=None,
+                            help="one job id (default: the whole table)")
+    job_status.add_argument("--json", action="store_true",
+                            help="emit machine-readable snapshots")
+
+    job_crashes = job_actions.add_parser(
+        "crashes", help="list one job's deduped crash artifacts"
+    )
+    job_crashes.add_argument("job_id")
+    job_crashes.add_argument("--json", action="store_true")
 
     bench = commands.add_parser(
         "bench",
@@ -647,6 +726,216 @@ def cmd_bench(args):
     return 0
 
 
+def _parse_submit_spec(text):
+    """``subject[:config[:seed[:tenant[:prio]]]]`` -> submit() kwargs."""
+    parts = text.split(":")
+    subject = parts[0]
+    if subject not in all_subject_names():
+        raise SystemExit(
+            "repro serve: error: unknown subject %r in --submit %r"
+            % (subject, text)
+        )
+    config = parts[1] if len(parts) > 1 and parts[1] else "path"
+    if config not in FUZZER_CONFIGS:
+        raise SystemExit(
+            "repro serve: error: unknown config %r in --submit %r"
+            % (config, text)
+        )
+    try:
+        run_seed = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+        priority = int(parts[4]) if len(parts) > 4 and parts[4] else 0
+    except ValueError:
+        raise SystemExit(
+            "repro serve: error: non-integer seed/priority in --submit %r"
+            % text
+        )
+    tenant = parts[3] if len(parts) > 3 and parts[3] else "default"
+    return {
+        "subject": subject,
+        "config": config,
+        "run_seed": run_seed,
+        "tenant": tenant,
+        "priority": priority,
+    }
+
+
+def _print_job_table(jobs):
+    for job_id in sorted(jobs):
+        snap = jobs[job_id].snapshot()
+        line = "  %-8s %-9s %s/%s#%d tenant=%s attempts=%d retries=%d" % (
+            snap["job"], snap["state"], snap["subject"], snap["config"],
+            snap["run_seed"], snap["tenant"], snap["attempts"],
+            snap["retries_used"],
+        )
+        summary = snap.get("summary") or {}
+        if summary:
+            line += "  %d execs, %d crash sig(s)" % (
+                summary.get("execs", 0), len(summary.get("crash_sigs", ())),
+            )
+        reason = snap.get("reason")
+        if reason:
+            line += "  [%s] %s" % (reason["category"], reason["detail"])
+        print(line)
+
+
+def cmd_serve(args):
+    import asyncio
+
+    from repro.fuzzer.supervisor import RestartPolicy
+    from repro.service import AdmissionError, CampaignService, TenantPolicy
+
+    if args.trace:
+        from repro import telemetry as _telemetry
+
+        os.environ[_telemetry.TRACE_ENV] = args.trace
+        _telemetry.start_trace(args.trace)
+    policies = []
+    for text in args.tenant:
+        parts = text.split(":")
+        if len(parts) != 4:
+            raise SystemExit(
+                "repro serve: error: --tenant wants NAME:RUN:PEND:RETRIES, "
+                "got %r" % text
+            )
+        try:
+            policies.append(
+                TenantPolicy(parts[0], int(parts[1]), int(parts[2]),
+                             int(parts[3]))
+            )
+        except ValueError:
+            raise SystemExit(
+                "repro serve: error: non-integer quota in --tenant %r" % text
+            )
+    submissions = [_parse_submit_spec(text) for text in args.submit]
+    service = CampaignService(
+        args.root,
+        max_workers=args.max_workers,
+        policies=policies,
+        restart_policy=RestartPolicy(
+            max_restarts=args.max_retries, backoff_base=0.05, backoff_max=1.0
+        ),
+        heartbeat_timeout=args.heartbeat_timeout,
+        wall_budget=args.wall_budget,
+        fsync=not args.no_fsync,
+    )
+    try:
+        if service.quarantined:
+            print("WARNING: quarantined %d damaged journal record(s)"
+                  % len(service.quarantined))
+        for kwargs in submissions:
+            try:
+                job_id = service.submit(
+                    budget_ticks=args.budget_ticks,
+                    max_retries=args.max_retries,
+                    **kwargs,
+                )
+            except AdmissionError as exc:
+                print("refused %s/%s#%d: %s"
+                      % (kwargs["subject"], kwargs["config"],
+                         kwargs["run_seed"], exc))
+                continue
+            print("submitted %s: %s/%s#%d (tenant=%s, prio=%d)"
+                  % (job_id, kwargs["subject"], kwargs["config"],
+                     kwargs["run_seed"], kwargs["tenant"], kwargs["priority"]))
+        summary = asyncio.run(service.run_until_idle())
+        print("served %d job(s): %s" % (
+            summary["jobs"],
+            ", ".join("%d %s" % (count, state)
+                      for state, count in sorted(summary["states"].items()))
+            or "none",
+        ))
+        _print_job_table(service.jobs)
+        signatures = service.crash_signatures()
+        print("deduped crash signatures: %d unique (%d artifact(s))"
+              % (summary["dedupe"]["unique"], summary["dedupe"]["total"]))
+        for sig, count in signatures.items():
+            print("  sig:%s  %d artifact(s) via %s"
+                  % (sig, count, ",".join(service.dedupe.jobs_for(sig))))
+        degraded = summary["states"].get("degraded", 0)
+        if degraded:
+            print("WARNING: %d job(s) degraded (see reasons above)" % degraded)
+        return 1 if degraded else 0
+    finally:
+        service.close()
+        if args.trace:
+            from repro.telemetry.bus import get_bus
+
+            get_bus().flush()
+            print("telemetry trace: %s" % args.trace)
+
+
+def cmd_job(args):
+    import json
+
+    from repro.fuzzer.store import StoreLockError
+    from repro.service import list_job_crashes, load_job_table, submit_offline
+    from repro.service.orchestrator import JOBS_DIR
+
+    if args.action == "submit":
+        try:
+            job_id = submit_offline(
+                args.root,
+                subject=args.subject,
+                config=args.config,
+                run_seed=args.run_seed,
+                tenant=args.tenant,
+                priority=args.priority,
+                budget_ticks=args.budget_ticks,
+                max_retries=args.max_retries,
+                require_checkpoint=args.require_checkpoint,
+            )
+        except StoreLockError as exc:
+            raise SystemExit(
+                "repro job: error: %s (is a service running on this root?)"
+                % exc
+            )
+        print("journaled %s (runs on the next `repro serve %s`)"
+              % (job_id, args.root))
+        return 0
+    jobs, epochs, conflicts, quarantined = load_job_table(args.root)
+    if args.action == "status":
+        if args.job_id is not None:
+            if args.job_id not in jobs:
+                raise SystemExit(
+                    "repro job: error: unknown job %r" % args.job_id
+                )
+            snaps = [jobs[args.job_id].snapshot()]
+        else:
+            snaps = [jobs[job_id].snapshot() for job_id in sorted(jobs)]
+        if args.json:
+            print(json.dumps(
+                {
+                    "epochs": epochs,
+                    "conflicts": conflicts,
+                    "quarantined": len(quarantined),
+                    "jobs": snaps,
+                },
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        print("%d job(s), %d service epoch(s), %d fold conflict(s), "
+              "%d quarantined record(s)"
+              % (len(jobs), epochs, conflicts, len(quarantined)))
+        _print_job_table({snap["job"]: jobs[snap["job"]] for snap in snaps})
+        return 0
+    # action == "crashes"
+    if args.job_id not in jobs:
+        raise SystemExit("repro job: error: unknown job %r" % args.job_id)
+    crashes = list_job_crashes(
+        os.path.join(os.path.abspath(args.root), JOBS_DIR), args.job_id
+    )
+    if args.json:
+        print(json.dumps(crashes, indent=2, sort_keys=True))
+        return 0
+    print("%d crash artifact(s) for %s" % (len(crashes), args.job_id))
+    for crash in crashes:
+        triage = crash["triage"] or {}
+        frames = triage.get("stack") or triage.get("frames") or []
+        top = frames[0] if frames else "?"
+        print("  sig:%s  %s  top=%s" % (crash["sig"], crash["path"], top))
+    return 0
+
+
 def cmd_report(args):
     from repro.experiments.report import main as report_main
 
@@ -684,6 +973,8 @@ def main(argv=None):
         "report": cmd_report,
         "telemetry": cmd_telemetry,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "job": cmd_job,
     }[args.command]
     return handler(args)
 

@@ -94,7 +94,12 @@ class CampaignResult:
     # derived from the timeline (coverage plateaus).  Deliberately excluded
     # from __eq__ — a campaign that was killed and recovered, or traced,
     # must compare equal to the undisturbed/untraced one.
-    __slots__ = _SCIENCE_SLOTS + ("degraded", "worker_restarts", "plateaus")
+    __slots__ = _SCIENCE_SLOTS + (
+        "degraded",
+        "degraded_reasons",
+        "worker_restarts",
+        "plateaus",
+    )
 
     def __init__(
         self,
@@ -114,6 +119,7 @@ class CampaignResult:
         timeline,
         hang_records=(),
         degraded=False,
+        degraded_reasons=(),
         worker_restarts=(),
         plateaus=(),
     ):
@@ -132,7 +138,10 @@ class CampaignResult:
         self.ticks = ticks
         self.throughput = throughput
         self.timeline = timeline
-        self.degraded = degraded
+        # Why each worker was dropped: (worker, cause, detail) tuples —
+        # e.g. ("restart-budget", "deadline") — alongside the legacy bool.
+        self.degraded_reasons = tuple(degraded_reasons)
+        self.degraded = bool(degraded) or bool(self.degraded_reasons)
         self.worker_restarts = tuple(worker_restarts)
         self.plateaus = tuple(plateaus)
 

@@ -15,6 +15,7 @@ into worker processes):
     fault  := action "@" worker "." round ["." incarnation] (":" key "=" value)*
     action := "kill" | "stall" | "drop" | "truncate"
             | "torn-write" | "corrupt-file"
+            | "journal-torn" | "orch-kill" | "job-drop" | "heartbeat-stall"
 
 Examples::
 
@@ -24,11 +25,30 @@ Examples::
     truncate@1.1:keep=32  worker 1's round-1 checkpoint is torn to 32 bytes
     torn-write@0.3        worker 0's 3rd store artifact is torn mid-write
     corrupt-file@0.5      worker 0's 5th store artifact gets its bytes flipped
+    journal-torn@0.4      the orchestrator's 4th journal record is torn
+    orch-kill@0.7         the orchestrator dies right after journal commit 7
+    job-drop@2.3          job 2's 3rd worker message silently evaporates
+    heartbeat-stall@1.2:secs=30   job 1 wedges 30 s before its 2nd message
 
 For the store actions the "round" coordinate is the worker's *n-th
 committed artifact write* (see :class:`repro.fuzzer.store.CampaignStore`) —
 store writes stream continuously, so sync rounds are the wrong clock for
 them.
+
+The service actions reuse that same write-counter idea (the spec string
+crosses ``fork`` and ``spawn`` boundaries through ``REPRO_FAULTS``
+unchanged):
+
+- ``journal-torn`` / ``orch-kill`` fire inside the *orchestrator* process
+  (:mod:`repro.service.journal`), keyed on its n-th committed journal
+  record; the "worker" coordinate is the service index (0 by convention),
+  and the "incarnation" is the service epoch (0 = first life, so a
+  restarted orchestrator runs clean unless a fault targets its epoch).
+- ``job-drop`` / ``heartbeat-stall`` fire inside a *job worker* process
+  (:mod:`repro.service.worker`), keyed on the job's submission index and
+  its n-th outbound pipe message (heartbeats and the final result alike);
+  the incarnation is the job attempt, so a retried job runs clean by
+  default.
 
 ``incarnation`` defaults to 0, so a fault fires only in a worker's *first*
 life — its supervised replacement (incarnation 1, 2, ...) runs clean unless
@@ -44,10 +64,27 @@ ENV_VAR = "REPRO_FAULTS"
 # Exit code of a fault-killed worker; distinctive in supervisor logs.
 KILLED_EXIT_CODE = 86
 
-_ACTIONS = ("kill", "stall", "drop", "truncate", "torn-write", "corrupt-file")
+_ACTIONS = (
+    "kill",
+    "stall",
+    "drop",
+    "truncate",
+    "torn-write",
+    "corrupt-file",
+    "journal-torn",
+    "orch-kill",
+    "job-drop",
+    "heartbeat-stall",
+)
 
 # Actions that damage a just-committed store artifact (site "store").
 _STORE_ACTIONS = ("torn-write", "corrupt-file")
+
+# Actions that fire at the orchestrator's journal-commit clock.
+_JOURNAL_ACTIONS = ("journal-torn", "orch-kill")
+
+# Actions that fire at a job worker's outbound-message clock.
+_JOBMSG_ACTIONS = ("job-drop", "heartbeat-stall")
 
 _INSTALLED = None
 
@@ -76,6 +113,10 @@ class Fault:
             return "checkpoint"
         if self.action in _STORE_ACTIONS:
             return "store"
+        if self.action in _JOURNAL_ACTIONS:
+            return "journal"
+        if self.action in _JOBMSG_ACTIONS:
+            return "jobmsg"
         return "sync"
 
     def __repr__(self):
@@ -248,3 +289,37 @@ def fire_store_fault(fault, path):
             handle.seek(0)
             handle.write(bytes(b ^ 0xFF for b in data))
             handle.truncate(len(data))
+
+
+def fire_journal_fault(fault, path):
+    """Fire a journal-site fault on the record just committed at ``path``.
+
+    ``journal-torn`` tears the record to its first ``keep`` bytes (default
+    8) — the rename-beat-the-data power-loss shape the journal's tolerant
+    recovery scan must quarantine.  ``orch-kill`` kills the orchestrator the
+    way an OOM kill does, *after* the record is durably committed: the
+    restarted service must resume every in-flight job from the journal plus
+    the per-job durable state, with zero lost jobs.
+    """
+    if fault.action == "journal-torn":
+        keep = int(fault.params.get("keep", 8))
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+    elif fault.action == "orch-kill":
+        os._exit(KILLED_EXIT_CODE)
+
+
+def fire_jobmsg_fault(fault):
+    """Fire a job-message fault; returns True if the message must be dropped.
+
+    ``heartbeat-stall`` wedges the job worker ``secs`` seconds (default
+    3600) before it sends — long enough that the orchestrator's heartbeat
+    deadline fires first.  ``job-drop`` silently swallows the message
+    (heartbeat or final result alike), the way a half-dead pipe does.
+    """
+    if fault.action == "heartbeat-stall":
+        time.sleep(float(fault.params.get("secs", 3600)))
+        return False
+    if fault.action == "job-drop":
+        return True
+    return False

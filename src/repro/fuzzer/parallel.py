@@ -527,6 +527,7 @@ def merge_instance_results(
     results,
     queue_size,
     degraded=False,
+    degraded_reasons=(),
     worker_restarts=(),
 ):
     """Fold per-worker CampaignResults into one merged campaign record.
@@ -612,6 +613,7 @@ def merge_instance_results(
         throughput=throughput,
         timeline=sorted(timeline),
         degraded=degraded,
+        degraded_reasons=tuple(degraded_reasons),
         worker_restarts=tuple(worker_restarts),
         plateaus=plateaus,
     )
@@ -964,6 +966,7 @@ def run_instance_campaign(
         worker_results,
         queue_size=queue_size,
         degraded=bool(dropped),
+        degraded_reasons=stats.degraded_reasons(),
         worker_restarts=tuple(worker.restarts for worker in sup.workers),
     )
     return merged, worker_results, stats

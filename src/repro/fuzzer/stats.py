@@ -129,6 +129,7 @@ class CampaignStats:
         self.sync_events = []
         self.restarts = []
         self.degraded_workers = []  # (worker, reason) of dropped workers
+        self.degraded_details = []  # {worker, reason, cause, detail} dicts
         self._start = time.monotonic()
 
     def elapsed(self):
@@ -183,9 +184,21 @@ class CampaignStats:
         )
         return event
 
-    def record_degraded(self, worker, reason):
+    def record_degraded(self, worker, reason, cause="unknown", detail=None):
         self.degraded_workers.append((worker, reason))
-        self.bus.publish(WorkerDroppedEvent(self.label, worker, reason))
+        self.degraded_details.append(
+            {"worker": worker, "reason": reason, "cause": cause, "detail": detail}
+        )
+        self.bus.publish(
+            WorkerDroppedEvent(self.label, worker, reason, cause=cause, detail=detail)
+        )
+
+    def degraded_reasons(self):
+        """Degradations as ``(worker, cause, detail)`` tuples (for results)."""
+        return tuple(
+            (entry["worker"], entry["cause"], entry["detail"])
+            for entry in self.degraded_details
+        )
 
     def restart_counts(self, workers):
         """Per-worker restart totals as a tuple of length ``workers``."""

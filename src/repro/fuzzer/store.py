@@ -143,6 +143,107 @@ def _pid_alive(pid):
     return True
 
 
+def read_pidfile_owner(lock_path):
+    """The pid recorded in a pidfile lock, or None if unreadable/missing."""
+    try:
+        with open(lock_path, "rb") as handle:
+            return int(handle.read().split()[0])
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _steal_stale_lock(directory, lock_path):
+    """Remove a stale (dead-owner) pidfile lock, marker-guarded.
+
+    Two concurrent openers can both observe the same stale lock; naive
+    ``unlink`` lets the slower one remove the *winner's* fresh lock, and
+    both end up holding the directory.  The steal is therefore serialized
+    through an ``O_EXCL`` marker file: only the marker holder may unlink,
+    and it re-reads the owner *under the marker* so a lock re-taken by a
+    live process in the meantime survives.  Returns to the caller's
+    acquire loop either way; raises :class:`StoreLockError` when the lock
+    (or the marker) turns out to be held by a live process after all.
+    """
+    marker = lock_path + ".steal"
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError as exc:
+        if exc.errno != errno.EEXIST:
+            raise
+        # Another opener is mid-steal.  A live marker holder owns the right
+        # to the lock — that is contention, not staleness.  A dead one left
+        # its marker behind; clear it and retry.
+        marker_owner = read_pidfile_owner(marker)
+        if marker_owner is not None and _pid_alive(marker_owner):
+            raise StoreLockError(directory, marker_owner)
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
+        return
+    try:
+        os.write(fd, ("%d\n" % os.getpid()).encode("ascii"))
+    finally:
+        os.close(fd)
+    try:
+        owner = read_pidfile_owner(lock_path)
+        if owner is None or not _pid_alive(owner):
+            logger.warning(
+                "%s: stealing stale lock left by dead pid %s", directory, owner
+            )
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+    finally:
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
+
+
+def acquire_pidfile_lock(directory, fsync=True):
+    """Take the exclusive pidfile lock on ``directory``; returns its path.
+
+    A lock held by a live process raises :class:`StoreLockError`; a lock
+    left behind by a dead one is stolen through the marker-guarded path
+    above, so two concurrent openers racing for the same stale lock end
+    with exactly one holder.  Both the per-worker campaign store and the
+    service root reuse this.
+    """
+    lock_path = os.path.join(directory, LOCK_NAME)
+    payload = ("%d\n" % os.getpid()).encode("ascii")
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError as exc:
+            if exc.errno != errno.EEXIST:
+                raise
+            owner = read_pidfile_owner(lock_path)
+            if owner is not None and _pid_alive(owner):
+                # A live owner — even this very process (a second store on
+                # the same slice) — means two campaigns would clobber one
+                # directory.  Refuse.
+                raise StoreLockError(directory, owner)
+            _steal_stale_lock(directory, lock_path)
+            continue
+        try:
+            os.write(fd, payload)
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        return lock_path
+
+
+def release_pidfile_lock(directory):
+    """Drop the pidfile lock on ``directory`` (idempotent, best-effort)."""
+    try:
+        os.unlink(os.path.join(directory, LOCK_NAME))
+    except OSError:
+        pass
+
+
 def artifact_name(seq, digest, sig=None):
     """AFL-style artifact file name; the embedded hash makes it verifiable."""
     if sig is not None:
@@ -251,54 +352,12 @@ class CampaignStore:
         """Flush the manifest and release the lock (idempotent)."""
         if self._locked:
             self._write_manifest()
-            try:
-                os.unlink(os.path.join(self.worker_dir, LOCK_NAME))
-            except OSError:
-                pass
+            release_pidfile_lock(self.worker_dir)
             self._locked = False
 
     def _acquire_lock(self):
-        lock_path = os.path.join(self.worker_dir, LOCK_NAME)
-        payload = ("%d\n" % os.getpid()).encode("ascii")
-        while True:
-            try:
-                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except OSError as exc:
-                if exc.errno != errno.EEXIST:
-                    raise
-                owner = self._read_lock_owner(lock_path)
-                if owner is not None and _pid_alive(owner):
-                    # A live owner — even this very process (a second store
-                    # on the same slice) — means two campaigns would clobber
-                    # one directory.  Refuse.
-                    raise StoreLockError(self.worker_dir, owner)
-                # Stale lock: the owning campaign died.  Steal it.
-                logger.warning(
-                    "%s: stealing stale lock left by dead pid %s",
-                    self.worker_dir,
-                    owner,
-                )
-                try:
-                    os.unlink(lock_path)
-                except OSError:
-                    pass
-                continue
-            try:
-                os.write(fd, payload)
-                if self.fsync:
-                    os.fsync(fd)
-            finally:
-                os.close(fd)
-            self._locked = True
-            return
-
-    @staticmethod
-    def _read_lock_owner(lock_path):
-        try:
-            with open(lock_path, "rb") as handle:
-                return int(handle.read().split()[0])
-        except (OSError, ValueError, IndexError):
-            return None
+        acquire_pidfile_lock(self.worker_dir, fsync=self.fsync)
+        self._locked = True
 
     # -- manifest / stats ------------------------------------------------------
 

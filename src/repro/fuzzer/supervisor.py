@@ -25,6 +25,8 @@ are deterministic, so a restart would only reproduce them more slowly.
 
 import time
 
+from repro.fuzzer.checkpoint import CheckpointError
+
 # How long (wall seconds) a reply may take before the worker counts as
 # stalled.  Virtual-clock rounds complete in milliseconds; two minutes of
 # silence means a wedged pipe, not a slow campaign.
@@ -59,6 +61,25 @@ class WorkerLostError(WorkerError):
     """Restart budget exhausted: the worker is dropped, the campaign degrades."""
 
 
+def failure_category(exc):
+    """Coarse machine-readable category of a worker/job failure.
+
+    Degradation telemetry wants more than an exception string: dashboards
+    and the service's ``DegradeReason`` group drops by *why* — a missed
+    deadline, a dead process, a deterministic task error, or corrupted
+    checkpoint state (the typed :class:`CheckpointError` family).
+    """
+    if isinstance(exc, CheckpointError):
+        return "checkpoint-corrupt"
+    if isinstance(exc, WorkerStallError):
+        return "deadline"
+    if isinstance(exc, WorkerDeadError):
+        return "worker-death"
+    if isinstance(exc, WorkerTaskError):
+        return "task-error"
+    return "error"
+
+
 class RestartPolicy:
     """Exponential backoff with a hard restart budget."""
 
@@ -73,13 +94,20 @@ class RestartPolicy:
         self.backoff_max = float(backoff_max)
 
     def delay(self, attempt):
-        """Backoff before restart ``attempt`` (1-based)."""
-        if attempt <= 0:
+        """Backoff before restart ``attempt`` (1-based).
+
+        Attempt 0 (and negatives) and zero-backoff policies cost nothing;
+        large attempts saturate at ``backoff_max`` instead of overflowing
+        the float exponentiation.
+        """
+        if attempt <= 0 or self.backoff_base <= 0.0:
             return 0.0
-        return min(
-            self.backoff_max,
-            self.backoff_base * self.backoff_factor ** (attempt - 1),
-        )
+        try:
+            raw = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        except OverflowError:
+            # factor ** attempt left float range; the cap saturated long ago.
+            return self.backoff_max
+        return min(self.backoff_max, raw)
 
     def __repr__(self):
         return "RestartPolicy(max=%d, backoff=%.2gs x%.2g <= %.2gs)" % (
@@ -235,12 +263,18 @@ class Supervisor:
     def _recover(self, worker, cause):
         """Terminate, back off, respawn, replay — or drop the worker."""
         reason = "%s: %s" % (type(cause).__name__, cause)
+        last_exc = cause
         while True:
             worker.terminate()
             if worker.restarts >= self.policy.max_restarts:
                 worker.alive = False
                 if self.stats is not None:
-                    self.stats.record_degraded(worker.index, reason)
+                    self.stats.record_degraded(
+                        worker.index,
+                        reason,
+                        cause="restart-budget",
+                        detail=failure_category(last_exc),
+                    )
                 raise WorkerLostError(
                     worker.index,
                     "exceeded its restart budget (%d); dropping it (last error: %s)"
@@ -261,6 +295,7 @@ class Supervisor:
                 # The replacement died too (e.g. a fault targeting the new
                 # incarnation); charge another restart and keep going.
                 reason = "%s: %s" % (type(exc).__name__, exc)
+                last_exc = exc
 
     def terminate_all(self):
         for worker in self.workers:

@@ -1,0 +1,62 @@
+"""Fuzzing-as-a-service: a crash-safe asyncio campaign orchestrator.
+
+The package promotes the single-campaign robustness machinery (PR 2
+checkpoints + supervisor, PR 4 durable store) to a long-running service
+that schedules many concurrent campaigns across a supervised worker pool:
+
+:mod:`.journal`
+    crash-safe job journal — one atomic record per state transition,
+    tolerant recovery scan with quarantine.
+:mod:`.jobs`
+    job specs, states, tenant policies, typed service errors, and the
+    deterministic journal fold that rebuilds the job table on restart.
+:mod:`.worker`
+    the job worker process: one campaign driven slice-by-slice with
+    checkpoints, heartbeats, and a durable store.
+:mod:`.dedupe`
+    cross-campaign crash dedupe keyed on triage stack signatures.
+:mod:`.orchestrator`
+    the asyncio :class:`~repro.service.orchestrator.CampaignService`:
+    submit/status/cancel/fetch_crashes, heartbeat deadlines, wall budgets,
+    retry budgets with exponential backoff, and overload load shedding.
+"""
+
+from repro.service.dedupe import CrashDedupe
+from repro.service.jobs import (
+    AdmissionError,
+    DegradeReason,
+    HeartbeatTimeoutError,
+    JobSpec,
+    JobTimeoutError,
+    OverloadError,
+    ServiceError,
+    TenantPolicy,
+    TransitionError,
+    WallBudgetError,
+)
+from repro.service.journal import JobJournal
+from repro.service.orchestrator import (
+    CampaignService,
+    list_job_crashes,
+    load_job_table,
+    submit_offline,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CampaignService",
+    "CrashDedupe",
+    "DegradeReason",
+    "HeartbeatTimeoutError",
+    "JobJournal",
+    "JobSpec",
+    "JobTimeoutError",
+    "OverloadError",
+    "ServiceError",
+    "TenantPolicy",
+    "TransitionError",
+    "WallBudgetError",
+    "list_job_crashes",
+    "load_job_table",
+    "submit_offline",
+]

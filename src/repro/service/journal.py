@@ -1,0 +1,196 @@
+"""Crash-safe job journal: one atomic record per state transition.
+
+The journal is the service's source of truth.  Every record is its own
+file — ``journal/rec:<seq>,hash:<sha1>`` — written with the store's
+tmp+flush+fsync+rename discipline, so a crash at *any* instant leaves
+either a fully-committed record or nothing under the real name (at worst
+a ``*.tmp.<pid>`` straggler the scan ignores).  The embedded content hash
+makes every record self-verifying, exactly like store artifacts.
+
+Recovery is a tolerant scan: records whose name, hash, JSON body, or
+sequence number do not check out move to ``journal/quarantine/`` and the
+scan continues — damage (e.g. an injected ``journal-torn`` fault, or real
+media corruption) costs at most the damaged records, never the service.
+
+Fault injection: ``append`` is the service's journal-commit clock.  After
+the n-th durable commit of this process, a matching ``journal-torn`` /
+``orch-kill`` fault fires (see :mod:`repro.fuzzer.faultinject`) — torn
+records exercise the quarantine path, ``orch-kill`` proves the restart
+ladder at every commit point.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.fuzzer import faultinject
+from repro.fuzzer.store import atomic_write_bytes, _fsync_dir
+
+JOURNAL_VERSION = 1
+JOURNAL_DIR = "journal"
+QUARANTINE_DIR = "quarantine"
+
+_SEQ_WIDTH = 8
+
+
+def record_name(seq, digest):
+    return "rec:%0*d,hash:%s" % (_SEQ_WIDTH, seq, digest)
+
+
+def parse_record_name(name):
+    """``(seq, hash)`` from a journal record file name, or None."""
+    fields = {}
+    order = []
+    for part in name.split(","):
+        key, colon, value = part.partition(":")
+        if not colon:
+            return None
+        fields[key] = value
+        order.append(key)
+    if order != ["rec", "hash"]:
+        return None
+    try:
+        return int(fields["rec"]), fields["hash"]
+    except ValueError:
+        return None
+
+
+class JournalRecord:
+    """One committed state transition."""
+
+    __slots__ = ("seq", "job", "event", "payload")
+
+    def __init__(self, seq, job, event, payload):
+        self.seq = seq
+        self.job = job
+        self.event = event
+        self.payload = payload
+
+    def __repr__(self):
+        return "JournalRecord(#%d %s %s)" % (self.seq, self.job, self.event)
+
+
+class JobJournal:
+    """Append-only, crash-safe record log under ``<root>/journal/``.
+
+    ``service_index`` and ``epoch`` key the fault plan: journal faults are
+    ``<action>@<service_index>.<nth-commit>[.<epoch>]``, with the commit
+    counter local to this process so a restarted service's clock starts
+    over (and, with the default incarnation 0, runs clean).
+    """
+
+    def __init__(self, root, fsync=True, service_index=0, epoch=0):
+        self.dir = os.path.join(os.path.abspath(root), JOURNAL_DIR)
+        self.quarantine_dir = os.path.join(self.dir, QUARANTINE_DIR)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        self.fsync = fsync
+        self.service_index = int(service_index)
+        self.epoch = int(epoch)
+        self._next_seq = 0
+        self._commits = 0  # commits by THIS process: the fault-plan clock
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, job, event, payload=None):
+        """Durably commit one record; returns its sequence number.
+
+        The fault hook fires *after* the rename (and directory fsync), so
+        an ``orch-kill`` at commit n proves the record survives the death —
+        the restarted service must observe it.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        body = json.dumps(
+            {
+                "version": JOURNAL_VERSION,
+                "seq": seq,
+                "job": job,
+                "event": event,
+                "payload": payload or {},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        digest = hashlib.sha1(body).hexdigest()
+        path = os.path.join(self.dir, record_name(seq, digest))
+        atomic_write_bytes(path, body, fsync=self.fsync)
+        if self.fsync:
+            _fsync_dir(self.dir)
+        self._commits += 1
+        plan = faultinject.active_plan()
+        if plan:
+            fault = plan.match(
+                "journal", self.service_index, self._commits, self.epoch
+            )
+            if fault is not None:
+                faultinject.fire_journal_fault(fault, path)
+        return seq
+
+    # -- recovery --------------------------------------------------------------
+
+    def scan(self, quarantine=True):
+        """Tolerant recovery scan; returns ``(records, quarantined)``.
+
+        ``records`` is every verified :class:`JournalRecord` in sequence
+        order; ``quarantined`` lists ``(name, reason)`` for files that
+        failed verification and were moved aside (or merely skipped with
+        ``quarantine=False`` — the read-only mode CLI inspection uses so
+        it never mutates a live service's journal).  Also adopts the next
+        sequence number, so appends continue the surviving sequence.
+        """
+        records = []
+        quarantined = []
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            names = []
+        for name in sorted(names):
+            path = os.path.join(self.dir, name)
+            if not os.path.isfile(path):
+                continue
+            if ".tmp." in name:
+                continue  # atomic-write straggler from a crashed writer
+            parsed = parse_record_name(name)
+            if parsed is None:
+                if not name.startswith("rec:"):
+                    continue
+                self._quarantine(path, "unparseable name", quarantined, quarantine)
+                continue
+            seq, digest = parsed
+            try:
+                with open(path, "rb") as handle:
+                    body = handle.read()
+            except OSError as exc:
+                self._quarantine(path, "unreadable: %s" % exc, quarantined, quarantine)
+                continue
+            if hashlib.sha1(body).hexdigest() != digest:
+                self._quarantine(path, "hash mismatch (torn?)", quarantined, quarantine)
+                continue
+            try:
+                data = json.loads(body.decode("utf-8"))
+            except ValueError:
+                self._quarantine(path, "malformed JSON", quarantined, quarantine)
+                continue
+            if not isinstance(data, dict) or int(data.get("seq", -1)) != seq:
+                self._quarantine(path, "sequence mismatch", quarantined, quarantine)
+                continue
+            records.append(
+                JournalRecord(
+                    seq, data.get("job"), data.get("event", "?"),
+                    data.get("payload") or {},
+                )
+            )
+        records.sort(key=lambda record: record.seq)
+        self._next_seq = records[-1].seq + 1 if records else 0
+        return records, quarantined
+
+    def _quarantine(self, path, reason, quarantined, move):
+        name = os.path.basename(path)
+        quarantined.append((name, reason))
+        if not move:
+            return
+        target = os.path.join(self.quarantine_dir, name)
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass

@@ -1,0 +1,694 @@
+"""The asyncio campaign service: schedule, supervise, survive.
+
+:class:`CampaignService` runs many concurrent campaigns (jobs) across a
+bounded pool of worker processes.  Robustness is the design center:
+
+- **Durability.**  Every state transition is journaled before it takes
+  effect in memory (:mod:`.journal` + the shared fold in :mod:`.jobs`),
+  so the in-memory job table can always be reconstructed by a restart.
+- **Recovery.**  On open, the service scans the journal (quarantining
+  torn records), folds the job table, *reaps orphaned worker processes*
+  left behind by a hard kill, requeues every in-flight job (no retry
+  charge — the job did nothing wrong), rebuilds the per-tenant retry
+  counters and the crash-dedupe index from disk, and stamps a new epoch
+  record.  Jobs then resume from their checkpoint or store slice.
+- **Deadlines.**  Replies are awaited with ``recv_with_deadline``
+  semantics: a missing heartbeat raises the typed
+  :class:`~repro.service.jobs.HeartbeatTimeoutError`, a blown per-attempt
+  wall budget :class:`~repro.service.jobs.WallBudgetError`.
+- **Budgets.**  Transient failures retry with
+  :class:`~repro.fuzzer.supervisor.RestartPolicy` backoff, bounded by
+  per-job *and* per-tenant retry budgets; exhaustion degrades the job to
+  the terminal ``DEGRADED`` state with a machine-readable
+  :class:`~repro.service.jobs.DegradeReason` — never lost, never retried
+  forever.  Deterministic failures (task errors, checkpoint corruption
+  under ``require_checkpoint``) degrade immediately.
+- **Load shedding.**  An overload circuit breaker watches the pending
+  backlog with hysteresis and pauses low-priority admissions (typed
+  :class:`~repro.service.jobs.OverloadError`) instead of falling over.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+from repro.fuzzer.checkpoint import CheckpointCorruptError, CheckpointError
+from repro.fuzzer.parallel import _mp_context
+from repro.fuzzer.store import (
+    CRASH_DIR,
+    acquire_pidfile_lock,
+    parse_artifact_name,
+    read_pidfile_owner,
+    release_pidfile_lock,
+    _pid_alive,
+)
+from repro.fuzzer.supervisor import (
+    RestartPolicy,
+    WorkerDeadError,
+    WorkerError,
+    WorkerTaskError,
+    failure_category,
+)
+from repro.service.dedupe import CrashDedupe
+from repro.service.jobs import (
+    PENDING,
+    RUNNING,
+    AdmissionError,
+    HeartbeatTimeoutError,
+    JobSpec,
+    OverloadError,
+    TenantPolicy,
+    WallBudgetError,
+    apply_event,
+    fold_records,
+)
+from repro.service.journal import JobJournal
+from repro.service.worker import STORE_DIR, job_worker_main
+from repro.telemetry.bus import ServiceEvent, WorkerDroppedEvent, get_bus
+
+JOBS_DIR = "jobs"
+
+#: Deterministic failure categories that must not be retried: a restart
+#: would only reproduce them more slowly (cf. WorkerTaskError in PR 2).
+_NO_RETRY_CATEGORIES = ("task-error", "checkpoint-corrupt")
+
+
+def load_job_table(root):
+    """Read-only journal fold: ``(jobs, epochs, conflicts, quarantined)``.
+
+    Used by ``repro job`` for inspection — never quarantines or appends,
+    so it is safe to run against a live service's directory.
+    """
+    journal = JobJournal(root, fsync=False)
+    records, quarantined = journal.scan(quarantine=False)
+    jobs, epochs, conflicts = fold_records(records)
+    return jobs, epochs, conflicts, quarantined
+
+
+def list_job_crashes(jobs_root, job_id):
+    """Every crash artifact of one job, with its triage sidecar.
+
+    Pure disk scan — shared by the live service's ``fetch_crashes`` and
+    the read-only ``repro job crashes`` CLI.
+    """
+    crashes = []
+    store_root = os.path.join(jobs_root, job_id, STORE_DIR)
+    try:
+        workers = sorted(os.listdir(store_root))
+    except OSError:
+        workers = []
+    for worker in workers:
+        crash_dir = os.path.join(store_root, worker, CRASH_DIR)
+        try:
+            names = sorted(os.listdir(crash_dir))
+        except OSError:
+            continue
+        for name in names:
+            if name.endswith(".report.txt") or name.endswith(".triage.json"):
+                continue
+            parsed = parse_artifact_name(name)
+            if parsed is None or parsed[1] is None:
+                continue
+            path = os.path.join(crash_dir, name)
+            triage = None
+            try:
+                with open(path + ".triage.json", encoding="utf-8") as handle:
+                    triage = json.load(handle)
+            except (OSError, ValueError):
+                pass
+            crashes.append({"sig": parsed[1], "path": path, "triage": triage})
+    return crashes
+
+
+def submit_offline(root, **spec_kwargs):
+    """Journal a submission without running a service (``repro job submit``).
+
+    Takes the service root lock for the duration (a live service owns its
+    root; submitting under it would race the scheduler — the lock turns
+    that into a typed :class:`~repro.fuzzer.store.StoreLockError`).
+    """
+    root = os.path.abspath(root)
+    os.makedirs(root, exist_ok=True)
+    acquire_pidfile_lock(root)
+    try:
+        journal = JobJournal(root)
+        records, _ = journal.scan(quarantine=False)
+        jobs, _, _ = fold_records(records)
+        index = max(
+            (record.spec.index for record in jobs.values()), default=-1
+        ) + 1
+        spec = JobSpec(job_id="j%06d" % index, index=index, **spec_kwargs)
+        journal.append(spec.job_id, "submit", spec.to_dict())
+        return spec.job_id
+    finally:
+        release_pidfile_lock(root)
+
+
+class CampaignService:
+    """Crash-safe orchestrator over a pool of job worker processes."""
+
+    def __init__(
+        self,
+        root,
+        max_workers=2,
+        policies=(),
+        restart_policy=None,
+        heartbeat_timeout=30.0,
+        wall_budget=600.0,
+        shed_high=None,
+        shed_low=None,
+        service_index=0,
+        bus=None,
+        fsync=True,
+    ):
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, JOBS_DIR)
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        acquire_pidfile_lock(self.root, fsync=fsync)
+        self._locked = True
+        self.max_workers = int(max_workers)
+        self.policies = {policy.name: policy for policy in policies}
+        self.default_policy = self.policies.get("default") or TenantPolicy("default")
+        self.restart_policy = (
+            restart_policy
+            if restart_policy is not None
+            else RestartPolicy(max_restarts=2, backoff_base=0.05, backoff_max=1.0)
+        )
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.wall_budget = float(wall_budget)
+        self.shed_high = shed_high if shed_high is not None else max(4 * self.max_workers, 8)
+        self.shed_low = shed_low if shed_low is not None else 2 * self.max_workers
+        self.bus = bus if bus is not None else get_bus()
+        self.fsync = fsync
+        self.journal = JobJournal(
+            self.root, fsync=fsync, service_index=service_index
+        )
+        self.jobs = {}
+        self.epoch = 0
+        self.fold_conflicts = 0
+        self.quarantined = []
+        self.dedupe = CrashDedupe()
+        self.breaker_open = False
+        self._tenant_retries = {}
+        self._claimed = set()  # job ids a runner coroutine currently owns
+        self._procs = {}  # job id -> live worker Process
+        self._recover()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Kill live workers and release the root lock (idempotent)."""
+        for job_id in list(self._procs):
+            self._kill_worker(job_id)
+        if self._locked:
+            release_pidfile_lock(self.root)
+            self._locked = False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _recover(self):
+        """The recovery ladder: scan, fold, reap, requeue, rebuild, stamp."""
+        records, quarantined = self.journal.scan()
+        self.quarantined = quarantined
+        self.jobs, self.epoch, self.fold_conflicts = fold_records(records)
+        # This life's fault-injection incarnation is its epoch: faults with
+        # the default incarnation 0 fire only in the first service life, so
+        # a restarted orchestrator runs clean unless explicitly targeted.
+        self.journal.epoch = self.epoch
+        requeued = 0
+        for record in self.jobs.values():
+            if record.state == RUNNING:
+                # The attempt died with the previous orchestrator.  Reap any
+                # orphaned worker still holding the job's store lock, then
+                # requeue with no retry charge.
+                self._reap_orphan(record)
+                self._journal(
+                    record.spec.job_id,
+                    "recover",
+                    {"note": "requeued after service restart (epoch %d)" % self.epoch},
+                )
+                requeued += 1
+        self._tenant_retries = {}
+        for record in self.jobs.values():
+            tenant = record.spec.tenant
+            self._tenant_retries[tenant] = (
+                self._tenant_retries.get(tenant, 0) + record.retries_used
+            )
+        self.dedupe.rebuild(self.jobs_dir)
+        self._journal(None, "epoch", {"epoch": self.epoch, "pid": os.getpid()})
+        self.bus.publish(
+            ServiceEvent(
+                "recover",
+                detail="epoch %d: %d job(s), %d requeued, %d quarantined"
+                % (self.epoch, len(self.jobs), requeued, len(quarantined)),
+                data={
+                    "epoch": self.epoch,
+                    "jobs": len(self.jobs),
+                    "requeued": requeued,
+                    "quarantined": len(quarantined),
+                    "conflicts": self.fold_conflicts,
+                },
+            )
+        )
+
+    def _reap_orphan(self, record):
+        """SIGKILL a worker process that outlived the previous service.
+
+        ``orch-kill`` dies via ``os._exit``, which skips multiprocessing's
+        atexit cleanup — daemon children survive as orphans, still holding
+        their store LOCK and still writing.  Two writers on one slice is
+        exactly what the store lock forbids, so the orphan dies first.
+        """
+        candidates = set()
+        if record.pid:
+            candidates.add(int(record.pid))
+        lock_owner = read_pidfile_owner(
+            os.path.join(self._job_dir(record.spec.job_id), STORE_DIR, "main", "LOCK")
+        )
+        if lock_owner:
+            candidates.add(lock_owner)
+        for pid in candidates:
+            if pid == os.getpid() or not _pid_alive(pid):
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                continue
+            deadline = time.monotonic() + 5.0
+            while _pid_alive(pid) and time.monotonic() < deadline:
+                time.sleep(0.01)
+
+    # -- journaled transitions -------------------------------------------------
+
+    def _journal(self, job_id, event, payload):
+        """Durably journal ``event`` first, then apply it to the table."""
+        self.journal.append(job_id, event, payload)
+        conflict = apply_event(self.jobs, job_id, event, payload)
+        self.fold_conflicts += conflict
+        return conflict
+
+    # -- job-queue API ---------------------------------------------------------
+
+    def submit(
+        self,
+        subject,
+        config="path",
+        run_seed=0,
+        tenant="default",
+        priority=0,
+        budget_ticks=60_000,
+        max_retries=None,
+        heartbeat_timeout=None,
+        wall_budget=None,
+        require_checkpoint=False,
+    ):
+        """Admit one campaign; returns its job id.
+
+        Raises :class:`AdmissionError` when the tenant's pending quota is
+        full and :class:`OverloadError` for low-priority submissions while
+        the overload breaker is open.
+        """
+        policy = self._policy(tenant)
+        pending = [
+            record
+            for record in self.jobs.values()
+            if record.spec.tenant == tenant and record.state == PENDING
+        ]
+        if len(pending) >= policy.max_pending:
+            raise AdmissionError(
+                "tenant %r has %d pending job(s) (quota %d)"
+                % (tenant, len(pending), policy.max_pending)
+            )
+        if self.breaker_open and priority <= 0:
+            raise OverloadError(
+                "overload breaker open (backlog %d >= %d); "
+                "low-priority admissions paused" % (self._backlog(), self.shed_high)
+            )
+        index = max(
+            (record.spec.index for record in self.jobs.values()), default=-1
+        ) + 1
+        spec = JobSpec(
+            job_id="j%06d" % index,
+            subject=subject,
+            config=config,
+            run_seed=run_seed,
+            tenant=tenant,
+            priority=priority,
+            budget_ticks=budget_ticks,
+            max_retries=(
+                self.restart_policy.max_restarts
+                if max_retries is None
+                else max_retries
+            ),
+            heartbeat_timeout=(
+                self.heartbeat_timeout
+                if heartbeat_timeout is None
+                else heartbeat_timeout
+            ),
+            wall_budget=self.wall_budget if wall_budget is None else wall_budget,
+            require_checkpoint=require_checkpoint,
+            index=index,
+        )
+        self._journal(spec.job_id, "submit", spec.to_dict())
+        self.bus.publish(
+            ServiceEvent(
+                "submit",
+                job=spec.job_id,
+                tenant=tenant,
+                detail="%s/%s#%d prio=%d" % (subject, config, run_seed, priority),
+            )
+        )
+        self._update_breaker()
+        return spec.job_id
+
+    def status(self, job_id):
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise KeyError("unknown job %r" % (job_id,))
+        return record.snapshot()
+
+    def cancel(self, job_id):
+        """Cancel a job; returns False if it already reached a terminal state."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise KeyError("unknown job %r" % (job_id,))
+        if record.terminal():
+            return False
+        self._journal(job_id, "cancel", {})
+        self._kill_worker(job_id)
+        self.bus.publish(
+            ServiceEvent("cancel", job=job_id, tenant=record.spec.tenant)
+        )
+        return True
+
+    def fetch_crashes(self, job_id):
+        """Every crash artifact of one job, with its triage sidecar."""
+        if job_id not in self.jobs:
+            raise KeyError("unknown job %r" % (job_id,))
+        return list_job_crashes(self.jobs_dir, job_id)
+
+    def crash_signatures(self):
+        """Cross-campaign deduped crash signatures -> sighting counts."""
+        return self.dedupe.counts()
+
+    # -- scheduling ------------------------------------------------------------
+
+    async def run_until_idle(self):
+        """Drive every admitted job to a terminal state, then return."""
+        tasks = {}
+        try:
+            while True:
+                self._update_breaker()
+                for record in self._dispatchable():
+                    job_id = record.spec.job_id
+                    self._claimed.add(job_id)
+                    tasks[job_id] = asyncio.ensure_future(self._run_job(record))
+                for job_id, task in list(tasks.items()):
+                    if task.done():
+                        del tasks[job_id]
+                        await task  # surface scheduler bugs, not swallow them
+                if not tasks and not any(
+                    record.state in (PENDING, RUNNING)
+                    for record in self.jobs.values()
+                ):
+                    return self.summary()
+                await asyncio.sleep(0.005)
+        finally:
+            for task in tasks.values():
+                task.cancel()
+
+    def summary(self):
+        states = {}
+        for record in self.jobs.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        data = {"jobs": len(self.jobs), "states": states}
+        data.update({"dedupe": self.dedupe.summary()})
+        return data
+
+    def _dispatchable(self):
+        """Pending jobs eligible to start now, highest priority first."""
+        slots = self.max_workers - len(self._claimed)
+        if slots <= 0:
+            return []
+        running_by_tenant = {}
+        for job_id in self._claimed:
+            tenant = self.jobs[job_id].spec.tenant
+            running_by_tenant[tenant] = running_by_tenant.get(tenant, 0) + 1
+        eligible = sorted(
+            (
+                record
+                for record in self.jobs.values()
+                if record.state == PENDING
+                and record.spec.job_id not in self._claimed
+            ),
+            key=lambda record: (-record.spec.priority, record.spec.index),
+        )
+        picked = []
+        for record in eligible:
+            if slots <= 0:
+                break
+            tenant = record.spec.tenant
+            if running_by_tenant.get(tenant, 0) >= self._policy(tenant).max_running:
+                continue
+            running_by_tenant[tenant] = running_by_tenant.get(tenant, 0) + 1
+            slots -= 1
+            picked.append(record)
+        return picked
+
+    async def _run_job(self, record):
+        """One job's attempt loop: spawn, drive, retry-or-degrade."""
+        spec = record.spec
+        try:
+            while True:
+                incarnation = record.attempts
+                proc, conn = self._spawn(spec, incarnation)
+                self._journal(
+                    spec.job_id, "start", {"attempt": incarnation, "pid": proc.pid}
+                )
+                self.bus.publish(
+                    ServiceEvent(
+                        "start",
+                        job=spec.job_id,
+                        tenant=spec.tenant,
+                        detail="attempt %d pid %d" % (incarnation, proc.pid),
+                    )
+                )
+                try:
+                    summary = await self._drive(record, conn)
+                except (WorkerError, CheckpointError) as exc:
+                    self._kill_worker(spec.job_id)
+                    if record.terminal():
+                        return  # cancelled under our feet; already journaled
+                    if not await self._charge_retry(record, exc):
+                        return
+                    continue
+                self._kill_worker(spec.job_id)
+                self._journal(spec.job_id, "done", {"summary": summary})
+                self.dedupe.rescan_job(self.jobs_dir, spec.job_id)
+                self.bus.publish(
+                    ServiceEvent(
+                        "done",
+                        job=spec.job_id,
+                        tenant=spec.tenant,
+                        detail="%d execs, %d crash sig(s)"
+                        % (summary.get("execs", 0), len(summary.get("crash_sigs", ()))),
+                        data={"execs": summary.get("execs", 0)},
+                    )
+                )
+                return
+        finally:
+            self._claimed.discard(spec.job_id)
+
+    async def _charge_retry(self, record, exc):
+        """Charge a failed attempt; True to retry, False once degraded."""
+        spec = record.spec
+        category = failure_category(exc)
+        detail = "%s: %s" % (type(exc).__name__, exc)
+        if category in _NO_RETRY_CATEGORIES:
+            self._degrade(record, category, detail)
+            return False
+        tenant_used = self._tenant_retries.get(spec.tenant, 0)
+        tenant_budget = self._policy(spec.tenant).retry_budget
+        if record.retries_used >= spec.max_retries:
+            self._degrade(
+                record,
+                "retry-budget",
+                "retry budget (%d) exhausted; last failure %s — %s"
+                % (spec.max_retries, category, detail),
+            )
+            return False
+        if tenant_used >= tenant_budget:
+            self._degrade(
+                record,
+                "retry-budget",
+                "tenant %r retry budget (%d) exhausted; last failure %s — %s"
+                % (spec.tenant, tenant_budget, category, detail),
+            )
+            return False
+        retries = record.retries_used + 1
+        self._tenant_retries[spec.tenant] = tenant_used + 1
+        self._journal(
+            spec.job_id,
+            "retry",
+            {"retries_used": retries, "reason": detail, "category": category},
+        )
+        delay = self.restart_policy.delay(retries)
+        self.bus.publish(
+            ServiceEvent(
+                "retry",
+                job=spec.job_id,
+                tenant=spec.tenant,
+                detail="#%d after %.2gs: %s" % (retries, delay, detail),
+                data={"retries_used": retries, "category": category},
+            )
+        )
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return True
+
+    def _degrade(self, record, category, detail):
+        spec = record.spec
+        self._journal(
+            spec.job_id, "degrade", {"category": category, "detail": detail}
+        )
+        self.bus.publish(
+            ServiceEvent(
+                "degrade",
+                job=spec.job_id,
+                tenant=spec.tenant,
+                detail="%s: %s" % (category, detail),
+                data={"category": category},
+            )
+        )
+        # Mirror the richer campaign-level degraded event: same cause/detail
+        # fields, so one dashboard consumes both.
+        self.bus.publish(
+            WorkerDroppedEvent(
+                spec.job_id, spec.index, detail, cause=category, detail=category
+            )
+        )
+
+    async def _drive(self, record, conn):
+        """Await heartbeats until the final result, deadline-guarded."""
+        spec = record.spec
+        loop = asyncio.get_event_loop()
+        wall_end = loop.time() + spec.wall_budget
+        while True:
+            message = await self._recv(conn, spec, wall_end)
+            if message[0] == "heartbeat":
+                record.progress = message[1]
+                continue
+            if message[0] == "done":
+                return message[1]
+            if message[0] == "error":
+                category, detail = message[1], message[2]
+                if category == "checkpoint-corrupt":
+                    raise CheckpointCorruptError(
+                        "job %s refused its checkpoint: %s" % (spec.job_id, detail)
+                    )
+                raise WorkerTaskError(spec.index, "failed: %s" % (detail,))
+            raise WorkerTaskError(
+                spec.index, "sent unexpected message %r" % (message[0],)
+            )
+
+    async def _recv(self, conn, spec, wall_end):
+        """One reply with ``recv_with_deadline`` semantics, non-blocking.
+
+        Polls the pipe cooperatively (the event loop keeps scheduling other
+        jobs) and raises the typed timeout errors: heartbeat silence is a
+        :class:`HeartbeatTimeoutError`, the attempt's wall budget a
+        :class:`WallBudgetError`, EOF a dead worker.
+        """
+        loop = asyncio.get_event_loop()
+        heartbeat_end = loop.time() + spec.heartbeat_timeout
+        while True:
+            try:
+                if conn.poll(0):
+                    return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerDeadError(spec.index, "died mid-job (%s)" % (exc,))
+            now = loop.time()
+            if now >= wall_end:
+                raise WallBudgetError(
+                    spec.index,
+                    "exceeded its %.1fs wall budget" % spec.wall_budget,
+                )
+            if now >= heartbeat_end:
+                raise HeartbeatTimeoutError(
+                    spec.index,
+                    "sent no heartbeat within %.1fs" % spec.heartbeat_timeout,
+                )
+            await asyncio.sleep(0.01)
+
+    # -- workers ---------------------------------------------------------------
+
+    def _job_dir(self, job_id):
+        return os.path.join(self.jobs_dir, job_id)
+
+    def _spawn(self, spec, incarnation):
+        job_dir = self._job_dir(spec.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=job_worker_main,
+            args=(child_conn, spec.to_dict(), job_dir, incarnation),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[spec.job_id] = (proc, parent_conn)
+        return proc, parent_conn
+
+    def _kill_worker(self, job_id):
+        entry = self._procs.pop(job_id, None)
+        if entry is None:
+            return
+        proc, conn = entry
+        try:
+            conn.close()
+        except Exception:
+            pass
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(5)
+
+    # -- load shedding ---------------------------------------------------------
+
+    def _policy(self, tenant):
+        return self.policies.get(tenant, self.default_policy)
+
+    def _backlog(self):
+        return sum(1 for record in self.jobs.values() if record.state == PENDING)
+
+    def _update_breaker(self):
+        """Backlog hysteresis: open at ``shed_high``, close at ``shed_low``."""
+        backlog = self._backlog()
+        if not self.breaker_open and backlog >= self.shed_high:
+            self.breaker_open = True
+            self.bus.publish(
+                ServiceEvent(
+                    "breaker",
+                    detail="open: backlog %d >= %d" % (backlog, self.shed_high),
+                    data={"state": "open", "backlog": backlog},
+                )
+            )
+        elif self.breaker_open and backlog <= self.shed_low:
+            self.breaker_open = False
+            self.bus.publish(
+                ServiceEvent(
+                    "breaker",
+                    detail="closed: backlog %d <= %d" % (backlog, self.shed_low),
+                    data={"state": "closed", "backlog": backlog},
+                )
+            )

@@ -1,0 +1,161 @@
+"""The service's job worker: one campaign, run slice-by-slice, supervised.
+
+A job worker owns one whole campaign (unlike the instance workers of
+:mod:`repro.fuzzer.parallel`, which share one).  It reuses the same
+survival kit: the engine streams artifacts into a durable
+:class:`~repro.fuzzer.store.CampaignStore` slice under the job directory,
+and a versioned checkpoint is written after every budget slice, so a
+retried attempt resumes instead of restarting.
+
+The resume ladder on respawn (``incarnation > 0``) mirrors PR 2/PR 4:
+
+1. a valid ``engine.ckpt`` resumes tick-exactly;
+2. a missing/torn checkpoint falls back to replaying the durable store
+   slice (lossless for everything committed, not tick-identical) — unless
+   the spec says ``require_checkpoint``, in which case the corruption is
+   reported as a typed ``checkpoint-corrupt`` failure and the job
+   degrades instead of silently recomputing;
+3. an empty store means a fresh start.
+
+Every outbound message (heartbeats and the final result alike) passes the
+fault gate: ``job-drop@<job-index>.<msg>`` swallows it, ``heartbeat-stall``
+wedges first — exactly the half-dead-pipe shapes the orchestrator's
+heartbeat deadline exists to catch.
+"""
+
+import os
+
+from repro.fuzzer import faultinject
+from repro.fuzzer.checkpoint import CheckpointError
+from repro.fuzzer.parallel import _build_instance_engine
+from repro.fuzzer.store import MAIN_WORKER, CampaignStore, attach_store
+from repro.service.jobs import JobSpec
+
+#: Budget slices per attempt: one checkpoint + heartbeat per slice.
+SLICES = 8
+
+CHECKPOINT_NAME = "engine.ckpt"
+STORE_DIR = "store"
+
+
+class _WireGuard:
+    """Counts outbound messages and fires jobmsg faults before each send."""
+
+    def __init__(self, conn, job_index, incarnation):
+        self.conn = conn
+        self.job_index = job_index
+        self.incarnation = incarnation
+        self.msg_no = 0
+
+    def send(self, message):
+        self.msg_no += 1
+        plan = faultinject.active_plan()
+        if plan:
+            fault = plan.match(
+                "jobmsg", self.job_index, self.msg_no, self.incarnation
+            )
+            if fault is not None and faultinject.fire_jobmsg_fault(fault):
+                return False  # injected drop: the message evaporates
+        self.conn.send(message)
+        return True
+
+
+def _summary(engine, slices_done):
+    """JSON-safe end-of-attempt summary (crosses the pipe and the journal)."""
+    return {
+        "execs": engine.execs,
+        "ticks": engine.clock.ticks,
+        "queue": len(engine.queue.entries),
+        "coverage": engine.virgin.coverage_count(),
+        "crash_count": engine.crash_count,
+        "crash_sigs": sorted(engine.unique_crashes),
+        "hangs": engine.hangs,
+        "slices": slices_done,
+    }
+
+
+def job_worker_main(conn, spec_dict, job_dir, incarnation=0):
+    """Process entry: run (or resume) one job campaign to completion."""
+    spec = JobSpec.from_dict(spec_dict)
+    guard = _WireGuard(conn, spec.index, incarnation)
+    store = None
+    try:
+        from repro import telemetry
+
+        telemetry.child_trace("job-%s" % spec.job_id)
+        subject, engine = _build_instance_engine(
+            spec.subject, spec.config, spec.run_seed, 0
+        )
+        engine.telemetry = telemetry.engine_telemetry(
+            label=spec.job_id, budget_ticks=spec.budget_ticks
+        )
+        store = CampaignStore(
+            os.path.join(job_dir, STORE_DIR),
+            worker=MAIN_WORKER,
+            meta={
+                "subject": spec.subject,
+                "config": spec.config,
+                "run_seed": spec.run_seed,
+            },
+            worker_index=spec.index,
+            incarnation=incarnation,
+        )
+        engine.store = store
+        ckpt_path = os.path.join(job_dir, CHECKPOINT_NAME)
+        done_slices = 0
+        resumed = False
+        if incarnation > 0 and os.path.exists(ckpt_path):
+            try:
+                meta = engine.resume(ckpt_path)
+                done_slices = int(meta.get("slice", 0))
+                attach_store(engine, store)
+                resumed = True
+            except (CheckpointError, OSError) as exc:
+                if spec.require_checkpoint:
+                    # The operator asked for tick-exact resume or nothing:
+                    # report the typed corruption and let the job degrade.
+                    guard.send(
+                        (
+                            "error",
+                            "checkpoint-corrupt",
+                            "%s: %s" % (type(exc).__name__, exc),
+                        )
+                    )
+                    return
+        if not resumed:
+            engine.start(spec.budget_ticks)
+            if incarnation > 0 and store.has_artifacts():
+                # No (valid) checkpoint: the durable store slice is the
+                # newest surviving truth.  Quarantine-tolerant replay.
+                store.replay_into(engine)
+        plan = faultinject.active_plan()
+        for slice_no in range(done_slices, SLICES):
+            engine.run_until(spec.budget_ticks * (slice_no + 1) // SLICES)
+            engine.save_checkpoint(
+                ckpt_path, meta={"slice": slice_no + 1, "job": spec.job_id}
+            )
+            if plan:
+                fault = plan.match(
+                    "checkpoint", spec.index, slice_no + 1, incarnation
+                )
+                if fault is not None:
+                    faultinject.fire_checkpoint_fault(fault, ckpt_path)
+            guard.send(("heartbeat", _summary(engine, slice_no + 1)))
+        engine.finish()
+        store.finalize(engine, extra={"job": spec.job_id})
+        guard.send(("done", _summary(engine, SLICES)))
+    except BaseException as exc:
+        try:
+            guard.send(("error", "task-error", "%s: %s" % (type(exc).__name__, exc)))
+        except Exception:
+            pass
+    finally:
+        if store is not None:
+            try:
+                store.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass

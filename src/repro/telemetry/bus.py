@@ -208,19 +208,36 @@ class WorkerRestartEvent(TelemetryEvent):
 
 
 class WorkerDroppedEvent(TelemetryEvent):
-    """Restart budget exhausted: the worker was dropped, campaign degraded."""
+    """A worker/job was dropped and the campaign degraded.
+
+    ``reason`` stays the human-readable exception string; ``cause`` is the
+    machine-readable degradation category (``"restart-budget"``,
+    ``"deadline"``, ``"checkpoint-corrupt"``, ...) and ``detail`` carries
+    the category of the underlying failure (e.g. the typed
+    ``CheckpointError`` family name) so dashboards can group drops by *why*
+    instead of parsing strings.
+    """
 
     kind = "degraded"
-    __slots__ = ("label", "worker", "reason")
+    __slots__ = ("label", "worker", "reason", "cause", "detail")
 
-    def __init__(self, label, worker, reason, wall=None):
+    def __init__(self, label, worker, reason, cause="unknown", detail=None,
+                 wall=None):
         super().__init__(wall)
         self.label = label
         self.worker = worker
         self.reason = reason
+        self.cause = cause
+        self.detail = detail
 
     def payload(self):
-        return {"label": self.label, "worker": self.worker, "reason": self.reason}
+        return {
+            "label": self.label,
+            "worker": self.worker,
+            "reason": self.reason,
+            "cause": self.cause,
+            "detail": self.detail,
+        }
 
 
 class CellEvent(TelemetryEvent):
@@ -364,6 +381,38 @@ class StoreEvent(TelemetryEvent):
         }
 
 
+class ServiceEvent(TelemetryEvent):
+    """One campaign-service operation (see :mod:`repro.service`).
+
+    ``action`` names the lifecycle step (``"recover"``, ``"submit"``,
+    ``"start"``, ``"retry"``, ``"done"``, ``"degrade"``, ``"cancel"``,
+    ``"breaker"``); ``job``/``tenant`` locate it; ``detail`` is a short
+    human string and ``data`` a small JSON-safe dict of action-specific
+    numbers (journal seq, dedupe counts, backlog, ...).
+    """
+
+    kind = "service"
+    __slots__ = ("action", "job", "tenant", "detail", "data")
+
+    def __init__(self, action, job=None, tenant=None, detail=None, data=None,
+                 wall=None):
+        super().__init__(wall)
+        self.action = action
+        self.job = job
+        self.tenant = tenant
+        self.detail = detail
+        self.data = dict(data) if data else {}
+
+    def payload(self):
+        return {
+            "action": self.action,
+            "job": self.job,
+            "tenant": self.tenant,
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
 EVENT_TYPES = {
     cls.kind: cls
     for cls in (
@@ -378,6 +427,7 @@ EVENT_TYPES = {
         MetricsSnapshotEvent,
         PlateauEvent,
         StoreEvent,
+        ServiceEvent,
     )
 }
 
@@ -447,6 +497,11 @@ class LogSink:
                     "%s store scan %s: %d entries, %d quarantined",
                     event.worker, event.artifact, event.entries, event.quarantined,
                 )
+        elif kind == "service":
+            logging.getLogger("repro.service").info(
+                "service %s: job=%s tenant=%s %s",
+                event.action, event.job, event.tenant, event.detail or "",
+            )
         elif kind == "plateau":
             if event.phase == "begin":
                 logger.info(
@@ -557,7 +612,12 @@ def format_event_line(data):
         return "[restart w%s #%s] %s" % (
             data.get("worker"), data.get("attempt"), data.get("reason"))
     if kind == "degraded":
-        return "[degraded w%s] %s" % (data.get("worker"), data.get("reason"))
+        return "[degraded w%s] %s: %s" % (
+            data.get("worker"), data.get("cause", "unknown"), data.get("reason"))
+    if kind == "service":
+        return "[service %s] job=%s tenant=%s %s" % (
+            data.get("action"), data.get("job"), data.get("tenant"),
+            data.get("detail") or "")
     if kind == "cell":
         return "[cell %s] %s in %.1fs" % (
             data.get("key"), data.get("status"), data.get("secs") or 0.0)

@@ -66,6 +66,7 @@ class TraceSummary:
         self.metrics = [e for e in events if e.get("kind") == "metrics"]
         self.plateau_events = [e for e in events if e.get("kind") == "plateau"]
         self.spans = [e for e in events if e.get("kind") == "span"]
+        self.service = [e for e in events if e.get("kind") == "service"]
         self.wall0 = min((e.get("wall", 0) for e in events), default=0)
 
     def title(self):
@@ -186,9 +187,16 @@ class TraceSummary:
                  "restart w%s #%s" % (e.get("worker"), e.get("attempt")))
             )
         for e in self.dropped:
-            out.append(
-                (e.get("wall", 0) - self.wall0, "dropped w%s" % e.get("worker"))
-            )
+            label = "dropped w%s" % e.get("worker")
+            if e.get("cause") and e.get("cause") != "unknown":
+                label += " (%s)" % e.get("cause")
+            out.append((e.get("wall", 0) - self.wall0, label))
+        for e in self.service:
+            if e.get("action") in ("retry", "degrade", "breaker", "recover"):
+                out.append(
+                    (e.get("wall", 0) - self.wall0,
+                     "service %s %s" % (e.get("action"), e.get("job") or ""))
+                )
         for e in self.cell_retries:
             out.append(
                 (e.get("wall", 0) - self.wall0,

@@ -274,3 +274,50 @@ def test_budget_ticks_to_hours_sanity():
     # Instance campaigns quote per-instance budgets; a whole 1-hour budget
     # split into 8 sync rounds stays above zero-length rounds.
     assert TICKS_PER_HOUR // 8 > 0
+
+
+# -- restart policy edge cases -------------------------------------------------
+
+
+def test_restart_policy_delay_attempt_zero_and_negative():
+    from repro.fuzzer.supervisor import RestartPolicy
+
+    policy = RestartPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=5.0)
+    assert policy.delay(0) == 0.0
+    assert policy.delay(-3) == 0.0
+
+
+def test_restart_policy_delay_exponential_growth_then_cap():
+    from repro.fuzzer.supervisor import RestartPolicy
+
+    policy = RestartPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=5.0)
+    assert policy.delay(1) == pytest.approx(0.1)
+    assert policy.delay(2) == pytest.approx(0.2)
+    assert policy.delay(3) == pytest.approx(0.4)
+    # 0.1 * 2**9 = 51.2 saturates at the cap.
+    assert policy.delay(10) == 5.0
+
+
+def test_restart_policy_delay_huge_attempt_saturates_without_overflow():
+    from repro.fuzzer.supervisor import RestartPolicy
+
+    policy = RestartPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=5.0)
+    # 2.0 ** 9999 overflows a float; the cap saturated thousands of
+    # attempts earlier, so the policy must return it, not raise.
+    assert policy.delay(10_000) == 5.0
+
+
+def test_restart_policy_zero_backoff_never_sleeps():
+    from repro.fuzzer.supervisor import RestartPolicy
+
+    policy = RestartPolicy(backoff_base=0.0, backoff_factor=2.0, backoff_max=5.0)
+    for attempt in (0, 1, 2, 50, 10_000):
+        assert policy.delay(attempt) == 0.0
+
+
+def test_restart_policy_flat_factor_is_constant():
+    from repro.fuzzer.supervisor import RestartPolicy
+
+    policy = RestartPolicy(backoff_base=0.3, backoff_factor=1.0, backoff_max=5.0)
+    assert policy.delay(1) == pytest.approx(0.3)
+    assert policy.delay(100) == pytest.approx(0.3)

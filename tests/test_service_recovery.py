@@ -1,0 +1,380 @@
+"""Service resilience under deterministic fault injection: the ISSUE, proven.
+
+The acceptance criterion: a service killed at *any* injected journal commit
+point resumes with zero lost jobs, zero duplicate terminal transitions
+(fold conflicts stay 0 — every journal record is atomic), and a
+crash-artifact superset of the pre-kill state.  The matrix test below runs
+the same two-job scenario once cleanly to count its journal commits, then
+kills a fresh service at every single commit point and restarts it.
+
+The rest of the file drives each robustness path one fault at a time:
+torn journal records quarantine and refold, heartbeat stalls and dropped
+results retry from the checkpoint, checkpoint corruption under
+``require_checkpoint`` degrades with a typed reason, and retry budgets
+(per-job and per-tenant) degrade instead of retrying forever.
+"""
+
+import asyncio
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.fuzzer import faultinject
+from repro.fuzzer.supervisor import RestartPolicy
+from repro.service import CampaignService, CrashDedupe, TenantPolicy
+from repro.service.jobs import DEGRADED, PENDING, RUNNING, SUCCEEDED
+
+pytestmark = pytest.mark.faultinject
+
+BUDGET = 60_000
+FAST_RETRIES = RestartPolicy(max_restarts=2, backoff_base=0.01, backoff_max=0.05)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Child: build a service on ROOT (recovering whatever is journaled there),
+# submit the two-job scenario on a fresh root, and drive it to idle.  An
+# injected ``orch-kill`` exits with KILLED_EXIT_CODE mid-flight.
+CHILD = """
+import asyncio, sys
+root, spec = sys.argv[1], sys.argv[2]
+from repro.fuzzer import faultinject
+if spec != "-":
+    faultinject.install(spec)
+from repro.fuzzer.supervisor import RestartPolicy
+from repro.service import CampaignService
+svc = CampaignService(
+    root, max_workers=2, fsync=False,
+    restart_policy=RestartPolicy(
+        max_restarts=2, backoff_base=0.01, backoff_max=0.05
+    ),
+)
+try:
+    if not svc.jobs:
+        svc.submit("gdk", budget_ticks=%(budget)d)
+        svc.submit("mp3gain", budget_ticks=%(budget)d)
+    asyncio.run(svc.run_until_idle())
+    print("COMMITS=%%d" %% svc.journal._commits)
+finally:
+    svc.close()
+""" % {"budget": BUDGET}
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_faults():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+def _run_child(root, spec):
+    env = dict(os.environ)
+    env.pop(faultinject.ENV_VAR, None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src")]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return subprocess.run(
+        [sys.executable, "-c", CHILD, root, spec or "-"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=240,
+    )
+
+
+def _crash_files(jobs_dir):
+    """Relative paths of every committed crash artifact under every job."""
+    found = set()
+    for base, _dirs, names in os.walk(jobs_dir):
+        if os.path.basename(base) != "crashes":
+            continue
+        for name in names:
+            if name.endswith((".report.txt", ".triage.json")) or ".tmp." in name:
+                continue
+            found.add(os.path.relpath(os.path.join(base, name), jobs_dir))
+    return found
+
+
+def _restart_and_finish(root):
+    service = CampaignService(
+        str(root), max_workers=2, fsync=False, restart_policy=FAST_RETRIES
+    )
+    try:
+        asyncio.run(service.run_until_idle())
+        return service
+    finally:
+        service.close()
+
+
+# -- the acceptance criterion --------------------------------------------------
+
+
+def test_kill_and_restart_determinism_at_every_commit(tmp_path):
+    clean = _run_child(str(tmp_path / "clean"), None)
+    assert clean.returncode == 0, clean.stderr
+    commits = int(re.search(r"COMMITS=(\d+)", clean.stdout).group(1))
+    # epoch + 2 submits + 2 starts + 2 dones for this scenario shape.
+    assert commits >= 7
+    baseline = CrashDedupe().rebuild(
+        os.path.join(str(tmp_path / "clean"), "jobs")
+    ).counts()
+    assert baseline  # the scenario must actually find crashes
+
+    for commit in range(1, commits + 1):
+        root = tmp_path / ("kill%02d" % commit)
+        child = _run_child(str(root), "orch-kill@0.%d" % commit)
+        assert child.returncode == faultinject.KILLED_EXIT_CODE, (
+            commit, child.stdout, child.stderr,
+        )
+        jobs_dir = os.path.join(str(root), "jobs")
+        pre_files = _crash_files(jobs_dir)
+        pre_counts = CrashDedupe().rebuild(jobs_dir).counts()
+
+        service = _restart_and_finish(root)
+        # Zero lost jobs: everything journaled reaches a terminal state.
+        assert all(r.terminal() for r in service.jobs.values()), commit
+        assert all(
+            r.state == SUCCEEDED for r in service.jobs.values()
+        ), commit
+        # Zero duplicate terminal transitions: every record of the killed
+        # life folds cleanly (records are atomic, so nothing is torn).
+        assert service.fold_conflicts == 0, commit
+        assert not service.quarantined, commit
+        # Crash-artifact superset of the pre-kill state.
+        post_files = _crash_files(jobs_dir)
+        assert post_files >= pre_files, commit
+        disk = CrashDedupe().rebuild(jobs_dir).counts()
+        for sig, count in pre_counts.items():
+            assert disk.get(sig, 0) >= count, commit
+        # The live dedupe index agrees with a cold disk rebuild.
+        assert service.crash_signatures() == disk, commit
+        # Deterministic engines: once both jobs are journaled, the final
+        # harvest contains every signature the clean run found.
+        if len(service.jobs) == 2:
+            assert set(disk) >= set(baseline), commit
+
+
+def test_killed_service_left_jobs_running_and_restart_requeues(tmp_path):
+    root = str(tmp_path)
+    # Commit 5 is past both submits and both starts for this scenario.
+    child = _run_child(root, "orch-kill@0.5")
+    assert child.returncode == faultinject.KILLED_EXIT_CODE, child.stderr
+    from repro.service import load_job_table
+
+    jobs, epochs, conflicts, _ = load_job_table(root)
+    assert epochs == 1 and conflicts == 0
+    assert any(r.state == RUNNING for r in jobs.values())
+
+    service = _restart_and_finish(root)
+    for record in service.jobs.values():
+        assert record.state == SUCCEEDED
+        # The requeue was free: attempts grew, the retry budget did not.
+        assert record.attempts >= 1 and record.retries_used == 0
+
+
+# -- torn journal records ------------------------------------------------------
+
+
+def test_torn_journal_record_quarantines_and_jobs_still_finish(tmp_path):
+    root = str(tmp_path)
+    # Commit 4 is one of the "start" records; tearing it leaves the fold
+    # with a submit and an (now) ill-typed done for that job.
+    child = _run_child(root, "journal-torn@0.4")
+    assert child.returncode == 0, child.stderr
+
+    service = _restart_and_finish(root)
+    assert len(service.quarantined) == 1
+    assert service.quarantined[0][1] == "hash mismatch (torn?)"
+    # The ill-typed follow-on record is counted, ignored, and the job —
+    # folded back to pending — simply runs again: at-least-once, never lost.
+    assert service.fold_conflicts >= 1
+    assert all(r.state == SUCCEEDED for r in service.jobs.values())
+    disk = CrashDedupe().rebuild(service.jobs_dir).counts()
+    assert service.crash_signatures() == disk
+
+
+# -- heartbeat deadlines, wall budgets, retries --------------------------------
+
+
+def test_heartbeat_stall_retries_from_checkpoint_and_succeeds(tmp_path):
+    faultinject.install("heartbeat-stall@0.1:secs=30")
+    with CampaignService(
+        str(tmp_path), fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        job_id = service.submit(
+            "gdk", budget_ticks=BUDGET, heartbeat_timeout=1.0
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        assert snap["state"] == SUCCEEDED
+        assert snap["retries_used"] == 1  # one stalled attempt, charged
+        assert snap["attempts"] == 2
+        assert snap["summary"]["crash_sigs"]
+
+
+def test_dropped_result_message_retries_and_resumes_at_final_slice(tmp_path):
+    # Message 9 is the final "done" (8 heartbeats precede it): the pipe
+    # half-dies at the worst moment, after all the work is checkpointed.
+    faultinject.install("job-drop@0.9")
+    with CampaignService(
+        str(tmp_path), fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        job_id = service.submit(
+            "gdk", budget_ticks=BUDGET, heartbeat_timeout=1.0
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        assert snap["state"] == SUCCEEDED and snap["retries_used"] == 1
+        # The retry resumed from the slice-8 checkpoint: same final tick.
+        assert snap["summary"]["ticks"] >= BUDGET
+
+
+def test_retry_budget_exhaustion_degrades_with_deadline_detail(tmp_path):
+    faultinject.install(
+        "heartbeat-stall@0.1:secs=30,heartbeat-stall@0.1.1:secs=30"
+    )
+    with CampaignService(
+        str(tmp_path), fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        job_id = service.submit(
+            "gdk", budget_ticks=BUDGET, heartbeat_timeout=1.0, max_retries=1
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        assert snap["state"] == DEGRADED
+        assert snap["reason"]["category"] == "retry-budget"
+        assert "deadline" in snap["reason"]["detail"]
+        assert "HeartbeatTimeoutError" in snap["reason"]["detail"]
+
+
+def test_tenant_retry_budget_is_shared_and_degrades(tmp_path):
+    faultinject.install("heartbeat-stall@0.1:secs=30")
+    with CampaignService(
+        str(tmp_path),
+        fsync=False,
+        restart_policy=FAST_RETRIES,
+        policies=(TenantPolicy("default", retry_budget=0),),
+    ) as service:
+        job_id = service.submit(
+            "gdk", budget_ticks=BUDGET, heartbeat_timeout=1.0
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        assert snap["state"] == DEGRADED
+        assert snap["reason"]["category"] == "retry-budget"
+        assert "tenant" in snap["reason"]["detail"]
+
+
+def test_wall_budget_blows_the_typed_deadline(tmp_path):
+    with CampaignService(
+        str(tmp_path), fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        job_id = service.submit(
+            "gdk",
+            budget_ticks=4_000_000,  # far more work than 0.3 s allows
+            heartbeat_timeout=30.0,
+            wall_budget=0.3,
+            max_retries=0,
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        assert snap["state"] == DEGRADED
+        assert snap["reason"]["category"] == "retry-budget"
+        assert "wall budget" in snap["reason"]["detail"]
+
+
+# -- checkpoint corruption -----------------------------------------------------
+
+
+def test_checkpoint_corruption_with_require_checkpoint_degrades_typed(tmp_path):
+    # Tear the slice-8 checkpoint, then drop the "done" result: the retry
+    # must resume from the checkpoint — which no longer verifies.
+    faultinject.install("truncate@0.8:keep=10,job-drop@0.9")
+    with CampaignService(
+        str(tmp_path), fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        job_id = service.submit(
+            "gdk",
+            budget_ticks=BUDGET,
+            heartbeat_timeout=1.0,
+            require_checkpoint=True,
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        assert snap["state"] == DEGRADED
+        assert snap["reason"]["category"] == "checkpoint-corrupt"
+        # Deterministic failure: degraded on sight, no retry burned on it.
+        assert snap["retries_used"] == 1  # the drop, not the corruption
+
+
+def test_checkpoint_corruption_without_require_falls_back_to_store(tmp_path):
+    faultinject.install("truncate@0.8:keep=10,job-drop@0.9")
+    with CampaignService(
+        str(tmp_path), fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        job_id = service.submit(
+            "gdk", budget_ticks=BUDGET, heartbeat_timeout=1.0
+        )
+        asyncio.run(service.run_until_idle())
+        snap = service.status(job_id)
+        # The durable store slice is the fallback truth: the job replays
+        # it and completes instead of degrading.
+        assert snap["state"] == SUCCEEDED
+        assert snap["retries_used"] == 1
+
+
+# -- scheduling under faults ---------------------------------------------------
+
+
+def test_unaffected_jobs_finish_while_one_degrades(tmp_path):
+    faultinject.install(
+        "heartbeat-stall@0.1:secs=30,heartbeat-stall@0.1.1:secs=30,"
+        "heartbeat-stall@0.1.2:secs=30"
+    )
+    with CampaignService(
+        str(tmp_path), max_workers=2, fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        doomed = service.submit(
+            "gdk", budget_ticks=BUDGET, heartbeat_timeout=1.0, max_retries=2
+        )
+        healthy = service.submit("mp3gain", budget_ticks=BUDGET)
+        summary = asyncio.run(service.run_until_idle())
+        assert service.status(doomed)["state"] == DEGRADED
+        assert service.status(healthy)["state"] == SUCCEEDED
+        assert summary["states"] == {DEGRADED: 1, SUCCEEDED: 1}
+        # The degraded job is terminal in the journal too, not just in RAM.
+        from repro.service import load_job_table
+    jobs, _, conflicts, _ = load_job_table(str(tmp_path))
+    assert jobs[doomed].state == DEGRADED and conflicts == 0
+    assert jobs[doomed].reason.category == "retry-budget"
+
+
+def test_tenant_max_running_serializes_dispatch(tmp_path):
+    with CampaignService(
+        str(tmp_path),
+        max_workers=2,
+        fsync=False,
+        restart_policy=FAST_RETRIES,
+        policies=(TenantPolicy("default", max_running=1),),
+    ) as service:
+        service.submit("gdk", budget_ticks=BUDGET)
+        service.submit("mp3gain", budget_ticks=BUDGET)
+        picked = service._dispatchable()
+        # One tenant, max_running=1: only one job is dispatchable at once.
+        assert len(picked) == 1 and picked[0].spec.index == 0
+        summary = asyncio.run(service.run_until_idle())
+        assert summary["states"] == {SUCCEEDED: 2}
+
+
+def test_priority_wins_dispatch_order(tmp_path):
+    with CampaignService(
+        str(tmp_path), max_workers=1, fsync=False, restart_policy=FAST_RETRIES
+    ) as service:
+        service.submit("gdk", budget_ticks=BUDGET, priority=0)
+        urgent = service.submit("mp3gain", budget_ticks=BUDGET, priority=5)
+        picked = service._dispatchable()
+        assert [r.spec.job_id for r in picked] == [urgent]
+        assert all(r.state == PENDING for r in service.jobs.values())

@@ -102,6 +102,102 @@ def test_stale_lock_of_dead_process_is_stolen(tmp_path):
     reopened.close()
 
 
+def _dead_pid():
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def test_slow_stealer_leaves_fresh_live_lock_intact(tmp_path):
+    # Regression: opener B reads a stale owner, then loses the steal race —
+    # A unlinks the stale lock and takes a fresh one.  B's deferred steal
+    # must re-check under the marker and leave A's live lock alone.
+    from repro.fuzzer.store import _steal_stale_lock, read_pidfile_owner
+
+    lock_path = os.path.join(str(tmp_path), LOCK_NAME)
+    with open(lock_path, "w") as handle:
+        handle.write("%d\n" % os.getpid())  # the winner's fresh, live lock
+    _steal_stale_lock(str(tmp_path), lock_path)
+    assert os.path.exists(lock_path)
+    assert read_pidfile_owner(lock_path) == os.getpid()
+    assert not os.path.exists(lock_path + ".steal")
+
+
+def test_live_steal_marker_means_contention(tmp_path):
+    from repro.fuzzer.store import acquire_pidfile_lock
+
+    lock_path = os.path.join(str(tmp_path), LOCK_NAME)
+    with open(lock_path, "w") as handle:
+        handle.write("%d\n" % _dead_pid())  # stale lock, dead owner
+    with open(lock_path + ".steal", "w") as handle:
+        handle.write("1\n")  # a live rival is mid-steal
+    with pytest.raises(StoreLockError) as excinfo:
+        acquire_pidfile_lock(str(tmp_path))
+    assert excinfo.value.owner_pid == 1
+
+
+def test_dead_steal_marker_is_cleared_and_lock_stolen(tmp_path):
+    from repro.fuzzer.store import acquire_pidfile_lock, read_pidfile_owner
+
+    lock_path = os.path.join(str(tmp_path), LOCK_NAME)
+    dead = _dead_pid()
+    with open(lock_path, "w") as handle:
+        handle.write("%d\n" % dead)
+    with open(lock_path + ".steal", "w") as handle:
+        handle.write("%d\n" % dead)  # a stealer that died mid-steal
+    acquire_pidfile_lock(str(tmp_path))
+    assert read_pidfile_owner(lock_path) == os.getpid()
+    assert not os.path.exists(lock_path + ".steal")
+
+
+def test_concurrent_openers_racing_stale_lock_yield_one_winner(tmp_path):
+    # Two live processes race to steal the same stale lock.  Exactly one
+    # must end up holding it; the loser must get StoreLockError; and the
+    # winner's fresh lock must survive the loser's steal attempt.
+    from repro.fuzzer.store import read_pidfile_owner
+
+    lock_path = os.path.join(str(tmp_path), LOCK_NAME)
+    with open(lock_path, "w") as handle:
+        handle.write("%d\n" % _dead_pid())
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    child_code = (
+        "import sys\n"
+        "sys.path.insert(0, %r)\n"
+        "from repro.fuzzer.store import StoreLockError, acquire_pidfile_lock\n"
+        "try:\n"
+        "    acquire_pidfile_lock(%r)\n"
+        "except StoreLockError:\n"
+        "    print('locked', flush=True)\n"
+        "else:\n"
+        "    print('ok', flush=True)\n"
+        "    sys.stdin.readline()\n"  # hold the lock until the parent says so
+    ) % (os.path.abspath(src), str(tmp_path))
+    children = [
+        subprocess.Popen(
+            [sys.executable, "-c", child_code],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(2)
+    ]
+    outcomes = {}
+    try:
+        for child in children:
+            outcomes[child.pid] = child.stdout.readline().strip()
+        assert sorted(outcomes.values()) == ["locked", "ok"]
+        winner = next(pid for pid, out in outcomes.items() if out == "ok")
+        assert read_pidfile_owner(lock_path) == winner
+    finally:
+        for child in children:
+            try:
+                child.stdin.write("\n")
+                child.stdin.flush()
+            except OSError:
+                pass
+            child.wait()
+
+
 def test_manifest_mismatch_refuses_foreign_campaign(tmp_path):
     store = make_store(tmp_path)
     store.close()
