@@ -69,6 +69,14 @@ def build_arg_parser():
 
     show = commands.add_parser("show", help="describe one subject")
     show.add_argument("subject", choices=all_subject_names())
+    show.add_argument("--rare", action="store_true",
+                      help="list branch sites ranked by hit-rarity over the "
+                           "seed corpus's edge coverage maps (rarest first)")
+    show.add_argument("--taint", action="store_true",
+                      help="with --rare: run the seeds under taint tracking "
+                           "and add each site's input byte mask")
+    show.add_argument("--limit", type=int, default=24, metavar="N",
+                      help="show at most N branch sites (default 24; 0 = all)")
 
     fuzz = commands.add_parser("fuzz", help="run one fuzzing campaign")
     fuzz.add_argument("subject", choices=all_subject_names())
@@ -329,7 +337,79 @@ def cmd_show(args):
         function, line, kind = bug.bug_id
         print("    %-11s %s:%d %s — %s" % (
             "[%s]" % bug.difficulty, function, line, kind, bug.description))
+    if getattr(args, "rare", False):
+        _show_rare_branches(subject, args.taint, args.limit)
+    elif getattr(args, "taint", False):
+        print("  (--taint only applies together with --rare)")
     return 0
+
+
+def _mask_ranges(mask):
+    """Render a byte-offset set as compact ranges, e.g. ``0-3,7,12-13``."""
+    if not mask:
+        return "-"
+    offsets = sorted(mask)
+    runs = []
+    start = prev = offsets[0]
+    for off in offsets[1:]:
+        if off == prev + 1:
+            prev = off
+            continue
+        runs.append((start, prev))
+        start = prev = off
+    runs.append((start, prev))
+    return ",".join(
+        "%d" % lo if lo == hi else "%d-%d" % (lo, hi) for lo, hi in runs
+    )
+
+
+def _show_rare_branches(subject, with_taint, limit):
+    """``show --rare``: branch sites ranked by seed-corpus hit-rarity.
+
+    Executes the subject's seeds under edge-coverage instrumentation (the
+    same maps a ``pcguard``/``taint`` campaign observes), counts how many
+    seeds cover each conditional-branch edge, and prints the sites rarest
+    first — the ones the taint-guided stage would target.  ``--taint``
+    additionally runs the seeds under :func:`repro.taint.taint_execute`
+    and shows which input bytes each site's condition depends on.
+    """
+    from repro.coverage.feedback import EdgeFeedback
+    from repro.runtime.backend import make_backend
+    from repro.taint import build_branch_index
+
+    instr = EdgeFeedback().instrument(subject.program)
+    backend = make_backend(subject.program, instr)
+    branch_index = build_branch_index(subject.program, instr)
+    run_kwargs = dict(
+        instr_budget=subject.exec_instr_budget,
+        call_depth_limit=subject.call_depth_limit,
+    )
+    counts = dict.fromkeys(branch_index, 0)
+    site_masks = {}
+    for seed in subject.seeds:
+        result = backend.execute(seed, **run_kwargs)
+        for index in result.hits:
+            if index in counts:
+                counts[index] += 1
+        if with_taint:
+            _, tmap = backend.taint_execute(seed, **run_kwargs)
+            for site, mask in tmap.branch_masks.items():
+                site_masks[site] = site_masks.get(site, frozenset()) | mask
+    ranked = sorted(counts.items(), key=lambda item: (item[1], item[0]))
+    total = len(subject.seeds)
+    shown = ranked[:limit] if limit and limit > 0 else ranked
+    print("  rare branch edges (%d seeds, %d conditional edges%s):"
+          % (total, len(ranked),
+             ", rarest %d" % len(shown) if len(shown) < len(ranked) else ""))
+    for index, rarity in shown:
+        info = branch_index[index]
+        line = "    %3d/%-3d idx=%-5d %s:%d -> %d" % (
+            rarity, total, index, info.site[0], info.site[1], info.dst)
+        if with_taint:
+            line += "  bytes=%s" % _mask_ranges(site_masks.get(info.site))
+        print(line)
+    if with_taint and not site_masks:
+        print("    (no seed reached a tainted branch condition)")
 
 
 def cmd_fuzz(args):

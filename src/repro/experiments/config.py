@@ -15,6 +15,7 @@ the extensions:
 ``ngram4``      AFL++-like engine + 4-gram feedback (related work)
 ``block``       AFL++-like engine + block coverage (weakest feedback)
 ``path2gram``   path + 2-grams of consecutive acyclic paths (Sec. VII)
+``taint``       pcguard + taint-guided rare-branch targeting (DESIGN §12)
 ==============  ============================================================
 
 The paper's timing ratios are preserved: 48-hour campaigns, 6-hour culling
@@ -47,12 +48,15 @@ class ConfigSpec:
     """How to build and drive one fuzzer configuration."""
 
     def __init__(self, name, kind, feedback_factory=None, engine_style="aflpp",
-                 criterion=None):
+                 criterion=None, engine_overrides=None):
         self.name = name
         self.kind = kind  # "plain" | "cull" | "opp"
         self.feedback_factory = feedback_factory
         self.engine_style = engine_style  # "aflpp" | "afl"
         self.criterion = criterion
+        # Extra EngineConfig keyword arguments layered over the subject's
+        # execution limits (e.g. {"use_taint": True} for the taint config).
+        self.engine_overrides = engine_overrides or {}
 
     @property
     def supports_instances(self):
@@ -70,6 +74,7 @@ class ConfigSpec:
             exec_instr_budget=subject.exec_instr_budget,
             call_depth_limit=subject.call_depth_limit,
         )
+        kwargs.update(self.engine_overrides)
         if self.engine_style == "afl":
             return afl_engine_config(**kwargs)
         return EngineConfig(**kwargs)
@@ -87,6 +92,9 @@ FUZZER_CONFIGS = {
     "ngram4": ConfigSpec("ngram4", "plain", lambda: NGramFeedback(4)),
     "block": ConfigSpec("block", "plain", BlockFeedback),
     "path2gram": ConfigSpec("path2gram", "plain", PathPairFeedback),
+    "taint": ConfigSpec(
+        "taint", "plain", EdgeFeedback, engine_overrides={"use_taint": True}
+    ),
 }
 
 

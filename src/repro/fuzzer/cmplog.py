@@ -48,10 +48,21 @@ def candidates_from_log(data, cmp_log, max_candidates=64):
     and capped to keep the stage's execution budget bounded.
     """
     seen = set()
+    seen_pairs = set()
     out = []
     for a, b in cmp_log:
         if len(out) >= max_candidates:
             break
+        # A seed that loops over a comparison logs the same operand pair on
+        # every iteration; each duplicate would re-derive an identical
+        # candidate set (all already in ``seen``).  Skipping by normalized
+        # pair key changes nothing in the output — both directions are
+        # tried symmetrically below — and cuts the stage's derivation work.
+        if isinstance(a, (int, bytes)) and type(a) is type(b):
+            key = (a, b) if a <= b else (b, a)
+            if key in seen_pairs:
+                continue
+            seen_pairs.add(key)
         if isinstance(a, bytes):
             pairs = [(a, b), (b, a)]
             for pattern, replacement in pairs:

@@ -28,6 +28,7 @@ class QueueEntry:
         "found_at",
         "cmplog_done",
         "imported",
+        "taint_focus",
     )
 
     def __init__(self, entry_id, data, exec_cost, classified, depth, found_at):
@@ -44,6 +45,11 @@ class QueueEntry:
         self.cmplog_done = False
         # Synced in from another fuzzing instance (AFL++'s foreign queues).
         self.imported = False
+        # Born from the taint-guided masked stage: the frozenset of focus
+        # byte offsets that produced this entry (None otherwise).  The
+        # scheduler gives such entries extra first-visit energy — they sit
+        # on a rare-branch frontier by construction.
+        self.taint_focus = None
 
     def score_key(self):
         """AFL's top_rated ordering: cheaper-to-run x shorter wins."""
@@ -64,6 +70,7 @@ class QueueEntry:
         dup.handicap = self.handicap
         dup.cmplog_done = self.cmplog_done
         dup.imported = self.imported
+        dup.taint_focus = self.taint_focus
         return dup
 
     def __repr__(self):

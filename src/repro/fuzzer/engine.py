@@ -19,10 +19,12 @@ from repro.coverage.bitmap import VirginMap, classify_hits
 from repro.fuzzer.clock import EXEC_OVERHEAD, VirtualClock
 from repro.fuzzer.cmplog import candidates_from_log
 from repro.fuzzer.corpus import Queue
+from repro.fuzzer.masked import masked_candidates, masked_havoc, sweep_candidates
 from repro.fuzzer.mutators import deterministic_mutations, havoc, splice
 from repro.fuzzer.schedule import havoc_iterations, performance_score
 from repro.fuzzer.store import content_hash
 from repro.runtime.backend import make_backend
+from repro.taint import TaintState, build_branch_index, select_targets, taint_enabled
 from repro.triage.stacktrace import stack_hash
 
 
@@ -43,6 +45,11 @@ class EngineConfig:
         "backend",
         "probe_prune",
         "saturation_interval",
+        "use_taint",
+        "taint_targets",
+        "taint_energy",
+        "taint_sweep_bytes",
+        "taint_revisits",
     )
 
     def __init__(
@@ -60,6 +67,11 @@ class EngineConfig:
         backend=None,
         probe_prune=False,
         saturation_interval=0,
+        use_taint=None,
+        taint_targets=4,
+        taint_energy=32,
+        taint_sweep_bytes=2,
+        taint_revisits=4,
     ):
         self.max_input_len = max_input_len
         self.use_cmplog = use_cmplog
@@ -80,6 +92,17 @@ class EngineConfig:
         self.backend = backend
         self.probe_prune = probe_prune
         self.saturation_interval = saturation_interval
+        # Taint-guided mutation (repro.taint): None defers to REPRO_TAINT
+        # (default off).  Per queue cycle, ``taint_targets`` rare branches
+        # are selected; masks of at most ``taint_sweep_bytes`` bytes are
+        # enumerated exhaustively, wider ones get ``taint_energy`` masked
+        # havoc executions; each branch is targeted at most
+        # ``taint_revisits`` times per campaign.
+        self.use_taint = use_taint
+        self.taint_targets = taint_targets
+        self.taint_energy = taint_energy
+        self.taint_sweep_bytes = taint_sweep_bytes
+        self.taint_revisits = taint_revisits
 
 
 def afl_engine_config(**overrides):
@@ -183,6 +206,10 @@ class FuzzEngine:
         self.clock = None
         self._queue_index = 0
         self._seeds = [bytes(s) for s in seeds]
+        # Taint-guided targeting state (None when the subsystem is off, so
+        # taint-off campaigns execute the exact pre-taint instruction
+        # stream — the no-op overhead gate in CI pins this).
+        self.taint = TaintState() if taint_enabled(self.config.use_taint) else None
 
     # -- the outer loop ------------------------------------------------------
 
@@ -225,6 +252,10 @@ class FuzzEngine:
             if self._queue_index >= len(self.queue.entries):
                 self._queue_index = 0
                 self.cycle += 1
+                if self.taint is not None:
+                    self._taint_cycle()
+                    if self.clock.ticks >= tick_target:
+                        break
             entry = self.queue.entries[self._queue_index]
             self._queue_index += 1
             tel = self.telemetry
@@ -294,6 +325,7 @@ class FuzzEngine:
             "queue_index": self._queue_index,
             "clock": self.clock.snapshot(),
             "rng": self.rng.getstate(),
+            "taint": self.taint.snapshot() if self.taint is not None else None,
         }
 
     def restore(self, state):
@@ -325,6 +357,9 @@ class FuzzEngine:
         self._queue_index = state["queue_index"]
         self.clock = VirtualClock.from_snapshot(state["clock"])
         self.rng.setstate(state["rng"])
+        taint_snap = state.get("taint")
+        if self.taint is not None and taint_snap is not None:
+            self.taint.restore(taint_snap)
         return self
 
     def save_checkpoint(self, path, meta=None, fingerprint=None):
@@ -444,6 +479,114 @@ class FuzzEngine:
                     tel.record_stage("mutate", _perf_counter() - t0)
                 self._run_and_process(mutated, entry.depth + 1)
 
+    # -- taint-guided masked mutation (repro.taint) ---------------------------
+
+    def _taint_cycle(self):
+        """Once per queue cycle: pick rare branch targets, focus energy on them."""
+        taint = self.taint
+        if taint.branch_index is None:
+            taint.branch_index = build_branch_index(self.program, self.instrumentation)
+        targets = select_targets(
+            self.queue,
+            taint.branch_index,
+            self.config.taint_targets,
+            visits=taint.visits,
+            max_visits=self.config.taint_revisits,
+        )
+        for target in targets:
+            if self.clock.expired():
+                return
+            taint.visits[target.index] = taint.visits.get(target.index, 0) + 1
+            taint.targets_selected += 1
+            self._taint_target_stage(target)
+
+    def _taint_map_for(self, entry):
+        """The entry's TaintMap, from cache or a fresh (clock-charged) taint run."""
+        taint = self.taint
+        tmap = taint.cached_map(entry.entry_id)
+        if tmap is not None:
+            return tmap
+        tel = self.telemetry
+        t0 = _perf_counter() if tel is not None else 0.0
+        result, tmap = self.backend.taint_execute(
+            entry.data,
+            instr_budget=self.config.exec_instr_budget,
+            call_depth_limit=self.config.call_depth_limit,
+        )
+        if tel is not None:
+            tel.record_exec(_perf_counter() - t0, result)
+        # A taint run is an execution like any other on the virtual clock.
+        self.clock.charge(EXEC_OVERHEAD + result.virtual_cost + len(result.hits) // 4)
+        self.execs += 1
+        taint.taint_runs += 1
+        if self.execs % self.config.timeline_interval == 0:
+            self._snapshot()
+        if result.crashed or result.timeout:
+            # A queue entry that stopped replaying clean (nondeterministic
+            # programs don't exist here, but budget-boundary hangs can):
+            # nothing to target.
+            return None
+        taint.cache_map(entry.entry_id, tmap)
+        return tmap
+
+    def _taint_target_stage(self, target):
+        """Masked I2S + sweep/havoc aimed at one rare-branch target."""
+        config = self.config
+        entry = target.entry
+        tmap = self._taint_map_for(entry)
+        if tmap is None:
+            return
+        focus, frozen = tmap.target_masks(target.site, len(entry.data))
+        if not focus:
+            return
+        if self.telemetry is not None:
+            self.telemetry.record_taint(target, focus, frozen)
+        for candidate in masked_candidates(entry.data, tmap, focus):
+            if self.clock.expired():
+                return
+            self._masked_run(candidate, entry, target, focus)
+        if len(focus) <= config.taint_sweep_bytes:
+            # Tiny mask: enumerate it outright (Angora's exploitation).
+            for candidate in sweep_candidates(entry.data, focus):
+                if self.clock.expired():
+                    return
+                if self._masked_run(candidate, entry, target, focus):
+                    return
+        else:
+            for _ in range(config.taint_energy):
+                if self.clock.expired():
+                    return
+                mutated = masked_havoc(self.rng, entry.data, focus)
+                self._masked_run(mutated, entry, target, focus)
+
+    def _masked_run(self, data, parent, target, focus):
+        """Execute one masked mutation; True when the target branch flipped."""
+        taint = self.taint
+        tel = self.telemetry
+        taint.masked_execs += 1
+        result = self._execute(data)
+        if result.timeout:
+            self._record_hang(data)
+            if tel is not None:
+                tel.record_masked(False)
+            return False
+        if result.crashed:
+            self._record_crash(data, result)
+            taint.masked_hits += 1  # reaching a trigger is the jackpot case
+            if tel is not None:
+                tel.record_masked(True)
+            return True
+        sibling = target.sibling_index
+        hit = sibling is not None and sibling in result.hits
+        if hit:
+            taint.masked_hits += 1
+        if tel is not None:
+            tel.record_masked(hit)
+        entry = self._process_result(data, result, parent.depth + 1)
+        if entry is not None:
+            entry.taint_focus = frozenset(focus)
+        return hit
+
     def _cmplog_stage(self, entry):
         """Harvest comparison operands, then try direct substitutions."""
         result = self._execute(entry.data, cmplog=True)
@@ -503,6 +646,10 @@ class FuzzEngine:
         if result.crashed:
             self._record_crash(data, result)
             return None
+        return self._process_result(data, result, depth)
+
+    def _process_result(self, data, result, depth):
+        """Novelty-check a clean result; queue and return the entry if new."""
         tel = self.telemetry
         t0 = _perf_counter() if tel is not None else 0.0
         classified = classify_hits(result.hits)

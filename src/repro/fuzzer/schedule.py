@@ -57,6 +57,12 @@ def performance_score(entry, avg_exec_cost, avg_trace_size):
     # bit-for-bit unaffected.
     if getattr(entry, "imported", False) and not entry.was_fuzzed:
         score *= 1.5
+    # Entries minted by the taint-guided masked stage sit on a rare-branch
+    # frontier by construction: focused energy on the first visit mirrors
+    # the imported-entry boost.  Campaigns without taint never set the
+    # attribute, so their schedules are bit-for-bit unchanged.
+    if getattr(entry, "taint_focus", None) is not None and not entry.was_fuzzed:
+        score *= 1.5
     return max(10.0, min(score, 1600.0))
 
 

@@ -68,6 +68,21 @@ class Backend:
         "_saturated",
     )
 
+    def taint_execute(self, data, **kwargs):
+        """Run ``data`` under taint tracking; returns (result, TaintMap).
+
+        The taint semantics live in the reference interpreter only
+        (:mod:`repro.taint.track`); the compiled backend *transparently
+        falls back* to it for taint runs — the fallback contract of DESIGN
+        §12.  The taint interpreter's observables are bit-identical to the
+        plain interpreter's, and probe pruning never applies here (taint
+        runs always use the full instrumentation, whose observed maps equal
+        the reconstructed pruned ones).
+        """
+        from repro.taint.track import taint_execute
+
+        return taint_execute(self.program, data, self.instrumentation, **kwargs)
+
     def __init__(self, name, program, instrumentation=None, probe_prune=False):
         self.name = resolve_backend(name)
         self.program = program

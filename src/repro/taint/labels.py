@@ -1,0 +1,69 @@
+"""Taint-label lattice: interned byte-offset sets with cheap union.
+
+A *label* is either ``None`` (untainted — the fast path, so shadow
+arithmetic on clean values costs one ``is None`` check) or a ``frozenset``
+of input byte offsets.  Labels are interned per :class:`LabelPool` so that
+
+- the same offset set is one object (identity comparison works, and the
+  pool's union memo can key on object ids);
+- unions of the same two labels are computed once per execution.
+
+The pool is created per taint run and discarded with it; nothing here is
+global state, so taint runs stay deterministic and side-effect free.
+"""
+
+EMPTY = frozenset()
+
+
+class LabelPool:
+    """Interns frozenset labels and memoizes pairwise unions."""
+
+    __slots__ = ("_interned", "_singles", "_union_memo")
+
+    def __init__(self):
+        # Strong refs on purpose: interning keeps label objects alive for
+        # the pool's lifetime, which is what makes id()-keyed memo entries
+        # safe (a dead object's id could be recycled).
+        self._interned = {EMPTY: EMPTY}
+        self._singles = {}
+        self._union_memo = {}
+
+    def intern(self, offsets):
+        """Return the canonical label for ``offsets`` (any iterable of ints)."""
+        fs = frozenset(offsets)
+        if not fs:
+            return None
+        return self._interned.setdefault(fs, fs)
+
+    def single(self, offset):
+        """Label for one input byte — cached, as these seed every taint run."""
+        label = self._singles.get(offset)
+        if label is None:
+            label = self.intern((offset,))
+            self._singles[offset] = label
+        return label
+
+    def union(self, a, b):
+        """Join two labels; ``None`` is bottom, so clean operands cost nothing."""
+        if a is None:
+            return b
+        if b is None or a is b:
+            return a
+        key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+        out = self._union_memo.get(key)
+        if out is None:
+            if a <= b:
+                out = b
+            elif b <= a:
+                out = a
+            else:
+                out = self._interned.setdefault(a | b, a | b)
+            self._union_memo[key] = out
+        return out
+
+    def union_all(self, labels):
+        """Fold :meth:`union` over an iterable of labels."""
+        out = None
+        for label in labels:
+            out = self.union(out, label)
+        return out

@@ -1,0 +1,144 @@
+"""TaintMap: the per-input provenance artifact collected alongside coverage.
+
+One taint run produces one :class:`TaintMap` describing, for the executed
+input:
+
+- **cmp sites** — for each comparison executed (BIN comparisons and
+  ``memcmp``), which input byte offsets flowed into each operand, how often
+  the site fired, and a small sample of observed operand pairs (for masked
+  input-to-state candidates);
+- **branch trail** — the sequence of conditional branches taken, with the
+  taint label of each condition (the data the masked-mutation stage uses to
+  freeze already-satisfied guards);
+- **control** — the over-approximated implicit-flow mask: the union of all
+  branch-condition taints plus every taint that could change control by
+  trapping (array indices, divisors, shift amounts, alloc sizes, builtin
+  bounds).  ``sound_mask`` folds it in, which is what makes the byte-flip
+  soundness property hold: a byte outside the sound mask cannot steer
+  execution onto a different path, so the site observes identical operands.
+
+TaintMaps are plain picklable data (tuples/sets/dicts only).
+"""
+
+BRANCH_TRAIL_CAP = 8192
+
+
+def _comparable(value):
+    """Operand values worth sampling: ints and memcmp byte windows (not refs)."""
+    return isinstance(value, (int, bytes))
+
+
+class CmpSite:
+    """Aggregate taint record for one comparison site."""
+
+    __slots__ = ("site", "mask_a", "mask_b", "hits", "pairs")
+
+    def __init__(self, site):
+        self.site = site  # (function, line, op) — op is a binop code or "memcmp"
+        self.mask_a = set()
+        self.mask_b = set()
+        self.hits = 0
+        self.pairs = []  # sampled (a, b) operand pairs, capped
+
+    def mask(self):
+        """Direct (explicit-flow) mask: bytes reaching either operand."""
+        return self.mask_a | self.mask_b
+
+
+class TaintMap:
+    """Byte-level provenance of one execution, keyed by comparison site."""
+
+    __slots__ = ("cmp_sites", "branch_trail", "branch_masks", "control", "input_len", "pair_cap")
+
+    def __init__(self, pair_cap=8):
+        self.cmp_sites = {}  # site key -> CmpSite
+        # (site, taken_dst, cond_mask) in execution order; site = (fname, src_block)
+        self.branch_trail = []
+        self.branch_masks = {}  # branch site -> set of byte offsets (union over hits)
+        self.control = frozenset()
+        self.input_len = 0
+        self.pair_cap = pair_cap
+
+    # -- recording (called by TaintExec) ---------------------------------
+
+    def record_cmp(self, site, label_a, label_b, a, b):
+        rec = self.cmp_sites.get(site)
+        if rec is None:
+            rec = self.cmp_sites[site] = CmpSite(site)
+        if label_a is not None:
+            rec.mask_a.update(label_a)
+        if label_b is not None:
+            rec.mask_b.update(label_b)
+        rec.hits += 1
+        if len(rec.pairs) < self.pair_cap and _comparable(a) and _comparable(b):
+            rec.pairs.append((a, b))
+
+    def record_branch(self, site, taken_dst, cond_label):
+        mask = frozenset(cond_label) if cond_label is not None else frozenset()
+        if len(self.branch_trail) < BRANCH_TRAIL_CAP:
+            self.branch_trail.append((site, taken_dst, mask))
+        existing = self.branch_masks.get(site)
+        if existing is None:
+            self.branch_masks[site] = set(mask)
+        else:
+            existing.update(mask)
+
+    def finalize(self, control_label, input_len):
+        self.control = frozenset(control_label) if control_label is not None else frozenset()
+        self.input_len = input_len
+
+    # -- queries ---------------------------------------------------------
+
+    def sound_mask(self, site):
+        """Over-approximate byte mask for a cmp site (explicit + implicit flows)."""
+        rec = self.cmp_sites.get(site)
+        if rec is None:
+            return set(self.control)
+        return rec.mask() | self.control
+
+    def focus_fallback(self):
+        """All bytes reaching any comparison — used when no branch site is known."""
+        focus = set()
+        for rec in self.cmp_sites.values():
+            focus |= rec.mask_a
+            focus |= rec.mask_b
+        return focus
+
+    def target_masks(self, branch_site, length=None):
+        """(focus, frozen) byte sets for steering ``branch_site``.
+
+        *focus* is the byte mask of the target branch's condition; *frozen*
+        is the union of condition masks of branches taken *before* the
+        target on this input's trail — the bytes that satisfy the guards
+        guarding the way in, which masked mutation must not disturb.
+        A branch site absent from the trail falls back to all cmp bytes.
+        """
+        if length is None:
+            length = self.input_len
+        focus = set()
+        frozen = set()
+        seen_target = False
+        if branch_site is not None and branch_site in self.branch_masks:
+            for site, _taken, mask in self.branch_trail:
+                if site == branch_site:
+                    seen_target = True
+                    focus |= mask
+                elif not seen_target:
+                    frozen |= mask
+            if not seen_target:  # trail was capped before reaching the site
+                focus = set(self.branch_masks[branch_site])
+        if not focus:
+            focus = self.focus_fallback()
+        focus = {off for off in focus if 0 <= off < length}
+        frozen = {off for off in frozen if 0 <= off < length} - focus
+        return focus, frozen
+
+    def stats(self):
+        """Small summary dict for telemetry."""
+        masks = [len(rec.mask()) for rec in self.cmp_sites.values()]
+        return {
+            "cmp_sites": len(self.cmp_sites),
+            "branches": len(self.branch_trail),
+            "control_bytes": len(self.control),
+            "mean_mask": (sum(masks) / len(masks)) if masks else 0.0,
+        }

@@ -1,0 +1,139 @@
+"""The taint no-op gate: enabled-but-idle taint must cost (almost) nothing.
+
+Two contracts, both executable (the ``taint-soundness`` CI job runs this):
+
+1. **Observable identity** — a campaign with ``use_taint=True`` but the
+   masked stage disabled (``taint_targets=0``) produces a
+   :class:`~repro.fuzzer.campaign.CampaignResult` field-for-field equal to
+   the same campaign with taint off.  An idle taint cycle selects no
+   targets, charges no clock ticks, and draws no RNG — so enabling the
+   subsystem without aiming it must be invisible to every science field.
+2. **Overhead** — the idle-taint run's best-of-N wall time stays within
+   ``gate`` percent (default 10) of the taint-off best-of-N.  Best-of-N
+   discards scheduler noise, which on shared CI runners dwarfs the effect
+   being measured (same methodology as :mod:`repro.telemetry.overhead`).
+
+Run as ``python -m repro.taint.noop_gate [--gate 10]``.
+"""
+
+import argparse
+import sys
+from time import perf_counter
+
+from repro.fuzzer.campaign import result_from_engines
+from repro.fuzzer.clock import hours_to_ticks
+from repro.fuzzer.engine import FuzzEngine
+from repro.subjects import get_subject
+
+DEFAULT_SUBJECT = "flvmeta"
+DEFAULT_CONFIG = "pcguard"
+DEFAULT_HOURS = 2.0
+DEFAULT_SCALE = 4.0
+DEFAULT_REPEATS = 3
+DEFAULT_GATE_PCT = 10.0
+
+
+class NoopGateReport:
+    """Outcome of one measurement: timings, overhead, verdicts."""
+
+    __slots__ = ("off_secs", "idle_secs", "overhead_pct", "gate_pct", "identical")
+
+    def __init__(self, off_secs, idle_secs, gate_pct, identical):
+        self.off_secs = off_secs
+        self.idle_secs = idle_secs
+        self.overhead_pct = (
+            (idle_secs - off_secs) / off_secs * 100.0 if off_secs else 0.0
+        )
+        self.gate_pct = gate_pct
+        self.identical = identical
+
+    @property
+    def passed(self):
+        return self.identical and self.overhead_pct <= self.gate_pct
+
+    def summary(self):
+        return (
+            "taint no-op gate: off %.3fs, idle-taint %.3fs -> %+.2f%% "
+            "(gate %.1f%%), observables %s"
+            % (
+                self.off_secs,
+                self.idle_secs,
+                self.overhead_pct,
+                self.gate_pct,
+                "identical" if self.identical else "DIVERGED",
+            )
+        )
+
+
+def _run_campaign(subject, budget_ticks, run_seed, use_taint):
+    """One plain edge-feedback campaign; returns (CampaignResult, seconds)."""
+    from repro.experiments.config import FUZZER_CONFIGS, campaign_rng
+
+    spec = FUZZER_CONFIGS[DEFAULT_CONFIG]
+    config = spec.engine_config(subject)
+    config.use_taint = use_taint
+    config.taint_targets = 0  # masked stage disabled either way
+    engine = FuzzEngine(
+        subject.program,
+        spec.feedback_factory(),
+        subject.seeds,
+        campaign_rng(subject.name, DEFAULT_CONFIG, run_seed),
+        config,
+        subject.tokens,
+    )
+    start = perf_counter()
+    engine.run(budget_ticks)
+    elapsed = perf_counter() - start
+    result = result_from_engines(
+        subject, DEFAULT_CONFIG, run_seed, [engine], engine
+    )
+    return result, elapsed
+
+
+def run_gate(
+    subject_name=DEFAULT_SUBJECT,
+    hours=DEFAULT_HOURS,
+    scale=DEFAULT_SCALE,
+    repeats=DEFAULT_REPEATS,
+    gate_pct=DEFAULT_GATE_PCT,
+    run_seed=0,
+):
+    """Measure idle-taint vs taint-off; return a :class:`NoopGateReport`."""
+    subject = get_subject(subject_name)
+    budget = hours_to_ticks(hours, scale)
+    identical = True
+    off_best = idle_best = float("inf")
+    for _ in range(max(1, repeats)):
+        off_result, off_secs = _run_campaign(subject, budget, run_seed, False)
+        idle_result, idle_secs = _run_campaign(subject, budget, run_seed, True)
+        identical = identical and off_result == idle_result
+        off_best = min(off_best, off_secs)
+        idle_best = min(idle_best, idle_secs)
+    return NoopGateReport(off_best, idle_best, gate_pct, identical)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.taint.noop_gate",
+        description="assert idle taint is observable-identical and cheap",
+    )
+    parser.add_argument("--subject", default=DEFAULT_SUBJECT)
+    parser.add_argument("--hours", type=float, default=DEFAULT_HOURS)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--gate", type=float, default=DEFAULT_GATE_PCT,
+                        metavar="PCT", help="max idle overhead %% (default 10)")
+    args = parser.parse_args(argv)
+    report = run_gate(
+        subject_name=args.subject,
+        hours=args.hours,
+        scale=args.scale,
+        repeats=args.repeats,
+        gate_pct=args.gate,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

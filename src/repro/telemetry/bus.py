@@ -381,6 +381,43 @@ class StoreEvent(TelemetryEvent):
         }
 
 
+class TaintEvent(TelemetryEvent):
+    """One rare-branch target selected by the taint-guided masked stage.
+
+    ``index``/``rarity`` locate the branch in coverage-map terms (how many
+    queue entries cover it); ``site`` is its ``function:block`` source
+    position; ``focus``/``frozen`` are the byte-mask sizes the masked
+    mutators will concentrate on / hold fixed.  Published once per target
+    selection (a handful per queue cycle), never per masked execution —
+    per-exec taint counters ride the periodic metrics snapshots instead.
+    """
+
+    kind = "taint"
+    __slots__ = ("label", "tick", "index", "rarity", "site", "focus", "frozen")
+
+    def __init__(self, label, tick, index, rarity, site, focus, frozen,
+                 wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.tick = tick
+        self.index = index
+        self.rarity = rarity
+        self.site = site
+        self.focus = focus
+        self.frozen = frozen
+
+    def payload(self):
+        return {
+            "label": self.label,
+            "tick": self.tick,
+            "index": self.index,
+            "rarity": self.rarity,
+            "site": self.site,
+            "focus": self.focus,
+            "frozen": self.frozen,
+        }
+
+
 class ServiceEvent(TelemetryEvent):
     """One campaign-service operation (see :mod:`repro.service`).
 
@@ -427,6 +464,7 @@ EVENT_TYPES = {
         MetricsSnapshotEvent,
         PlateauEvent,
         StoreEvent,
+        TaintEvent,
         ServiceEvent,
     )
 }
@@ -637,6 +675,10 @@ def format_event_line(data):
                 data.get("metric"), data.get("start_tick"))
         return "[plateau] %s resumed at tick %s" % (
             data.get("metric"), data.get("tick"))
+    if kind == "taint":
+        return "[taint @%s] idx=%s rarity=%s site=%s focus=%sB frozen=%sB" % (
+            data.get("tick"), data.get("index"), data.get("rarity"),
+            data.get("site"), data.get("focus"), data.get("frozen"))
     if kind == "campaign":
         return "[campaign %s] %s/%s#%s workers=%s" % (
             data.get("action"), data.get("subject"), data.get("config"),

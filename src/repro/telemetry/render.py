@@ -67,6 +67,7 @@ class TraceSummary:
         self.plateau_events = [e for e in events if e.get("kind") == "plateau"]
         self.spans = [e for e in events if e.get("kind") == "span"]
         self.service = [e for e in events if e.get("kind") == "service"]
+        self.taint = [e for e in events if e.get("kind") == "taint"]
         self.wall0 = min((e.get("wall", 0) for e in events), default=0)
 
     def title(self):
@@ -178,6 +179,48 @@ class TraceSummary:
                 rows[name] = (h.get("count", 0), h.get("mean", 0), h.get("p95", 0))
         return [(name,) + rows[name] for name in sorted(rows)]
 
+    def taint_stats(self):
+        """Taint-guided stage summary, or None when the subsystem was off.
+
+        Combines the per-target :class:`TaintEvent` stream (sites, rarity,
+        mask sizes) with the ``taint.*`` counters of the last metrics
+        snapshot (masked executions and branch-flip hits).
+        """
+        masked_execs = masked_hits = targets = 0
+        for e in self.metrics:
+            counters = (e.get("metrics") or {}).get("counters", {})
+            masked_execs = max(masked_execs, counters.get("taint.masked_execs", 0))
+            masked_hits = max(masked_hits, counters.get("taint.masked_hits", 0))
+            targets = max(targets, counters.get("taint.targets", 0))
+        if not self.taint and not masked_execs and not targets:
+            return None
+        focus_sizes = [e.get("focus", 0) for e in self.taint]
+        return {
+            "targets": max(targets, len(self.taint)),
+            "masked_execs": masked_execs,
+            "masked_hits": masked_hits,
+            "hit_rate": masked_hits / masked_execs if masked_execs else 0.0,
+            "mean_focus": (
+                sum(focus_sizes) / len(focus_sizes) if focus_sizes else 0.0
+            ),
+        }
+
+    def taint_targets(self, limit=12):
+        """Most recent target selections as table rows (rarest first)."""
+        rows = [
+            (
+                e.get("rarity", 0),
+                e.get("index", 0),
+                e.get("site", "?"),
+                e.get("focus", 0),
+                e.get("frozen", 0),
+                e.get("tick", 0),
+            )
+            for e in self.taint
+        ]
+        rows.sort()
+        return rows[:limit]
+
     def fault_timeline(self):
         """[(seconds since trace start, label)] for restarts/drops/retries."""
         out = []
@@ -234,6 +277,18 @@ def summarize(events, skipped=0):
         lines.append(
             "  plateau: coverage %d flat from tick %d (%s)" % (value, start, span)
         )
+    taint = s.taint_stats()
+    if taint:
+        lines.append(
+            "  taint: %d target(s), %d masked exec(s), hit rate %.1f%%, "
+            "mean focus %.1fB"
+            % (
+                taint["targets"],
+                taint["masked_execs"],
+                taint["hit_rate"] * 100.0,
+                taint["mean_focus"],
+            )
+        )
     for name, count, mean, p95 in s.span_table():
         lines.append(
             "  %-16s n=%-7d mean=%.3gms p95=%.3gms"
@@ -273,6 +328,31 @@ def render_markdown(events, skipped=0):
         for start, end, value in plateaus:
             out.append("| %d | %s | %d |" % (start, end if end is not None else "open", value))
         out.append("")
+    taint = s.taint_stats()
+    if taint:
+        out.append("## Taint-guided targeting")
+        out.append("")
+        out.append(
+            "%d target(s) selected, %d masked execution(s), "
+            "branch-flip hit rate %.1f%%, mean focus mask %.1f bytes."
+            % (
+                taint["targets"],
+                taint["masked_execs"],
+                taint["hit_rate"] * 100.0,
+                taint["mean_focus"],
+            )
+        )
+        out.append("")
+        rows = s.taint_targets()
+        if rows:
+            out.append("| rarity | map index | site | focus (B) | frozen (B) | tick |")
+            out.append("|---|---|---|---|---|---|")
+            for rarity, index, site, focus, frozen, tick in rows:
+                out.append(
+                    "| %d | %d | %s | %d | %d | %d |"
+                    % (rarity, index, site, focus, frozen, tick)
+                )
+            out.append("")
     spans = s.span_table()
     if spans:
         out.append("## Stage timings")
@@ -493,6 +573,32 @@ def render_html(events, skipped=0):
                 % (start, "open" if end is None else end, value)
             )
         body.append("</table>")
+    taint = s.taint_stats()
+    if taint:
+        body.append("<h2>Taint-guided targeting</h2>")
+        body.append(
+            "<p>%d target(s) selected, %d masked execution(s), branch-flip "
+            "hit rate %.1f%%, mean focus mask %.1f bytes.</p>"
+            % (
+                taint["targets"],
+                taint["masked_execs"],
+                taint["hit_rate"] * 100.0,
+                taint["mean_focus"],
+            )
+        )
+        rows = s.taint_targets()
+        if rows:
+            body.append(
+                "<table><tr><th>rarity</th><th>map index</th><th>site</th>"
+                "<th>focus (B)</th><th>frozen (B)</th><th>tick</th></tr>"
+            )
+            for rarity, index, site, focus, frozen, tick in rows:
+                body.append(
+                    "<tr><td>%d</td><td>%d</td><td>%s</td><td>%d</td>"
+                    "<td>%d</td><td>%d</td></tr>"
+                    % (rarity, index, _esc(site), focus, frozen, tick)
+                )
+            body.append("</table>")
     spans = s.span_table()
     if spans:
         body.append("<h2>Stage timings</h2><table>")

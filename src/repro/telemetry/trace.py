@@ -20,7 +20,7 @@ equal to an untraced one.
 from bisect import bisect_left
 from time import perf_counter
 
-from repro.telemetry.bus import MetricsSnapshotEvent, SpanEvent, get_bus
+from repro.telemetry.bus import MetricsSnapshotEvent, SpanEvent, TaintEvent, get_bus
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.plateau import PlateauDetector
 
@@ -146,6 +146,36 @@ class EngineTelemetry:
 
     def record_skipped(self):
         self._skipped.value += 1
+
+    # -- taint-guided stage (repro.taint) -------------------------------------
+
+    def record_taint(self, target, focus, frozen):
+        """One rare-branch target selected: event + mask-size histogram.
+
+        Target selection happens a few times per queue cycle, so publishing
+        a per-occurrence :class:`TaintEvent` is well within the overhead
+        budget (unlike per-execution events).
+        """
+        self.registry.counter("taint.targets").value += 1
+        self.registry.histogram("taint.mask_bytes").observe(len(focus))
+        tick = self.registry.gauge("tick").value
+        self.bus.publish(
+            TaintEvent(
+                self.label,
+                tick,
+                target.index,
+                target.rarity,
+                "%s:%d" % target.site,
+                len(focus),
+                len(frozen),
+            )
+        )
+
+    def record_masked(self, hit):
+        """One masked-stage execution; ``hit`` = the target branch flipped."""
+        self.registry.counter("taint.masked_execs").value += 1
+        if hit:
+            self.registry.counter("taint.masked_hits").value += 1
 
     # -- periodic sampling (timeline cadence) ---------------------------------
 

@@ -20,6 +20,35 @@ def test_show_prints_census(capsys):
     assert "functions" in out
 
 
+def test_show_rare_lists_branch_edges(capsys):
+    assert main(["show", "gdk", "--rare", "--limit", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "rare branch edges" in out
+    assert "idx=" in out
+    assert "load_bmp" in out
+
+
+def test_show_rare_taint_adds_byte_masks(capsys):
+    assert main(["show", "gdk", "--rare", "--taint", "--limit", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "bytes=" in out
+    assert "bytes=4-5" in out  # load_bmp width field (read_u16le(input, 4))
+
+
+def test_show_taint_without_rare_is_a_hint(capsys):
+    assert main(["show", "gdk", "--taint"]) == 0
+    out = capsys.readouterr().out
+    assert "--taint only applies together with --rare" in out
+
+
+def test_fuzz_taint_config_runs(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert main(["fuzz", "gdk", "--config", "taint",
+                 "--hours", "0.5", "--scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "executions:" in out
+
+
 def test_fuzz_runs_short_campaign(capsys, monkeypatch):
     monkeypatch.setenv("REPRO_NO_CACHE", "1")
     assert main(["fuzz", "flvmeta", "--config", "pcguard",

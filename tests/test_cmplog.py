@@ -49,6 +49,26 @@ def test_candidates_deduplicated():
     assert len(candidates) == len(set(candidates))
 
 
+def test_duplicate_pairs_skipped_output_identical():
+    """A loop re-logging one comparison derives candidates exactly once."""
+    data = bytes(range(16))
+    unique = [(3, 77), (b"\x04\x05", b"QQ")]
+    noisy = unique * 50
+    assert candidates_from_log(data, noisy) == candidates_from_log(data, unique)
+
+
+def test_swapped_duplicate_pairs_skipped_output_identical():
+    """(a, b) and (b, a) normalize to one key; both directions are always
+    tried anyway, so skipping the swap changes nothing."""
+    data = bytes(range(16))
+    assert candidates_from_log(data, [(3, 77), (77, 3)]) == candidates_from_log(
+        data, [(3, 77)]
+    )
+    assert candidates_from_log(
+        data, [(b"\x01\x02", b"ab"), (b"ab", b"\x01\x02")]
+    ) == candidates_from_log(data, [(b"\x01\x02", b"ab")])
+
+
 def test_cap_respected():
     data = bytes(range(64))
     log = [(i, i + 100) for i in range(64)]

@@ -510,3 +510,130 @@ def test_cli_global_verbose_reaches_subcommands(capsys):
     assert logging.getLogger("repro").level == logging.INFO
     parser_args = ["--verbose", "show", "gdk"]
     assert main(parser_args) == 0
+
+
+# -- taint-guided stage telemetry ----------------------------------------------
+
+
+def test_taint_event_round_trips_and_formats():
+    from repro.telemetry.bus import TaintEvent
+
+    event = TaintEvent("w0", 1500, 7, 1, "main:4", 2, 4)
+    data = event.to_dict()
+    assert data["kind"] == "taint"
+    assert data["site"] == "main:4"
+    assert data["focus"] == 2 and data["frozen"] == 4
+    line = format_event_line(data)
+    assert "taint" in line and "main:4" in line and "rarity=1" in line
+
+
+def test_engine_telemetry_records_taint_stage():
+    from repro.taint import TaintTarget
+
+    bus = TelemetryBus()
+    tel = EngineTelemetry(bus=bus, label="w0")
+    target = TaintTarget(7, 1, None, ("main", 4), 8)
+    tel.record_taint(target, {4, 5}, {0, 1, 2})
+    tel.record_masked(True)
+    tel.record_masked(False)
+    assert tel.registry.counter("taint.targets").value == 1
+    assert tel.registry.counter("taint.masked_execs").value == 2
+    assert tel.registry.counter("taint.masked_hits").value == 1
+    assert tel.registry.histogram("taint.mask_bytes").count == 1
+    taint_events = [e for e in bus.recent() if e.kind == "taint"]
+    assert len(taint_events) == 1
+    assert taint_events[0].site == "main:4"
+    assert taint_events[0].focus == 2 and taint_events[0].frozen == 3
+
+
+def _taint_trace(tmp_path):
+    from repro.telemetry.bus import MetricsSnapshotEvent, TaintEvent
+
+    path = str(tmp_path / "taint.jsonl")
+    bus = TelemetryBus()
+    sink = bus.attach(JsonlSink(path, flush_every=1))
+    bus.publish(CampaignEvent("begin", "gdk", "taint", 0, budget=1000))
+    bus.publish(TaintEvent("w0", 250, 7, 1, "load_bmp:4", 2, 4))
+    bus.publish(TaintEvent("w0", 500, 9, 2, "load_gif:7", 1, 6))
+    bus.publish(MetricsSnapshotEvent("w0", 750, {
+        "counters": {"execs": 900, "taint.targets": 2,
+                     "taint.masked_execs": 300, "taint.masked_hits": 30},
+        "gauges": {"tick": 750, "coverage": 40},
+        "histograms": {},
+    }))
+    bus.publish(CampaignEvent("end", "gdk", "taint", 0, budget=1000))
+    sink.close()
+    return path
+
+
+def test_render_surfaces_taint_stage(tmp_path):
+    from repro.telemetry import render
+
+    path = _taint_trace(tmp_path)
+    events, skipped = render.load_traces([path])
+    assert skipped == 0
+    summary = render.TraceSummary(events, skipped)
+    stats = summary.taint_stats()
+    assert stats["targets"] == 2
+    assert stats["masked_execs"] == 300
+    assert stats["hit_rate"] == pytest.approx(0.1)
+    rows = summary.taint_targets()
+    assert rows[0][2] == "load_bmp:4"  # rarity 1 sorts first
+    lines = render.summarize(events, skipped)
+    assert any("taint:" in line for line in lines)
+    markdown = render.render_markdown(events)
+    assert "Taint-guided targeting" in markdown
+    assert "load_bmp:4" in markdown
+    html = render.render_html(events)
+    assert "Taint-guided targeting" in html
+
+
+def test_render_omits_taint_section_when_off(tmp_path):
+    from repro.telemetry import render
+
+    # The synthetic non-taint trace from the renderer tests above.
+    path = str(tmp_path / "plain.jsonl")
+    bus = TelemetryBus()
+    sink = bus.attach(JsonlSink(path, flush_every=1))
+    bus.publish(CampaignEvent("begin", "gdk", "path", 0, budget=1000))
+    bus.publish(CampaignEvent("end", "gdk", "path", 0, budget=1000))
+    sink.close()
+    events, skipped = render.load_traces([path])
+    assert render.TraceSummary(events, skipped).taint_stats() is None
+    assert "Taint-guided targeting" not in render.render_markdown(events)
+
+
+def test_traced_taint_campaign_publishes_taint_events(tmp_path):
+    import random
+
+    from repro.coverage.feedback import EdgeFeedback
+    from repro.fuzzer.engine import EngineConfig, FuzzEngine
+    from repro.lang import compile_source
+
+    path = str(tmp_path / "campaign.jsonl")
+    bus = TelemetryBus()
+    sink = bus.attach(JsonlSink(path, flush_every=1))
+    tel = EngineTelemetry(bus=bus, label="w0").begin(400_000)
+    program = compile_source(
+        'fn main(input) { if (len(input) < 5) { return 0; }'
+        ' if (read32(input, 0) != 0x4D414743) { return 1; }'
+        ' if ((input[4] * 3) % 251 == 17) { trap(1); } return 2; }'
+    )
+    engine = FuzzEngine(
+        program,
+        EdgeFeedback(),
+        [b"MAGC\x00\x00", b"nope"],
+        random.Random(0),
+        EngineConfig(max_input_len=16, exec_instr_budget=10_000,
+                     use_taint=True, taint_targets=8),
+        telemetry=tel,
+    )
+    engine.run(400_000)
+    tel.finish(engine.clock.ticks)
+    sink.close()
+    assert engine.taint.targets_selected > 0
+    events, skipped = read_trace(path)
+    assert skipped == 0
+    taint_events = [e for e in events if e.get("kind") == "taint"]
+    assert taint_events
+    assert all(e.get("focus", 0) >= 1 for e in taint_events)
