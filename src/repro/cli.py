@@ -17,8 +17,14 @@ Usage::
     python -m repro telemetry report out.jsonl --html report.html
     python -m repro telemetry overhead --gate 5
     python -m repro serve svc/ --submit gdk --submit mp3gain:path:1
+    python -m repro serve svc/ --daemon --lease-ttl 30  # stays up for intake
+    python -m repro serve svc/ --standby 60 --lease-ttl 30  # hot standby
     python -m repro job svc/ submit gdk --tenant sec --priority 1
     python -m repro job svc/ status                  # read-only journal fold
+    python -m repro job svc/ status req-8f3a...      # resolve an intake nonce
+    python -m repro job svc/ cancel j000001
+    python -m repro job svc/ drain                   # daemon exits after backlog
+    python -m repro job svc/ compact                 # snapshot + prune (stopped)
     python -m repro job svc/ crashes j000000
 
 ``fuzz`` runs one campaign of any registered configuration and prints the
@@ -244,6 +250,25 @@ def build_arg_parser():
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="write the service telemetry trace to PATH "
                             "as JSONL")
+    serve.add_argument("--daemon", action="store_true",
+                       help="keep serving after the backlog drains, picking "
+                            "up `repro job submit/cancel` from other "
+                            "processes; exits on `repro job drain`")
+    serve.add_argument("--lease-ttl", type=float, default=None, metavar="SECS",
+                       help="hold the root under a renewed lease instead of "
+                            "pid-liveness: a standby can steal the root once "
+                            "this service stops renewing for SECS")
+    serve.add_argument("--standby", type=float, default=None, metavar="SECS",
+                       help="if the root is held, wait up to SECS for its "
+                            "lease to lapse instead of failing (hot standby)")
+    serve.add_argument("--compact-after", type=int, default=0, metavar="N",
+                       help="compact the journal after every N records "
+                            "(default 0: never auto-compact)")
+    serve.add_argument("--poll", type=float, default=0.25, metavar="SECS",
+                       help="daemon intake poll interval (default 0.25)")
+    serve.add_argument("--service-index", type=int, default=0, metavar="N",
+                       help="this service's index for fault-injection "
+                            "coordinates (default 0)")
 
     job = commands.add_parser(
         "job", help="inspect or feed a service root (safe while it serves)"
@@ -271,9 +296,27 @@ def build_arg_parser():
         "status", help="fold the journal (read-only) and print the job table"
     )
     job_status.add_argument("job_id", nargs="?", default=None,
-                            help="one job id (default: the whole table)")
+                            help="one job id or a req-… intake nonce "
+                                 "(default: the whole table)")
     job_status.add_argument("--json", action="store_true",
                             help="emit machine-readable snapshots")
+
+    job_cancel = job_actions.add_parser(
+        "cancel", help="cancel one job (journals directly, or asks a live "
+                       "daemon via an intake request)"
+    )
+    job_cancel.add_argument("job_id")
+
+    job_actions.add_parser(
+        "drain", help="ask the daemon on this root to finish its backlog "
+                      "and exit (request is honored by the next daemon if "
+                      "none is live)"
+    )
+
+    job_actions.add_parser(
+        "compact", help="fold settled history into a snapshot and prune "
+                        "covered records (stopped roots only)"
+    )
 
     job_crashes = job_actions.add_parser(
         "crashes", help="list one job's deduped crash artifacts"
@@ -862,7 +905,9 @@ def cmd_serve(args):
     import asyncio
 
     from repro.fuzzer.supervisor import RestartPolicy
+    from repro.fuzzer.store import StoreLockError
     from repro.service import AdmissionError, CampaignService, TenantPolicy
+    from repro.service.lease import LeaseLostError
 
     if args.trace:
         from repro import telemetry as _telemetry
@@ -887,17 +932,29 @@ def cmd_serve(args):
                 "repro serve: error: non-integer quota in --tenant %r" % text
             )
     submissions = [_parse_submit_spec(text) for text in args.submit]
-    service = CampaignService(
-        args.root,
-        max_workers=args.max_workers,
-        policies=policies,
-        restart_policy=RestartPolicy(
-            max_restarts=args.max_retries, backoff_base=0.05, backoff_max=1.0
-        ),
-        heartbeat_timeout=args.heartbeat_timeout,
-        wall_budget=args.wall_budget,
-        fsync=not args.no_fsync,
-    )
+    try:
+        service = CampaignService(
+            args.root,
+            max_workers=args.max_workers,
+            policies=policies,
+            restart_policy=RestartPolicy(
+                max_restarts=args.max_retries, backoff_base=0.05,
+                backoff_max=1.0
+            ),
+            heartbeat_timeout=args.heartbeat_timeout,
+            wall_budget=args.wall_budget,
+            fsync=not args.no_fsync,
+            lease_ttl=args.lease_ttl,
+            standby_wait=args.standby,
+            compact_after=args.compact_after,
+            poll_interval=args.poll,
+            service_index=args.service_index,
+        )
+    except StoreLockError as exc:
+        raise SystemExit(
+            "repro serve: error: %s (use --standby SECS to wait for the "
+            "lease to lapse)" % exc
+        )
     try:
         if service.quarantined:
             print("WARNING: quarantined %d damaged journal record(s)"
@@ -917,7 +974,20 @@ def cmd_serve(args):
             print("submitted %s: %s/%s#%d (tenant=%s, prio=%d)"
                   % (job_id, kwargs["subject"], kwargs["config"],
                      kwargs["run_seed"], kwargs["tenant"], kwargs["priority"]))
-        summary = asyncio.run(service.run_until_idle())
+        if args.daemon:
+            print("daemon on %s (fence epoch %d): waiting for jobs; stop "
+                  "with `repro job %s drain`"
+                  % (args.root, service.lease.epoch, args.root))
+        try:
+            summary = asyncio.run(
+                service.serve_forever() if args.daemon
+                else service.run_until_idle()
+            )
+        except LeaseLostError as exc:
+            # Another service fenced this one off the root.  Exit distinct
+            # from failure: our journaled work up to the steal is intact.
+            print("FENCED: %s" % exc)
+            return 75
         print("served %d job(s): %s" % (
             summary["jobs"],
             ", ".join("%d %s" % (count, state)
@@ -949,31 +1019,89 @@ def cmd_job(args):
 
     from repro.fuzzer.store import StoreLockError
     from repro.service import list_job_crashes, load_job_table, submit_offline
-    from repro.service.orchestrator import JOBS_DIR
+    from repro.service.intake import drain_request
+    from repro.service.orchestrator import (
+        JOBS_DIR,
+        cancel_offline,
+        compact_offline,
+        load_service_state,
+    )
 
     if args.action == "submit":
+        job_id = submit_offline(
+            args.root,
+            subject=args.subject,
+            config=args.config,
+            run_seed=args.run_seed,
+            tenant=args.tenant,
+            priority=args.priority,
+            budget_ticks=args.budget_ticks,
+            max_retries=args.max_retries,
+            require_checkpoint=args.require_checkpoint,
+        )
+        if job_id.startswith("req-"):
+            print("requested %s (a live service owns %s; track it with "
+                  "`repro job %s status %s`)"
+                  % (job_id, args.root, args.root, job_id))
+        else:
+            print("journaled %s (runs on the next `repro serve %s`)"
+                  % (job_id, args.root))
+        return 0
+    if args.action == "cancel":
         try:
-            job_id = submit_offline(
-                args.root,
-                subject=args.subject,
-                config=args.config,
-                run_seed=args.run_seed,
-                tenant=args.tenant,
-                priority=args.priority,
-                budget_ticks=args.budget_ticks,
-                max_retries=args.max_retries,
-                require_checkpoint=args.require_checkpoint,
+            result = cancel_offline(args.root, args.job_id)
+        except KeyError:
+            raise SystemExit(
+                "repro job: error: unknown job %r" % args.job_id
             )
+        if result is True:
+            print("cancelled %s" % args.job_id)
+        elif result is False:
+            print("%s already terminal; nothing to cancel" % args.job_id)
+        else:
+            print("requested %s (a live service owns %s; it re-checks and "
+                  "settles the cancel)" % (result, args.root))
+        return 0
+    if args.action == "drain":
+        nonce = drain_request(args.root)
+        print("requested %s (the daemon on %s finishes its backlog and "
+              "exits)" % (nonce, args.root))
+        return 0
+    if args.action == "compact":
+        try:
+            path = compact_offline(args.root)
         except StoreLockError as exc:
             raise SystemExit(
-                "repro job: error: %s (is a service running on this root?)"
-                % exc
+                "repro job: error: %s (a live daemon compacts on its own "
+                "cadence; stop it first)" % exc
             )
-        print("journaled %s (runs on the next `repro serve %s`)"
-              % (job_id, args.root))
+        if path is None:
+            print("nothing to compact (empty journal)")
+        else:
+            print("compacted into %s" % os.path.basename(path))
         return 0
-    jobs, epochs, conflicts, quarantined = load_job_table(args.root)
+    state, quarantined, pending = load_service_state(args.root)
+    jobs, epochs, conflicts = state.jobs, state.epochs, state.conflicts
     if args.action == "status":
+        if args.job_id is not None and args.job_id.startswith("req-"):
+            # An intake nonce: resolve it through the fold's settled-request
+            # table, falling back to the still-pending request files.
+            if args.job_id in state.handled:
+                job_id = state.handled[args.job_id]
+                if job_id is None:
+                    print("%s: settled (refused or acknowledged)"
+                          % args.job_id)
+                    return 0
+                print("%s -> %s" % (args.job_id, job_id))
+                args.job_id = job_id
+            elif any(req["nonce"] == args.job_id for req in pending):
+                print("%s: pending (no daemon has settled it yet)"
+                      % args.job_id)
+                return 0
+            else:
+                raise SystemExit(
+                    "repro job: error: unknown request %r" % args.job_id
+                )
         if args.job_id is not None:
             if args.job_id not in jobs:
                 raise SystemExit(
@@ -988,14 +1116,16 @@ def cmd_job(args):
                     "epochs": epochs,
                     "conflicts": conflicts,
                     "quarantined": len(quarantined),
+                    "pending_requests": [req["nonce"] for req in pending],
                     "jobs": snaps,
                 },
                 indent=2, sort_keys=True,
             ))
             return 0
         print("%d job(s), %d service epoch(s), %d fold conflict(s), "
-              "%d quarantined record(s)"
-              % (len(jobs), epochs, conflicts, len(quarantined)))
+              "%d quarantined record(s), %d pending request(s)"
+              % (len(jobs), epochs, conflicts, len(quarantined),
+                 len(pending)))
         _print_job_table({snap["job"]: jobs[snap["job"]] for snap in snaps})
         return 0
     # action == "crashes"

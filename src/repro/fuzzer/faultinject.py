@@ -16,6 +16,7 @@ into worker processes):
     action := "kill" | "stall" | "drop" | "truncate"
             | "torn-write" | "corrupt-file"
             | "journal-torn" | "orch-kill" | "job-drop" | "heartbeat-stall"
+            | "lease-expire" | "clock-skew"
 
 Examples::
 
@@ -29,6 +30,8 @@ Examples::
     orch-kill@0.7         the orchestrator dies right after journal commit 7
     job-drop@2.3          job 2's 3rd worker message silently evaporates
     heartbeat-stall@1.2:secs=30   job 1 wedges 30 s before its 2nd message
+    lease-expire@0.2      service 0's 2nd lease renewal misses its deadline
+    clock-skew@1.0:secs=45        service 1's lease clock runs 45 s fast
 
 For the store actions the "round" coordinate is the worker's *n-th
 committed artifact write* (see :class:`repro.fuzzer.store.CampaignStore`) —
@@ -49,6 +52,17 @@ unchanged):
   its n-th outbound pipe message (heartbeats and the final result alike);
   the incarnation is the job attempt, so a retried job runs clean by
   default.
+- ``lease-expire`` / ``clock-skew`` fire at a service actor's *lease*
+  clock (:mod:`repro.service.lease`): the "worker" coordinate is the
+  service index, the round is the n-th renewal attempt (0 fires at
+  acquisition itself), and the incarnation selects the fencing epoch
+  (0 = the root's first-ever holder).  ``lease-expire`` makes that renewal
+  silently miss its deadline — the on-disk expiry is rewritten into the
+  past and the in-memory lease stops renewing, so a standby actor
+  observes an expired lease and steals it while the old holder still
+  believes it is alive (the paused-VM / network-partition shape).
+  ``clock-skew:secs=N`` offsets the actor's lease clock by N seconds
+  from acquisition onward.
 
 ``incarnation`` defaults to 0, so a fault fires only in a worker's *first*
 life — its supervised replacement (incarnation 1, 2, ...) runs clean unless
@@ -75,6 +89,8 @@ _ACTIONS = (
     "orch-kill",
     "job-drop",
     "heartbeat-stall",
+    "lease-expire",
+    "clock-skew",
 )
 
 # Actions that damage a just-committed store artifact (site "store").
@@ -85,6 +101,9 @@ _JOURNAL_ACTIONS = ("journal-torn", "orch-kill")
 
 # Actions that fire at a job worker's outbound-message clock.
 _JOBMSG_ACTIONS = ("job-drop", "heartbeat-stall")
+
+# Actions that fire at a service actor's lease clock.
+_LEASE_ACTIONS = ("lease-expire", "clock-skew")
 
 _INSTALLED = None
 
@@ -117,6 +136,8 @@ class Fault:
             return "journal"
         if self.action in _JOBMSG_ACTIONS:
             return "jobmsg"
+        if self.action in _LEASE_ACTIONS:
+            return "lease"
         return "sync"
 
     def __repr__(self):
@@ -322,4 +343,23 @@ def fire_jobmsg_fault(fault):
         return False
     if fault.action == "job-drop":
         return True
+    return False
+
+
+def fire_lease_fault(fault, lease):
+    """Fire a lease-site fault against a :class:`repro.service.lease.ServiceLease`.
+
+    ``lease-expire`` rewrites the on-disk lock's expiry into the past and
+    tells the lease to stop renewing — from the outside the holder looks
+    dead, from the inside it still believes it holds the root until its
+    next :meth:`check`.  ``clock-skew`` offsets the lease's notion of
+    "now" by ``secs`` (default 60, may be negative) from this point on.
+    Returns True if the renewal must be skipped.
+    """
+    if fault.action == "lease-expire":
+        lease.force_expire()
+        return True
+    if fault.action == "clock-skew":
+        lease.skew += float(fault.params.get("secs", 60))
+        return False
     return False

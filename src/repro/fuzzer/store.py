@@ -44,6 +44,8 @@ import hashlib
 import json
 import logging
 import os
+import socket
+import time
 
 logger = logging.getLogger("repro.fuzzer.store")
 
@@ -61,6 +63,10 @@ QUARANTINE_DIR = "quarantine"
 #: Name of the single-instance worker slice (AFL++ calls it "default").
 MAIN_WORKER = "main"
 
+#: Lease on a steal marker: a stealer wedged on one host cannot block
+#: other hosts past this many seconds.
+_STEAL_MARKER_TTL = 30.0
+
 _ID_WIDTH = 6
 
 
@@ -71,12 +77,32 @@ class StoreError(RuntimeError):
 class StoreLockError(StoreError):
     """Another live campaign owns this worker directory."""
 
-    def __init__(self, path, owner_pid):
+    def __init__(self, path, owner_pid, owner_host=None):
         self.path = path
         self.owner_pid = owner_pid
+        self.owner_host = owner_host
+        where = (
+            "pid %s" % owner_pid
+            if owner_host is None
+            else "%s pid %s" % (owner_host, owner_pid)
+        )
         super().__init__(
-            "%s is locked by live campaign pid %d; refusing to share an "
-            "output directory between two campaigns" % (path, owner_pid)
+            "%s is locked by live campaign %s; refusing to share an "
+            "output directory between two campaigns" % (path, where)
+        )
+
+
+class StoreFencedError(StoreError):
+    """This process's lock was stolen: its lease expired and a successor
+    re-acquired the directory.  Any further write would land in the
+    successor's slice — the fenced owner must stop, not retry."""
+
+    def __init__(self, path, owner):
+        self.path = path
+        self.owner = owner
+        super().__init__(
+            "%s: lease lost — the lock now names %s; this writer is fenced"
+            % (path, owner)
         )
 
 
@@ -143,13 +169,134 @@ def _pid_alive(pid):
     return True
 
 
-def read_pidfile_owner(lock_path):
-    """The pid recorded in a pidfile lock, or None if unreadable/missing."""
+def lock_host():
+    """This actor's host identity as embedded in lock payloads.
+
+    ``REPRO_HOST`` overrides the real hostname — that is how tests (and the
+    two-host CI matrix) simulate distinct hosts sharing one filesystem.
+    Separator characters are squashed so the payload stays parseable.
+    """
+    host = os.environ.get("REPRO_HOST") or socket.gethostname() or "localhost"
+    return "".join("-" if ch in ":, \t\n\r" else ch for ch in host)
+
+
+class LockRecord:
+    """Parsed contents of one pidfile/lease lock.
+
+    Two payload formats coexist on disk (mixed-format roots are normal
+    during a rolling upgrade):
+
+    - legacy: ``<pid>\\n`` — host-blind, liveness = local pid check;
+    - lease:  ``<host>:<pid>:<epoch>:<expiry>\\n`` — host-qualified, with
+      a fencing ``epoch`` and a wall-clock lease ``expiry`` (the literal
+      ``-`` means "no lease": liveness falls back to same-host pid rules).
+    """
+
+    __slots__ = ("host", "pid", "epoch", "expiry", "legacy")
+
+    def __init__(self, host, pid, epoch=0, expiry=None, legacy=False):
+        self.host = host
+        self.pid = int(pid)
+        self.epoch = int(epoch)
+        self.expiry = None if expiry is None else float(expiry)
+        self.legacy = bool(legacy)
+
+    def expired(self, now=None):
+        """True once the lease deadline has passed (never for no-lease)."""
+        if self.expiry is None:
+            return False
+        return (time.time() if now is None else now) >= self.expiry
+
+    def names(self, host, pid, epoch=None):
+        """Whether this record identifies the given owner."""
+        if self.legacy:
+            return self.pid == pid
+        if self.host != host or self.pid != pid:
+            return False
+        return epoch is None or self.epoch == epoch
+
+    def __repr__(self):
+        if self.legacy:
+            return "LockRecord(pid %d, legacy)" % self.pid
+        return "LockRecord(%s:%d:%d:%s)" % (
+            self.host,
+            self.pid,
+            self.epoch,
+            "-" if self.expiry is None else "%.3f" % self.expiry,
+        )
+
+
+def format_lock_payload(host, pid, epoch=0, expiry=None):
+    """Serialize a lease lock record (``expiry=None`` -> no lease)."""
+    return "%s:%d:%d:%s\n" % (
+        host,
+        pid,
+        epoch,
+        "-" if expiry is None else "%.3f" % expiry,
+    )
+
+
+def read_lock_record(lock_path):
+    """Parse a lock file (either format) into a :class:`LockRecord`.
+
+    Returns None when the file is missing, unreadable, or unparseable —
+    satellite of the tolerant-scan philosophy: damage never raises here.
+    """
     try:
         with open(lock_path, "rb") as handle:
-            return int(handle.read().split()[0])
-    except (OSError, ValueError, IndexError):
+            text = handle.read().decode("ascii", "replace").strip()
+    except OSError:
         return None
+    if not text:
+        return None
+    head = text.split()[0]
+    if ":" not in head:
+        try:
+            return LockRecord(None, int(head), legacy=True)
+        except ValueError:
+            return None
+    parts = head.split(":")
+    if len(parts) != 4:
+        return None
+    host, pid, epoch, expiry = parts
+    try:
+        return LockRecord(
+            host, int(pid), int(epoch), None if expiry == "-" else float(expiry)
+        )
+    except ValueError:
+        return None
+
+
+def read_pidfile_owner(lock_path):
+    """The pid recorded in a pidfile lock, or None if unreadable/missing.
+
+    Tolerates both the legacy bare-pid payload and the host-qualified
+    lease payload, so mixed-format roots keep working during upgrades.
+    """
+    record = read_lock_record(lock_path)
+    return record.pid if record is not None else None
+
+
+def _lock_is_stale(record, now=None):
+    """Whether a lock record may be stolen.
+
+    Legacy (host-blind) locks keep the pid-liveness rule.  Lease locks are
+    stealable once *expired* — the whole point: a paused VM or partitioned
+    host cannot be pid-probed, but its lease runs out on its own.  A live,
+    unexpired lease from another host is never stale; an unexpired no-lease
+    lock from another host is conservatively never stale either (refusal
+    beats corruption when liveness is unknowable).
+    """
+    if record is None:
+        return True
+    if record.legacy:
+        return not _pid_alive(record.pid)
+    same_host = record.host == lock_host()
+    if same_host and not _pid_alive(record.pid):
+        return True
+    if record.expiry is not None:
+        return record.expired(now)
+    return False
 
 
 def _steal_stale_lock(directory, lock_path):
@@ -171,25 +318,36 @@ def _steal_stale_lock(directory, lock_path):
         if exc.errno != errno.EEXIST:
             raise
         # Another opener is mid-steal.  A live marker holder owns the right
-        # to the lock — that is contention, not staleness.  A dead one left
-        # its marker behind; clear it and retry.
-        marker_owner = read_pidfile_owner(marker)
-        if marker_owner is not None and _pid_alive(marker_owner):
-            raise StoreLockError(directory, marker_owner)
+        # to the lock — that is contention, not staleness.  A dead (or
+        # lease-expired) one left its marker behind; clear it and retry.
+        marker_record = read_lock_record(marker)
+        if marker_record is not None and not _lock_is_stale(marker_record):
+            raise StoreLockError(
+                directory, marker_record.pid, owner_host=marker_record.host
+            )
         try:
             os.unlink(marker)
         except OSError:
             pass
         return
     try:
-        os.write(fd, ("%d\n" % os.getpid()).encode("ascii"))
+        # The marker carries a short lease of its own, so a steal wedged on
+        # one host cannot block other hosts forever.
+        os.write(
+            fd,
+            format_lock_payload(
+                lock_host(), os.getpid(), 0, time.time() + _STEAL_MARKER_TTL
+            ).encode("ascii"),
+        )
     finally:
         os.close(fd)
     try:
-        owner = read_pidfile_owner(lock_path)
-        if owner is None or not _pid_alive(owner):
+        record = read_lock_record(lock_path)
+        if _lock_is_stale(record):
             logger.warning(
-                "%s: stealing stale lock left by dead pid %s", directory, owner
+                "%s: stealing stale lock left by %s",
+                directory,
+                record if record is not None else "an unreadable owner",
             )
             try:
                 os.unlink(lock_path)
@@ -202,29 +360,41 @@ def _steal_stale_lock(directory, lock_path):
             pass
 
 
-def acquire_pidfile_lock(directory, fsync=True):
-    """Take the exclusive pidfile lock on ``directory``; returns its path.
+def acquire_pidfile_lock(directory, fsync=True, ttl=None, epoch=0, clock=None):
+    """Take the exclusive lock on ``directory``; returns its path.
 
-    A lock held by a live process raises :class:`StoreLockError`; a lock
-    left behind by a dead one is stolen through the marker-guarded path
-    above, so two concurrent openers racing for the same stale lock end
-    with exactly one holder.  Both the per-worker campaign store and the
-    service root reuse this.
+    The payload is the host-qualified lease format
+    (``host:pid:epoch:expiry``); ``ttl=None`` writes a no-lease lock whose
+    liveness follows the same-host pid rules, ``ttl=<secs>`` a lease that
+    other hosts may steal once it expires.  ``epoch`` is the holder's
+    fencing epoch, stamped into the payload so a successor (and the holder
+    itself, on renewal) can tell *which* acquisition a record belongs to.
+
+    A lock held by a live owner raises :class:`StoreLockError`; a stale
+    one (dead same-host pid, or expired lease) is stolen through the
+    marker-guarded path above, so concurrent openers racing for the same
+    stale lock end with exactly one holder.  The per-worker campaign
+    store, the service root, and the service lease all reuse this.
     """
     lock_path = os.path.join(directory, LOCK_NAME)
-    payload = ("%d\n" % os.getpid()).encode("ascii")
+    now = clock() if clock is not None else time.time()
+    payload = format_lock_payload(
+        lock_host(), os.getpid(), epoch, None if ttl is None else now + ttl
+    ).encode("ascii")
     while True:
         try:
             fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except OSError as exc:
             if exc.errno != errno.EEXIST:
                 raise
-            owner = read_pidfile_owner(lock_path)
-            if owner is not None and _pid_alive(owner):
+            record = read_lock_record(lock_path)
+            if record is not None and not _lock_is_stale(record):
                 # A live owner — even this very process (a second store on
                 # the same slice) — means two campaigns would clobber one
                 # directory.  Refuse.
-                raise StoreLockError(directory, owner)
+                raise StoreLockError(
+                    directory, record.pid, owner_host=record.host
+                )
             _steal_stale_lock(directory, lock_path)
             continue
         try:
@@ -236,10 +406,53 @@ def acquire_pidfile_lock(directory, fsync=True):
         return lock_path
 
 
-def release_pidfile_lock(directory):
-    """Drop the pidfile lock on ``directory`` (idempotent, best-effort)."""
+def renew_pidfile_lock(directory, ttl, epoch=0, clock=None, fsync=True):
+    """Atomically extend this owner's lease on ``directory``.
+
+    Verifies the lock still names this (host, pid, epoch) before
+    rewriting it with a fresh expiry; a lock that meanwhile names someone
+    else — the lease expired and was stolen — raises
+    :class:`StoreFencedError`, the signal for the fenced owner to stop
+    writing.  The verify-then-replace pair is not atomic against a
+    concurrent steal; that residual window is exactly why journal records
+    are fence-stamped and resolved at scan time.
+    """
+    lock_path = os.path.join(directory, LOCK_NAME)
+    record = read_lock_record(lock_path)
+    if record is None or not record.names(lock_host(), os.getpid(), epoch):
+        raise StoreFencedError(directory, record)
+    now = clock() if clock is not None else time.time()
+    atomic_write_bytes(
+        lock_path,
+        format_lock_payload(lock_host(), os.getpid(), epoch, now + ttl).encode(
+            "ascii"
+        ),
+        fsync=fsync,
+    )
+    return lock_path
+
+
+def release_pidfile_lock(directory, epoch=None, force=False):
+    """Drop this owner's lock on ``directory`` (idempotent, best-effort).
+
+    The unlink is ownership-checked: a process whose stale lock was
+    stolen and re-acquired must not delete the *new* owner's lock, so the
+    file is removed only when it still names this host+pid (and ``epoch``,
+    when given).  ``force=True`` skips the check — administrative cleanup
+    of a root nobody owns.
+    """
+    lock_path = os.path.join(directory, LOCK_NAME)
+    if not force:
+        record = read_lock_record(lock_path)
+        if record is not None and not record.names(
+            lock_host(), os.getpid(), epoch
+        ):
+            logger.warning(
+                "%s: not releasing a lock now owned by %s", directory, record
+            )
+            return
     try:
-        os.unlink(os.path.join(directory, LOCK_NAME))
+        os.unlink(lock_path)
     except OSError:
         pass
 
@@ -319,6 +532,7 @@ class CampaignStore:
         incarnation=0,
         fsync=True,
         bus=None,
+        lease_ttl=None,
     ):
         self.root = os.path.abspath(root)
         self.worker = worker
@@ -327,6 +541,11 @@ class CampaignStore:
         self.incarnation = int(incarnation)
         self.fsync = fsync
         self._bus = bus
+        #: Lease seconds on the slice lock (None = classic no-lease lock).
+        #: The incarnation doubles as the slice's fencing epoch: attempt N's
+        #: lock names epoch N, so a stalled attempt N-1 whose lease expired
+        #: and was stolen fails its next renewal with StoreFencedError.
+        self.lease_ttl = lease_ttl
         self._locked = False
         self._write_no = 0  # committed artifact writes (fault-plan key)
         self._seen = {}  # content hash -> artifact kind already on disk
@@ -336,7 +555,12 @@ class CampaignStore:
             os.makedirs(os.path.join(self.worker_dir, sub), exist_ok=True)
         if lock:
             self._acquire_lock()
-        self.meta = self._load_or_init_manifest(dict(meta or {}))
+        meta = dict(meta or {})
+        # Epoch-stamp the manifest: which host and which fencing epoch
+        # (= incarnation) last owned this slice.
+        meta.setdefault("host", lock_host())
+        meta["fence"] = self.incarnation
+        self.meta = self._load_or_init_manifest(meta)
         self._adopt_existing()
 
     # -- lifecycle -------------------------------------------------------------
@@ -349,15 +573,55 @@ class CampaignStore:
         return False
 
     def close(self):
-        """Flush the manifest and release the lock (idempotent)."""
+        """Flush the manifest and release the lock (idempotent).
+
+        Both steps are ownership-checked end to end: a store whose lease
+        was stolen must neither clobber the successor's manifest nor
+        delete its lock.
+        """
         if self._locked:
-            self._write_manifest()
-            release_pidfile_lock(self.worker_dir)
+            try:
+                self._write_manifest()
+            except StoreFencedError:
+                logger.warning(
+                    "%s: fenced at close; manifest left to the successor",
+                    self.worker_dir,
+                )
+            release_pidfile_lock(self.worker_dir, epoch=self.incarnation)
             self._locked = False
 
     def _acquire_lock(self):
-        acquire_pidfile_lock(self.worker_dir, fsync=self.fsync)
+        acquire_pidfile_lock(
+            self.worker_dir,
+            fsync=self.fsync,
+            ttl=self.lease_ttl,
+            epoch=self.incarnation,
+        )
         self._locked = True
+
+    def renew_lease(self):
+        """Extend the slice lease (no-op for classic no-lease locks).
+
+        Raises :class:`StoreFencedError` when the lock no longer names
+        this worker — its lease expired and a successor took the slice.
+        """
+        if self._locked and self.lease_ttl is not None:
+            renew_pidfile_lock(
+                self.worker_dir,
+                self.lease_ttl,
+                epoch=self.incarnation,
+                fsync=self.fsync,
+            )
+
+    def check_fence(self):
+        """Raise :class:`StoreFencedError` if this store lost its lock."""
+        if not self._locked:
+            return
+        record = read_lock_record(os.path.join(self.worker_dir, LOCK_NAME))
+        if record is None or not record.names(
+            lock_host(), os.getpid(), self.incarnation if self.lease_ttl else None
+        ):
+            raise StoreFencedError(self.worker_dir, record)
 
     # -- manifest / stats ------------------------------------------------------
 
@@ -396,6 +660,8 @@ class CampaignStore:
         return manifest
 
     def _write_manifest(self):
+        if self.lease_ttl is not None and self._locked:
+            self.check_fence()
         data = json.dumps(self.meta, indent=2, sort_keys=True).encode("utf-8")
         atomic_write_bytes(self._manifest_path(), data, fsync=self.fsync)
 
@@ -437,6 +703,10 @@ class CampaignStore:
 
     def _commit(self, kind, data, sig=None):
         """Dedupe, atomically write, and fault-check one artifact."""
+        if self.lease_ttl is not None:
+            # Leased slices refuse late writes outright: a fenced worker
+            # must not grow a successor's directory.
+            self.check_fence()
         digest = content_hash(data)
         if self._seen.get((kind, digest)) is not None:
             return None

@@ -5,8 +5,17 @@ checkpoints + supervisor, PR 4 durable store) to a long-running service
 that schedules many concurrent campaigns across a supervised worker pool:
 
 :mod:`.journal`
-    crash-safe job journal — one atomic record per state transition,
-    tolerant recovery scan with quarantine.
+    crash-safe job journal — one atomic, fence-stamped record per state
+    transition, tolerant recovery scan with quarantine, and compaction
+    into self-verifying snapshots (snapshot + tail replay on recovery).
+:mod:`.lease`
+    lease-based root ownership with fencing epochs: periodic renewal,
+    expiry-based steals for standby actors on other hosts, and typed
+    :class:`~repro.service.lease.LeaseLostError` fencing detection.
+:mod:`.intake`
+    live request files (``req:<nonce>,hash:…``) any process may drop for
+    a running daemon: submissions, cancels, and drains are re-admitted
+    and settled exactly once by nonce.
 :mod:`.jobs`
     job specs, states, tenant policies, typed service errors, and the
     deterministic journal fold that rebuilds the job table on restart.
@@ -18,7 +27,8 @@ that schedules many concurrent campaigns across a supervised worker pool:
 :mod:`.orchestrator`
     the asyncio :class:`~repro.service.orchestrator.CampaignService`:
     submit/status/cancel/fetch_crashes, heartbeat deadlines, wall budgets,
-    retry budgets with exponential backoff, and overload load shedding.
+    retry budgets with exponential backoff, overload load shedding, and
+    daemon mode (``serve_forever``) with journal-tail intake.
 """
 
 from repro.service.dedupe import CrashDedupe
@@ -35,10 +45,14 @@ from repro.service.jobs import (
     WallBudgetError,
 )
 from repro.service.journal import JobJournal
+from repro.service.lease import LeaseLostError, ServiceLease, read_fence
 from repro.service.orchestrator import (
     CampaignService,
+    cancel_offline,
+    compact_offline,
     list_job_crashes,
     load_job_table,
+    load_service_state,
     submit_offline,
 )
 
@@ -51,12 +65,18 @@ __all__ = [
     "JobJournal",
     "JobSpec",
     "JobTimeoutError",
+    "LeaseLostError",
     "OverloadError",
     "ServiceError",
+    "ServiceLease",
     "TenantPolicy",
     "TransitionError",
     "WallBudgetError",
+    "cancel_offline",
+    "compact_offline",
     "list_job_crashes",
     "load_job_table",
+    "load_service_state",
+    "read_fence",
     "submit_offline",
 ]

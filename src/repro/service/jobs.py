@@ -35,7 +35,14 @@ TERMINAL_STATES = frozenset((SUCCEEDED, DEGRADED, CANCELLED))
 
 #: Events a journal may carry, in the order a healthy job emits them.
 JOB_EVENTS = ("submit", "start", "recover", "retry", "done", "degrade", "cancel")
-SERVICE_EVENTS = ("epoch",)
+
+#: Events that are service metadata, not job transitions: the fold tracks
+#: them (epoch count, handled intake nonces) but they never touch a
+#: JobRecord.  ``refuse`` / ``ack`` settle an intake request (see
+#: :mod:`repro.service.intake`) without creating a job; a ``submit`` or
+#: ``cancel`` carrying ``payload["request"]`` settles one *by* creating
+#: (or transitioning) a job.  ``compact`` marks a journal compaction.
+SERVICE_EVENTS = ("epoch", "refuse", "ack", "compact")
 
 
 class ServiceError(RuntimeError):
@@ -192,6 +199,7 @@ class JobRecord:
         "reason",
         "summary",
         "pid",
+        "pid_host",
         "note",
         "progress",
     )
@@ -204,11 +212,42 @@ class JobRecord:
         self.reason = None  # DegradeReason once DEGRADED
         self.summary = None  # worker summary dict once SUCCEEDED
         self.pid = None  # last known worker pid
+        self.pid_host = None  # host that pid lives on (None: unrecorded)
         self.note = ""
         self.progress = {}  # last heartbeat payload (not journaled)
 
     def terminal(self):
         return self.state in TERMINAL_STATES
+
+    def to_state_dict(self):
+        """Lossless durable form for journal compaction snapshots.
+
+        Everything the fold knows goes in except the transient fields
+        (``pid``, ``progress``), which only describe a live attempt — a
+        snapshot is only ever taken of settled state, and recovery
+        re-derives liveness anyway.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "retries_used": self.retries_used,
+            "reason": self.reason.to_dict() if self.reason else None,
+            "summary": self.summary,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_state_dict(cls, data):
+        record = cls(JobSpec.from_dict(data["spec"]))
+        record.state = data.get("state", PENDING)
+        record.attempts = int(data.get("attempts", 0))
+        record.retries_used = int(data.get("retries_used", 0))
+        reason = data.get("reason")
+        record.reason = DegradeReason.from_dict(reason) if reason else None
+        record.summary = data.get("summary")
+        record.note = str(data.get("note", ""))
+        return record
 
     def snapshot(self):
         """JSON-safe status view (the ``repro job status`` payload)."""
@@ -259,6 +298,7 @@ def apply_event(jobs, job_id, event, payload):
         record.state = RUNNING
         record.attempts += 1
         record.pid = payload.get("pid")
+        record.pid_host = payload.get("host")
     elif event == "recover":
         # Service restart: the attempt died with the orchestrator.  Back to
         # the queue with *no* retry charge — the job did nothing wrong.
@@ -287,6 +327,95 @@ def apply_event(jobs, job_id, event, payload):
     return 0
 
 
+class FoldState:
+    """Everything the journal fold derives, as one snapshottable value.
+
+    Besides the job table this tracks service metadata the table cannot
+    carry: prior-life count, conflict count, and the map of *handled*
+    intake nonces to the job each one resolved to (None for a refused or
+    acknowledged request) — the latter so a request file replayed after a
+    crash can never be converted into a second job.  The whole state
+    round-trips through :meth:`to_dict` / :meth:`from_dict`, which is what
+    makes journal compaction lossless: ``snapshot + tail`` folds to the
+    same value as the full history.
+    """
+
+    __slots__ = ("jobs", "epochs", "conflicts", "handled", "upto")
+
+    def __init__(self):
+        self.jobs = {}
+        self.epochs = 0
+        self.conflicts = 0
+        self.handled = {}  # request nonce -> job id (None: refused/acked)
+        self.upto = -1  # highest folded seq; compaction's high-water mark
+
+    def apply(self, record):
+        """Fold one :class:`repro.service.journal.JournalRecord`."""
+        if record.seq > self.upto:
+            self.upto = record.seq
+        event = record.event
+        payload = record.payload or {}
+        if event == "epoch":
+            self.epochs += 1
+            return
+        if event in ("refuse", "ack"):
+            self._settle(payload.get("request"), None)
+            return
+        if event == "compact":
+            return
+        if event in ("submit", "cancel"):
+            self._settle(payload.get("request"), record.job)
+        self.conflicts += apply_event(self.jobs, record.job, event, payload)
+
+    def _settle(self, nonce, job_id):
+        if nonce:
+            self.handled[nonce] = job_id
+
+    def to_dict(self):
+        return {
+            "jobs": {
+                job_id: record.to_state_dict()
+                for job_id, record in self.jobs.items()
+            },
+            "epochs": self.epochs,
+            "conflicts": self.conflicts,
+            "handled": self.handled,
+            "upto": self.upto,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        state = cls()
+        jobs = data.get("jobs") or {}
+        for job_id in sorted(
+            jobs, key=lambda jid: jobs[jid].get("spec", {}).get("index", 0)
+        ):
+            state.jobs[job_id] = JobRecord.from_state_dict(jobs[job_id])
+        state.epochs = int(data.get("epochs", 0))
+        state.conflicts = int(data.get("conflicts", 0))
+        handled = data.get("handled") or {}
+        if isinstance(handled, dict):
+            state.handled = dict(handled)
+        else:  # older snapshots stored a bare list of nonces
+            state.handled = {nonce: None for nonce in handled}
+        state.upto = int(data.get("upto", -1))
+        return state
+
+
+def fold_state(records, base=None):
+    """Fold journal records (in seq order) into a :class:`FoldState`.
+
+    ``base`` seeds the fold from a compaction snapshot; the caller is
+    responsible for passing only records *beyond* the snapshot's
+    high-water mark (``record.seq > base.upto``) — re-applying an already
+    folded record would double-count it.
+    """
+    state = base if base is not None else FoldState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
 def fold_records(records):
     """Fold scanned journal records into ``(jobs, epochs, conflicts)``.
 
@@ -296,12 +425,5 @@ def fold_records(records):
     type-check — zero for any journal an uncorrupted service wrote, even
     one killed mid-transition, because each record is atomic.
     """
-    jobs = {}
-    epochs = 0
-    conflicts = 0
-    for record in records:
-        if record.event == "epoch":
-            epochs += 1
-            continue
-        conflicts += apply_event(jobs, record.job, record.event, record.payload)
-    return jobs, epochs, conflicts
+    state = fold_state(records)
+    return state.jobs, state.epochs, state.conflicts

@@ -7,10 +7,36 @@ either a fully-committed record or nothing under the real name (at worst
 a ``*.tmp.<pid>`` straggler the scan ignores).  The embedded content hash
 makes every record self-verifying, exactly like store artifacts.
 
-Recovery is a tolerant scan: records whose name, hash, JSON body, or
-sequence number do not check out move to ``journal/quarantine/`` and the
-scan continues — damage (e.g. an injected ``journal-torn`` fault, or real
-media corruption) costs at most the damaged records, never the service.
+Three properties keep the journal safe when the root is *shared* —
+across hosts, and across the daemon/submitter process boundary:
+
+- **Sequence claims.**  Legitimate writers are serialized by the root
+  lock (live submissions travel as ``req:`` files, see
+  :mod:`repro.service.intake` — never as raw journal appends), but a
+  *displaced* holder does not know it lost the root and may still
+  append.  Each append therefore first claims its sequence number via
+  an ``O_EXCL`` create under ``journal/seq/``, so two writers can never
+  commit different records under the same seq; a claim whose record
+  never landed (crashed writer) costs a harmless gap.
+- **Fencing.**  Every record carries the writer's fencing epoch (see
+  :mod:`repro.service.lease`).  ``append`` re-checks the lease right
+  before committing, and the recovery scan quarantines any record whose
+  fence *regresses* — the signature of a displaced holder's late write.
+- **Compaction.**  Terminal state is folded into self-verifying
+  snapshot files — ``journal/snap:<seq>,hash:<sha1>`` — holding the
+  entire :class:`repro.service.jobs.FoldState` up to a sequence
+  high-water mark.  Recovery loads the newest valid snapshot and folds
+  only the records beyond it.  Deletion *lags one snapshot*: compaction
+  N removes only records already covered by snapshot N-1 and keeps the
+  two newest snapshots, so a torn newest snapshot falls back to the
+  previous one with every needed record still on disk — a kill at any
+  instant leaves the old view or the new one, never a torn one.
+
+Recovery is a tolerant scan: records whose name, hash, JSON body,
+sequence number, or fence do not check out move to
+``journal/quarantine/`` and the scan continues — damage (e.g. an
+injected ``journal-torn`` fault, or real media corruption) costs at most
+the damaged records, never the service.
 
 Fault injection: ``append`` is the service's journal-commit clock.  After
 the n-th durable commit of this process, a matching ``journal-torn`` /
@@ -19,16 +45,20 @@ records exercise the quarantine path, ``orch-kill`` proves the restart
 ladder at every commit point.
 """
 
+import errno
 import hashlib
 import json
 import os
 
 from repro.fuzzer import faultinject
 from repro.fuzzer.store import atomic_write_bytes, _fsync_dir
+from repro.service.jobs import FoldState, fold_state
 
 JOURNAL_VERSION = 1
+SNAPSHOT_VERSION = 1
 JOURNAL_DIR = "journal"
 QUARANTINE_DIR = "quarantine"
+SEQ_DIR = "seq"
 
 _SEQ_WIDTH = 8
 
@@ -37,8 +67,11 @@ def record_name(seq, digest):
     return "rec:%0*d,hash:%s" % (_SEQ_WIDTH, seq, digest)
 
 
-def parse_record_name(name):
-    """``(seq, hash)`` from a journal record file name, or None."""
+def snapshot_name(seq, digest):
+    return "snap:%0*d,hash:%s" % (_SEQ_WIDTH, seq, digest)
+
+
+def _parse_name(name, kind):
     fields = {}
     order = []
     for part in name.split(","):
@@ -47,27 +80,43 @@ def parse_record_name(name):
             return None
         fields[key] = value
         order.append(key)
-    if order != ["rec", "hash"]:
+    if order != [kind, "hash"]:
         return None
     try:
-        return int(fields["rec"]), fields["hash"]
+        return int(fields[kind]), fields["hash"]
     except ValueError:
         return None
+
+
+def parse_record_name(name):
+    """``(seq, hash)`` from a journal record file name, or None."""
+    return _parse_name(name, "rec")
+
+
+def parse_snapshot_name(name):
+    """``(upto_seq, hash)`` from a snapshot file name, or None."""
+    return _parse_name(name, "snap")
 
 
 class JournalRecord:
     """One committed state transition."""
 
-    __slots__ = ("seq", "job", "event", "payload")
+    __slots__ = ("seq", "job", "event", "payload", "fence")
 
-    def __init__(self, seq, job, event, payload):
+    def __init__(self, seq, job, event, payload, fence=0):
         self.seq = seq
         self.job = job
         self.event = event
         self.payload = payload
+        self.fence = int(fence)
 
     def __repr__(self):
-        return "JournalRecord(#%d %s %s)" % (self.seq, self.job, self.event)
+        return "JournalRecord(#%d %s %s f%d)" % (
+            self.seq,
+            self.job,
+            self.event,
+            self.fence,
+        )
 
 
 class JobJournal:
@@ -77,16 +126,28 @@ class JobJournal:
     ``<action>@<service_index>.<nth-commit>[.<epoch>]``, with the commit
     counter local to this process so a restarted service's clock starts
     over (and, with the default incarnation 0, runs clean).
+
+    ``fence`` is stamped into every record this writer commits; ``lease``
+    (a :class:`repro.service.lease.ServiceLease`), when given, is
+    re-checked before each commit so a fenced holder aborts with
+    :class:`~repro.service.lease.LeaseLostError` instead of writing.
+    Writers without the root lock (live submitters) pass neither and
+    stamp the fence they last observed.
     """
 
-    def __init__(self, root, fsync=True, service_index=0, epoch=0):
+    def __init__(self, root, fsync=True, service_index=0, epoch=0, fence=0,
+                 lease=None):
         self.dir = os.path.join(os.path.abspath(root), JOURNAL_DIR)
         self.quarantine_dir = os.path.join(self.dir, QUARANTINE_DIR)
+        self.seq_dir = os.path.join(self.dir, SEQ_DIR)
         os.makedirs(self.quarantine_dir, exist_ok=True)
+        os.makedirs(self.seq_dir, exist_ok=True)
         self.fsync = fsync
         self.service_index = int(service_index)
         self.epoch = int(epoch)
-        self._next_seq = 0
+        self.fence = int(fence)
+        self.lease = lease
+        self._next_seq = None  # lazily adopted from disk
         self._commits = 0  # commits by THIS process: the fault-plan clock
 
     # -- writing ---------------------------------------------------------------
@@ -98,8 +159,9 @@ class JobJournal:
         an ``orch-kill`` at commit n proves the record survives the death —
         the restarted service must observe it.
         """
-        seq = self._next_seq
-        self._next_seq += 1
+        if self.lease is not None:
+            self.lease.check()
+        seq = self._claim_seq()
         body = json.dumps(
             {
                 "version": JOURNAL_VERSION,
@@ -107,6 +169,7 @@ class JobJournal:
                 "job": job,
                 "event": event,
                 "payload": payload or {},
+                "fence": self.fence,
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -126,6 +189,53 @@ class JobJournal:
                 faultinject.fire_journal_fault(fault, path)
         return seq
 
+    def _claim_seq(self):
+        """Reserve the next free sequence number, multi-writer safe.
+
+        The ``O_EXCL`` create under ``journal/seq/`` is the arbitration
+        point: of any number of concurrent writers eyeing the same seq,
+        exactly one wins it; the rest re-adopt from disk and move up.  A
+        claim without a record (writer died in between) is a gap the fold
+        does not mind.
+        """
+        if self._next_seq is None:
+            self._next_seq = self._adopted_seq()
+        while True:
+            seq = self._next_seq
+            claim = os.path.join(self.seq_dir, "%0*d" % (_SEQ_WIDTH, seq))
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                self._next_seq = max(self._adopted_seq(), seq + 1)
+                continue
+            os.close(fd)
+            self._next_seq = seq + 1
+            return seq
+
+    def _adopted_seq(self):
+        """Next sequence number per disk: past every claim, record, snapshot."""
+        top = -1
+        try:
+            names = os.listdir(self.seq_dir)
+        except OSError:
+            names = []
+        for name in names:
+            try:
+                top = max(top, int(name))
+            except ValueError:
+                pass
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            names = []
+        for name in names:
+            parsed = parse_record_name(name) or parse_snapshot_name(name)
+            if parsed is not None:
+                top = max(top, parsed[0])
+        return top + 1
+
     # -- recovery --------------------------------------------------------------
 
     def scan(self, quarantine=True):
@@ -135,10 +245,14 @@ class JobJournal:
         order; ``quarantined`` lists ``(name, reason)`` for files that
         failed verification and were moved aside (or merely skipped with
         ``quarantine=False`` — the read-only mode CLI inspection uses so
-        it never mutates a live service's journal).  Also adopts the next
+        it never mutates a live service's journal).  Beyond per-file
+        verification, the scan enforces cross-record invariants: duplicate
+        sequence numbers resolve to the highest-fence record, and a record
+        whose fence regresses below an earlier record's (a displaced
+        holder's late write) is quarantined.  Also adopts the next
         sequence number, so appends continue the surviving sequence.
         """
-        records = []
+        by_seq = {}
         quarantined = []
         try:
             names = os.listdir(self.dir)
@@ -153,7 +267,7 @@ class JobJournal:
             parsed = parse_record_name(name)
             if parsed is None:
                 if not name.startswith("rec:"):
-                    continue
+                    continue  # snapshots and foreign files: not ours to judge
                 self._quarantine(path, "unparseable name", quarantined, quarantine)
                 continue
             seq, digest = parsed
@@ -174,15 +288,179 @@ class JobJournal:
             if not isinstance(data, dict) or int(data.get("seq", -1)) != seq:
                 self._quarantine(path, "sequence mismatch", quarantined, quarantine)
                 continue
-            records.append(
-                JournalRecord(
-                    seq, data.get("job"), data.get("event", "?"),
-                    data.get("payload") or {},
-                )
+            record = JournalRecord(
+                seq,
+                data.get("job"),
+                data.get("event", "?"),
+                data.get("payload") or {},
+                data.get("fence", 0),
             )
-        records.sort(key=lambda record: record.seq)
-        self._next_seq = records[-1].seq + 1 if records else 0
+            rival = by_seq.get(seq)
+            if rival is None:
+                by_seq[seq] = (record, digest, path)
+                continue
+            # Two verified records under one seq: a pre-claim-protocol
+            # root, or a displaced holder that outraced the claim.  The
+            # higher fence is the live owner's; ties break on digest so
+            # every scanner resolves identically.
+            if (record.fence, digest) > (rival[0].fence, rival[1]):
+                by_seq[seq] = (record, digest, path)
+                loser = rival[2]
+            else:
+                loser = path
+            self._quarantine(loser, "duplicate sequence", quarantined, quarantine)
+        records = []
+        max_fence = 0
+        for seq in sorted(by_seq):
+            record, digest, path = by_seq[seq]
+            if record.fence < max_fence:
+                self._quarantine(
+                    path,
+                    "fenced late write (fence %d after %d)"
+                    % (record.fence, max_fence),
+                    quarantined,
+                    quarantine,
+                )
+                continue
+            max_fence = record.fence
+            records.append(record)
+        self._next_seq = self._adopted_seq()
         return records, quarantined
+
+    def recover(self, quarantine=True):
+        """Full recovery: newest valid snapshot + tail fold.
+
+        Returns ``(state, quarantined)`` where ``state`` is the
+        :class:`~repro.service.jobs.FoldState` of the whole history —
+        identical to folding every record ever written, but reading only
+        the snapshot plus the records beyond its high-water mark.  A torn
+        newest snapshot is quarantined and the previous one takes over;
+        with no valid snapshot at all, the fold runs from the surviving
+        records alone.
+        """
+        base, quarantined = self._load_snapshot(quarantine)
+        records, more = self.scan(quarantine)
+        quarantined.extend(more)
+        if base is not None:
+            records = [record for record in records if record.seq > base.upto]
+        state = fold_state(records, base=base)
+        self._next_seq = max(self._next_seq or 0, state.upto + 1)
+        return state, quarantined
+
+    def _snapshots(self):
+        """``(upto, name)`` of every snapshot on disk, newest first."""
+        found = []
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            names = []
+        for name in names:
+            parsed = parse_snapshot_name(name)
+            if parsed is not None:
+                found.append((parsed[0], name))
+        found.sort(reverse=True)
+        return found
+
+    def _load_snapshot(self, quarantine=True):
+        """Newest snapshot that verifies, falling back across torn ones."""
+        quarantined = []
+        for upto, name in self._snapshots():
+            path = os.path.join(self.dir, name)
+            digest = parse_snapshot_name(name)[1]
+            try:
+                with open(path, "rb") as handle:
+                    body = handle.read()
+            except OSError as exc:
+                self._quarantine(path, "unreadable: %s" % exc, quarantined, quarantine)
+                continue
+            if hashlib.sha1(body).hexdigest() != digest:
+                self._quarantine(
+                    path, "snapshot hash mismatch (torn?)", quarantined, quarantine
+                )
+                continue
+            try:
+                data = json.loads(body.decode("utf-8"))
+                state = FoldState.from_dict(data["state"])
+            except (ValueError, KeyError, TypeError):
+                self._quarantine(
+                    path, "malformed snapshot", quarantined, quarantine
+                )
+                continue
+            if state.upto < 0:
+                state.upto = upto
+            return state, quarantined
+        return None, quarantined
+
+    def compact(self):
+        """Fold history into a snapshot; delete what the *previous* one covers.
+
+        Returns the new snapshot's path (None for an empty journal).  The
+        snapshot write is atomic; the ``compact`` marker record after it
+        makes the event visible to tailing watchers (and gives the fault
+        plan a commit point to kill at).  Deletion lags one snapshot: only
+        records at or below the previous snapshot's high-water mark go,
+        and the two newest snapshots stay — so at every instant, disk
+        holds a complete view through either the newest snapshot or its
+        predecessor.
+        """
+        state, _ = self.recover(quarantine=True)
+        if state.upto < 0:
+            return None
+        body = json.dumps(
+            {
+                "version": SNAPSHOT_VERSION,
+                "upto": state.upto,
+                "state": state.to_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        digest = hashlib.sha1(body).hexdigest()
+        path = os.path.join(self.dir, snapshot_name(state.upto, digest))
+        atomic_write_bytes(path, body, fsync=self.fsync)
+        if self.fsync:
+            _fsync_dir(self.dir)
+        self.append(
+            None, "compact", {"upto": state.upto, "snapshot": os.path.basename(path)}
+        )
+        snapshots = self._snapshots()
+        for upto, name in snapshots[2:]:
+            try:
+                os.unlink(os.path.join(self.dir, name))
+            except OSError:
+                pass
+        covered = snapshots[1][0] if len(snapshots) > 1 else -1
+        if covered >= 0:
+            self._prune(covered)
+        return path
+
+    def _prune(self, covered):
+        """Delete records and seq claims at or below ``covered`` (idempotent)."""
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            names = []
+        for name in names:
+            parsed = parse_record_name(name)
+            if parsed is not None and parsed[0] <= covered:
+                try:
+                    os.unlink(os.path.join(self.dir, name))
+                except OSError:
+                    pass
+        try:
+            names = os.listdir(self.seq_dir)
+        except OSError:
+            names = []
+        for name in names:
+            try:
+                seq = int(name)
+            except ValueError:
+                continue
+            if seq <= covered:
+                try:
+                    os.unlink(os.path.join(self.seq_dir, name))
+                except OSError:
+                    pass
 
     def _quarantine(self, path, reason, quarantined, move):
         name = os.path.basename(path)

@@ -1,0 +1,283 @@
+"""Lease-based service-root ownership with fencing epochs.
+
+The campaign service root is exclusive: one orchestrator owns it at a
+time.  On a single host, pid-liveness (``os.kill(pid, 0)``) decides when
+a dead owner's lock may be stolen — but across hosts sharing the root
+over a network filesystem, liveness is unknowable: a paused VM or a
+partitioned host looks exactly like a dead one.  :class:`ServiceLease`
+replaces liveness with *time*: the lock carries an expiry that the
+holder must keep renewing, and a standby actor may steal the root only
+once that expiry passes.
+
+The dangerous moment is *after* a steal: the old holder may wake up
+(VM un-paused, partition healed) still believing it owns the root, and
+flush writes that were in flight when it froze.  Each acquisition is
+therefore stamped with a **fencing epoch** — strictly greater than every
+epoch the root has ever seen, tracked in the ``FENCE`` file and in the
+lock payload itself — and every journal record the holder commits
+carries its epoch.  A fenced holder's late writes are then *detectable*:
+its next :meth:`renew` / :meth:`check` raises :class:`LeaseLostError`,
+and any record it managed to slip in before noticing is quarantined by
+the journal's fence-monotonicity scan (see
+:meth:`repro.service.journal.JobJournal.scan`).
+
+Clock skew between hosts eats into the safety margin rather than
+breaking it: the holder renews at ``ttl/3`` intervals, so a skew
+smaller than ``2*ttl/3`` never produces a false steal, and a false
+steal is *still safe* — merely disruptive — because fencing catches the
+displaced holder.  The ``clock-skew`` fault action exists to prove
+exactly that.
+"""
+
+import logging
+import os
+import time
+
+from ..fuzzer import faultinject
+from ..fuzzer.store import (
+    LOCK_NAME,
+    StoreFencedError,
+    StoreLockError,
+    acquire_pidfile_lock,
+    atomic_write_bytes,
+    format_lock_payload,
+    lock_host,
+    read_lock_record,
+    release_pidfile_lock,
+    renew_pidfile_lock,
+)
+
+logger = logging.getLogger("repro.service.lease")
+
+# Fencing-epoch high-water mark, kept beside the lock so epochs stay
+# monotonic even across clean releases (which delete the lock file).
+FENCE_NAME = "FENCE"
+
+
+class LeaseLostError(Exception):
+    """This actor's lease on the root expired or was stolen.
+
+    The only correct reaction is to stop writing: a successor with a
+    higher fencing epoch may already own the root, and anything this
+    actor commits from now on is a *late write* the successor's scan
+    will quarantine.
+    """
+
+    def __init__(self, root, owner=None):
+        self.root = root
+        self.owner = owner
+        super().__init__(
+            "%s: lease lost%s"
+            % (root, "" if owner is None else " — the root now names %s" % (owner,))
+        )
+
+
+def read_fence(root):
+    """The root's fencing high-water mark (0 for a never-leased root)."""
+    try:
+        with open(os.path.join(root, FENCE_NAME), "rb") as handle:
+            return int(handle.read().decode("ascii", "replace").strip() or 0)
+    except (OSError, ValueError):
+        return 0
+
+
+class ServiceLease:
+    """Exclusive, renewable, fenced ownership of one service root.
+
+    ``ttl=None`` degrades to the classic no-lease lock (single-host
+    semantics, pid-liveness staleness) while still advancing the fencing
+    epoch — so a root can move freely between leased and unleased
+    owners.  ``service_index`` is this actor's coordinate in the fault
+    plan; the fault incarnation coordinate is ``epoch - 1``, i.e. 0
+    targets the root's first-ever holder.
+    """
+
+    RENEW_FRACTION = 3  # renew every ttl/3 — two misses of margin
+
+    def __init__(self, root, ttl=None, service_index=0, fsync=True):
+        self.root = root
+        self.ttl = ttl
+        self.service_index = service_index
+        self.fsync = fsync
+        self.epoch = 0
+        self.skew = 0.0  # clock-skew fault offset, seconds
+        self.held = False
+        self.frozen = False  # lease-expire fired: stop renewing, look dead
+        self.renewals = 0  # fault clock: n-th renewal attempt
+        self.renewed_at = 0.0
+
+    # -- clocks ----------------------------------------------------------
+
+    def now(self):
+        """This actor's lease clock (wall time plus injected skew)."""
+        return time.time() + self.skew
+
+    def renew_interval(self):
+        """Seconds between renewals (None when unleased)."""
+        if self.ttl is None:
+            return None
+        return self.ttl / float(self.RENEW_FRACTION)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def acquire(self, wait=None, poll=0.05):
+        """Take the root, fenced above every epoch it has ever seen.
+
+        ``wait=None`` raises :class:`StoreLockError` immediately when a
+        live owner holds the root; ``wait=<secs>`` keeps retrying until
+        the owner releases — or its lease expires and the steal goes
+        through — which is exactly the standby actor's posture.
+        """
+        deadline = None if wait is None else time.monotonic() + float(wait)
+        while True:
+            epoch = self._next_epoch()
+            try:
+                acquire_pidfile_lock(
+                    self.root,
+                    fsync=self.fsync,
+                    ttl=self.ttl,
+                    epoch=epoch,
+                    clock=self.now,
+                )
+            except StoreLockError:
+                if deadline is None or time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+                continue
+            self.epoch = epoch
+            self.held = True
+            self.frozen = False
+            self.renewals = 0
+            self.renewed_at = time.monotonic()
+            # Bump the high-water mark *before* doing any work under the
+            # lease: even if this actor dies instantly, no later holder
+            # can reuse this epoch.
+            atomic_write_bytes(
+                os.path.join(self.root, FENCE_NAME),
+                b"%d\n" % epoch,
+                fsync=self.fsync,
+            )
+            fault = faultinject.active_plan().match(
+                "lease", self.service_index, 0, self.epoch - 1
+            )
+            if fault is not None:
+                faultinject.fire_lease_fault(fault, self)
+            return self
+
+    def _next_epoch(self):
+        """One above everything this root has seen: FENCE and lock alike."""
+        fence = read_fence(self.root)
+        record = read_lock_record(os.path.join(self.root, LOCK_NAME))
+        observed = 0
+        if record is not None and not record.legacy:
+            observed = record.epoch
+        return max(fence, observed) + 1
+
+    def renew(self, force=False):
+        """Extend the lease if its renewal interval has elapsed.
+
+        Returns True when the on-disk expiry was pushed out.  Raises
+        :class:`LeaseLostError` when the lock no longer names this
+        actor — the lease expired and a successor stole it.  A lease hit
+        by ``lease-expire`` goes silent instead: it stops renewing (so a
+        standby sees it expire) and keeps reporting success until
+        :meth:`check` discovers the fencing.
+        """
+        if not self.held:
+            raise LeaseLostError(self.root)
+        if self.ttl is None:
+            return False
+        interval = self.renew_interval()
+        if not force and time.monotonic() - self.renewed_at < interval:
+            return False
+        self.renewals += 1
+        fault = faultinject.active_plan().match(
+            "lease", self.service_index, self.renewals, self.epoch - 1
+        )
+        if fault is not None and faultinject.fire_lease_fault(fault, self):
+            return False
+        if self.frozen:
+            return False
+        try:
+            renew_pidfile_lock(
+                self.root,
+                self.ttl,
+                epoch=self.epoch,
+                clock=self.now,
+                fsync=self.fsync,
+            )
+        except StoreFencedError as exc:
+            self.held = False
+            raise LeaseLostError(self.root, exc.owner)
+        self.renewed_at = time.monotonic()
+        return True
+
+    def check(self):
+        """Verify this actor still owns an unexpired lease; else raise.
+
+        Called before every journal commit: it narrows the fencing
+        window from "until the next renewal" down to "between this check
+        and the write" — the residual race the journal's fence-stamped
+        records close completely.
+        """
+        if not self.held:
+            raise LeaseLostError(self.root)
+        record = read_lock_record(os.path.join(self.root, LOCK_NAME))
+        if record is None or not record.names(
+            lock_host(), os.getpid(), self.epoch
+        ):
+            self.held = False
+            raise LeaseLostError(self.root, record)
+        if record.expired(self.now()):
+            self.held = False
+            raise LeaseLostError(self.root, record)
+        return True
+
+    def release(self):
+        """Give the root up cleanly (ownership-checked, idempotent)."""
+        if not self.held:
+            return
+        self.held = False
+        release_pidfile_lock(self.root, epoch=self.epoch)
+
+    # -- fault hooks -----------------------------------------------------
+
+    def force_expire(self):
+        """``lease-expire`` fault: look dead without knowing it.
+
+        Rewrites the on-disk expiry into the past and freezes renewal,
+        so from the outside the lease has lapsed (a standby's staleness
+        check passes and the steal goes through) while this actor keeps
+        running until its next :meth:`check` raises.
+        """
+        self.frozen = True
+        lock_path = os.path.join(self.root, LOCK_NAME)
+        record = read_lock_record(lock_path)
+        if record is None or not record.names(
+            lock_host(), os.getpid(), self.epoch
+        ):
+            return
+        atomic_write_bytes(
+            lock_path,
+            format_lock_payload(
+                lock_host(), os.getpid(), self.epoch, self.now() - 3600.0
+            ).encode("ascii"),
+            fsync=self.fsync,
+        )
+        logger.warning(
+            "%s: lease force-expired by fault injection (epoch %d)",
+            self.root,
+            self.epoch,
+        )
+
+    def owner(self):
+        """Whoever the lock currently names (None for an unlocked root)."""
+        return read_lock_record(os.path.join(self.root, LOCK_NAME))
+
+    def __repr__(self):
+        return "ServiceLease(%s, epoch=%d, ttl=%s, held=%s)" % (
+            self.root,
+            self.epoch,
+            self.ttl,
+            self.held,
+        )

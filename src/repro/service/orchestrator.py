@@ -38,9 +38,11 @@ from repro.fuzzer.checkpoint import CheckpointCorruptError, CheckpointError
 from repro.fuzzer.parallel import _mp_context
 from repro.fuzzer.store import (
     CRASH_DIR,
+    StoreLockError,
     acquire_pidfile_lock,
+    lock_host,
     parse_artifact_name,
-    read_pidfile_owner,
+    read_lock_record,
     release_pidfile_lock,
     _pid_alive,
 )
@@ -51,6 +53,7 @@ from repro.fuzzer.supervisor import (
     WorkerTaskError,
     failure_category,
 )
+from repro.service import intake
 from repro.service.dedupe import CrashDedupe
 from repro.service.jobs import (
     PENDING,
@@ -62,9 +65,9 @@ from repro.service.jobs import (
     TenantPolicy,
     WallBudgetError,
     apply_event,
-    fold_records,
 )
-from repro.service.journal import JobJournal
+from repro.service.journal import JobJournal, parse_record_name
+from repro.service.lease import LeaseLostError, ServiceLease, read_fence
 from repro.service.worker import STORE_DIR, job_worker_main
 from repro.telemetry.bus import ServiceEvent, WorkerDroppedEvent, get_bus
 
@@ -75,16 +78,34 @@ JOBS_DIR = "jobs"
 _NO_RETRY_CATEGORIES = ("task-error", "checkpoint-corrupt")
 
 
+def load_service_state(root):
+    """Read-only recovery view: ``(state, quarantined, pending_requests)``.
+
+    Reads snapshot + tail exactly the way a restarting service would, but
+    never quarantines, appends, or deletes — safe against a live root.
+    ``pending_requests`` are verified intake request files not yet settled
+    by a journaled record.
+    """
+    journal = JobJournal(root, fsync=False)
+    state, quarantined = journal.recover(quarantine=False)
+    requests, damaged = intake.scan_requests(root)
+    quarantined = list(quarantined) + list(damaged)
+    pending = [
+        request
+        for request in requests
+        if request["nonce"] not in state.handled
+    ]
+    return state, quarantined, pending
+
+
 def load_job_table(root):
     """Read-only journal fold: ``(jobs, epochs, conflicts, quarantined)``.
 
     Used by ``repro job`` for inspection — never quarantines or appends,
     so it is safe to run against a live service's directory.
     """
-    journal = JobJournal(root, fsync=False)
-    records, quarantined = journal.scan(quarantine=False)
-    jobs, epochs, conflicts = fold_records(records)
-    return jobs, epochs, conflicts, quarantined
+    state, quarantined, _ = load_service_state(root)
+    return state.jobs, state.epochs, state.conflicts, quarantined
 
 
 def list_job_crashes(jobs_root, job_id):
@@ -123,25 +144,80 @@ def list_job_crashes(jobs_root, job_id):
 
 
 def submit_offline(root, **spec_kwargs):
-    """Journal a submission without running a service (``repro job submit``).
+    """Journal a submission (``repro job submit``), live root or stopped.
 
-    Takes the service root lock for the duration (a live service owns its
-    root; submitting under it would race the scheduler — the lock turns
-    that into a typed :class:`~repro.fuzzer.store.StoreLockError`).
+    A stopped root is submitted to directly: take the root lock, journal
+    the ``submit`` record, release.  A *live* root (the lock is held by a
+    running service) gets a request file instead (see
+    :mod:`repro.service.intake`): the daemon's tail watcher re-checks
+    admission and settles it.  Returns the job id on the direct path and
+    the ``req-…`` nonce on the live path — callers can tell them apart by
+    the prefix, and ``repro job status <nonce>`` resolves a settled nonce
+    to its job.
     """
     root = os.path.abspath(root)
     os.makedirs(root, exist_ok=True)
-    acquire_pidfile_lock(root)
     try:
-        journal = JobJournal(root)
-        records, _ = journal.scan(quarantine=False)
-        jobs, _, _ = fold_records(records)
+        acquire_pidfile_lock(root)
+    except StoreLockError:
+        # A live service owns the root: hand the submission to its intake.
+        return intake.submit_request(root, spec_kwargs)
+    try:
+        # Stamp the root's fence high-water mark: an offline submit after a
+        # leased service life must not look like a fenced late write.
+        journal = JobJournal(root, fence=read_fence(root))
+        state, _ = journal.recover(quarantine=False)
         index = max(
-            (record.spec.index for record in jobs.values()), default=-1
+            (record.spec.index for record in state.jobs.values()), default=-1
         ) + 1
         spec = JobSpec(job_id="j%06d" % index, index=index, **spec_kwargs)
         journal.append(spec.job_id, "submit", spec.to_dict())
         return spec.job_id
+    finally:
+        release_pidfile_lock(root)
+
+
+def cancel_offline(root, job_id):
+    """Cancel a job (``repro job cancel``), live root or stopped.
+
+    Mirrors :func:`submit_offline`: a stopped root is journaled directly
+    (returns True if the cancel took, False if the job was already
+    terminal), a live root gets a ``cancel-request`` file (returns the
+    ``req-…`` nonce).  Raises KeyError for an unknown job on the direct
+    path — against a live root the daemon refuses instead.
+    """
+    root = os.path.abspath(root)
+    try:
+        acquire_pidfile_lock(root)
+    except StoreLockError:
+        return intake.cancel_request(root, job_id)
+    try:
+        journal = JobJournal(root, fence=read_fence(root))
+        state, _ = journal.recover(quarantine=False)
+        record = state.jobs.get(job_id)
+        if record is None:
+            raise KeyError("unknown job %r" % (job_id,))
+        if record.terminal():
+            return False
+        journal.append(job_id, "cancel", {})
+        return True
+    finally:
+        release_pidfile_lock(root)
+
+
+def compact_offline(root):
+    """Compact a *stopped* root's journal (``repro job compact``).
+
+    Takes the root lock (raises :class:`StoreLockError` if a service is
+    live — a running daemon compacts on its own cadence), folds history
+    into a snapshot, and prunes records the previous snapshot covers.
+    Returns the snapshot path (None for an empty journal).
+    """
+    root = os.path.abspath(root)
+    acquire_pidfile_lock(root)
+    try:
+        journal = JobJournal(root, fence=read_fence(root))
+        return journal.compact()
     finally:
         release_pidfile_lock(root)
 
@@ -162,12 +238,26 @@ class CampaignService:
         service_index=0,
         bus=None,
         fsync=True,
+        lease_ttl=None,
+        standby_wait=None,
+        compact_after=0,
+        poll_interval=0.25,
     ):
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, JOBS_DIR)
         os.makedirs(self.jobs_dir, exist_ok=True)
-        acquire_pidfile_lock(self.root, fsync=fsync)
+        # Lease-based, fenced ownership of the root.  ttl=None keeps the
+        # classic single-host semantics (pid-liveness staleness) while
+        # still advancing the fencing epoch each life; a ttl makes the
+        # root stealable by a standby once this holder stops renewing.
+        self.lease = ServiceLease(
+            self.root, ttl=lease_ttl, service_index=service_index, fsync=fsync
+        )
+        self.lease.acquire(wait=standby_wait)
         self._locked = True
+        self.lease_ttl = lease_ttl
+        self.compact_after = int(compact_after)
+        self.poll_interval = float(poll_interval)
         self.max_workers = int(max_workers)
         self.policies = {policy.name: policy for policy in policies}
         self.default_policy = self.policies.get("default") or TenantPolicy("default")
@@ -183,27 +273,40 @@ class CampaignService:
         self.bus = bus if bus is not None else get_bus()
         self.fsync = fsync
         self.journal = JobJournal(
-            self.root, fsync=fsync, service_index=service_index
+            self.root,
+            fsync=fsync,
+            service_index=service_index,
+            fence=self.lease.epoch,
+            lease=self.lease,
         )
         self.jobs = {}
         self.epoch = 0
         self.fold_conflicts = 0
         self.quarantined = []
+        self.handled_requests = {}  # settled intake nonces -> job id/None
         self.dedupe = CrashDedupe()
         self.breaker_open = False
+        self.draining = False
         self._tenant_retries = {}
         self._claimed = set()  # job ids a runner coroutine currently owns
         self._procs = {}  # job id -> live worker Process
+        self._seen_seqs = set()  # journal seqs this life wrote or folded
+        self._records_since_compact = 0
         self._recover()
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self):
-        """Kill live workers and release the root lock (idempotent)."""
+        """Kill live workers and release the root lease (idempotent).
+
+        A fenced service has nothing to release — the lease already names
+        its successor, and :meth:`ServiceLease.release` knows not to
+        touch a lock that no longer names this owner.
+        """
         for job_id in list(self._procs):
             self._kill_worker(job_id)
         if self._locked:
-            release_pidfile_lock(self.root)
+            self.lease.release()
             self._locked = False
 
     def __enter__(self):
@@ -214,10 +317,20 @@ class CampaignService:
         return False
 
     def _recover(self):
-        """The recovery ladder: scan, fold, reap, requeue, rebuild, stamp."""
-        records, quarantined = self.journal.scan()
+        """The recovery ladder: scan, fold, reap, requeue, rebuild, stamp.
+
+        The scan reads snapshot + tail (compaction-aware) and quarantines
+        damage *and* fenced late writes — our FENCE bump in
+        ``ServiceLease.acquire`` happened before this, so any record a
+        displaced predecessor slips in from here on is detectably stale.
+        """
+        state, quarantined = self.journal.recover()
         self.quarantined = quarantined
-        self.jobs, self.epoch, self.fold_conflicts = fold_records(records)
+        self.jobs = state.jobs
+        self.epoch = state.epochs
+        self.fold_conflicts = state.conflicts
+        self.handled_requests = dict(state.handled)
+        self._seen_seqs = self._disk_seqs()
         # This life's fault-injection incarnation is its epoch: faults with
         # the default incarnation 0 fire only in the first service life, so
         # a restarted orchestrator runs clean unless explicitly targeted.
@@ -242,14 +355,21 @@ class CampaignService:
                 self._tenant_retries.get(tenant, 0) + record.retries_used
             )
         self.dedupe.rebuild(self.jobs_dir)
-        self._journal(None, "epoch", {"epoch": self.epoch, "pid": os.getpid()})
+        self._journal(
+            None,
+            "epoch",
+            {"epoch": self.epoch, "pid": os.getpid(), "fence": self.lease.epoch,
+             "host": lock_host()},
+        )
         self.bus.publish(
             ServiceEvent(
                 "recover",
-                detail="epoch %d: %d job(s), %d requeued, %d quarantined"
-                % (self.epoch, len(self.jobs), requeued, len(quarantined)),
+                detail="epoch %d (fence %d): %d job(s), %d requeued, %d quarantined"
+                % (self.epoch, self.lease.epoch, len(self.jobs), requeued,
+                   len(quarantined)),
                 data={
                     "epoch": self.epoch,
+                    "fence": self.lease.epoch,
                     "jobs": len(self.jobs),
                     "requeued": requeued,
                     "quarantined": len(quarantined),
@@ -257,6 +377,22 @@ class CampaignService:
                 },
             )
         )
+        # Requests a dead daemon left unsettled are admitted (or refused)
+        # now, before the scheduler starts — nothing waits for the pump.
+        self._pump_intake()
+
+    def _disk_seqs(self):
+        """Every record seq currently on disk (post-quarantine = all folded)."""
+        seqs = set()
+        try:
+            names = os.listdir(self.journal.dir)
+        except OSError:
+            names = []
+        for name in names:
+            parsed = parse_record_name(name)
+            if parsed is not None:
+                seqs.add(parsed[0])
+        return seqs
 
     def _reap_orphan(self, record):
         """SIGKILL a worker process that outlived the previous service.
@@ -265,15 +401,19 @@ class CampaignService:
         atexit cleanup — daemon children survive as orphans, still holding
         their store LOCK and still writing.  Two writers on one slice is
         exactly what the store lock forbids, so the orphan dies first.
+
+        Pids are only meaningful on this host: a foreign host's orphan
+        cannot be signalled from here, so its slice lock is left to the
+        lease-expiry steal when the respawned worker's store acquires it.
         """
         candidates = set()
-        if record.pid:
+        if record.pid and record.pid_host in (None, lock_host()):
             candidates.add(int(record.pid))
-        lock_owner = read_pidfile_owner(
+        lock = read_lock_record(
             os.path.join(self._job_dir(record.spec.job_id), STORE_DIR, "main", "LOCK")
         )
-        if lock_owner:
-            candidates.add(lock_owner)
+        if lock is not None and (lock.legacy or lock.host == lock_host()):
+            candidates.add(lock.pid)
         for pid in candidates:
             if pid == os.getpid() or not _pid_alive(pid):
                 continue
@@ -289,7 +429,9 @@ class CampaignService:
 
     def _journal(self, job_id, event, payload):
         """Durably journal ``event`` first, then apply it to the table."""
-        self.journal.append(job_id, event, payload)
+        seq = self.journal.append(job_id, event, payload)
+        self._seen_seqs.add(seq)
+        self._records_since_compact += 1
         conflict = apply_event(self.jobs, job_id, event, payload)
         self.fold_conflicts += conflict
         return conflict
@@ -308,12 +450,16 @@ class CampaignService:
         heartbeat_timeout=None,
         wall_budget=None,
         require_checkpoint=False,
+        request=None,
     ):
         """Admit one campaign; returns its job id.
 
         Raises :class:`AdmissionError` when the tenant's pending quota is
         full and :class:`OverloadError` for low-priority submissions while
-        the overload breaker is open.
+        the overload breaker is open.  ``request`` names the intake nonce
+        this submission settles (live ``repro job submit`` against the
+        daemon) — it rides in the journal payload so the fold can prove
+        the request was converted exactly once.
         """
         policy = self._policy(tenant)
         pending = [
@@ -356,7 +502,11 @@ class CampaignService:
             require_checkpoint=require_checkpoint,
             index=index,
         )
-        self._journal(spec.job_id, "submit", spec.to_dict())
+        payload = spec.to_dict()
+        if request:
+            payload["request"] = request
+            self.handled_requests[request] = spec.job_id
+        self._journal(spec.job_id, "submit", payload)
         self.bus.publish(
             ServiceEvent(
                 "submit",
@@ -374,14 +524,18 @@ class CampaignService:
             raise KeyError("unknown job %r" % (job_id,))
         return record.snapshot()
 
-    def cancel(self, job_id):
+    def cancel(self, job_id, request=None):
         """Cancel a job; returns False if it already reached a terminal state."""
         record = self.jobs.get(job_id)
         if record is None:
             raise KeyError("unknown job %r" % (job_id,))
         if record.terminal():
             return False
-        self._journal(job_id, "cancel", {})
+        payload = {}
+        if request:
+            payload["request"] = request
+            self.handled_requests[request] = job_id
+        self._journal(job_id, "cancel", payload)
         self._kill_worker(job_id)
         self.bus.publish(
             ServiceEvent("cancel", job=job_id, tenant=record.spec.tenant)
@@ -402,10 +556,41 @@ class CampaignService:
 
     async def run_until_idle(self):
         """Drive every admitted job to a terminal state, then return."""
+        return await self._run_loop(daemon=False)
+
+    async def serve_forever(self):
+        """Daemon mode: keep serving after the backlog drains.
+
+        The loop idles at ``poll_interval``, picking up intake requests
+        (live submissions, cancels) as they arrive, until a
+        ``drain-request`` is acknowledged and the backlog empties.
+        Returns the final summary, like :meth:`run_until_idle`.
+        """
+        return await self._run_loop(daemon=True)
+
+    async def _run_loop(self, daemon):
+        """The scheduler heart: lease, intake, dispatch, reap, compact.
+
+        Raises :class:`~repro.service.lease.LeaseLostError` the moment
+        this service discovers it was fenced — every worker is killed
+        first, so no write of ours lands after the successor's view
+        stabilizes.
+        """
         tasks = {}
+        loop = asyncio.get_event_loop()
+        next_pump = loop.time()
         try:
             while True:
+                self._renew_lease()
+                if loop.time() >= next_pump:
+                    self._pump_intake()
+                    next_pump = loop.time() + self.poll_interval
                 self._update_breaker()
+                if (
+                    self.compact_after
+                    and self._records_since_compact >= self.compact_after
+                ):
+                    self.compact()
                 for record in self._dispatchable():
                     job_id = record.spec.job_id
                     self._claimed.add(job_id)
@@ -418,11 +603,183 @@ class CampaignService:
                     record.state in (PENDING, RUNNING)
                     for record in self.jobs.values()
                 ):
-                    return self.summary()
-                await asyncio.sleep(0.005)
+                    if not daemon or self.draining:
+                        return self.summary()
+                await asyncio.sleep(
+                    self.poll_interval if daemon and not tasks else 0.005
+                )
+        except LeaseLostError:
+            self._fenced()
+            raise
         finally:
             for task in tasks.values():
                 task.cancel()
+
+    # -- lease + fencing -------------------------------------------------------
+
+    def _renew_lease(self):
+        """Keep the lease alive; discover fencing early (self-throttled)."""
+        self.lease.renew()
+
+    def _fenced(self):
+        """This service lost the root: stop writing *now*.
+
+        Workers die first (their store writes are fence-refused anyway,
+        but killing them closes the window), the lock is not touched (it
+        names the successor), and the bus records why this service exits.
+        """
+        for job_id in list(self._procs):
+            self._kill_worker(job_id)
+        self._locked = False
+        owner = self.lease.owner()
+        self.bus.publish(
+            ServiceEvent(
+                "fenced",
+                detail="lease lost (epoch %d); root now names %s"
+                % (self.lease.epoch, owner if owner is not None else "nobody"),
+                data={"fence": self.lease.epoch},
+            )
+        )
+
+    # -- intake ----------------------------------------------------------------
+
+    def _pump_intake(self):
+        """The journal-tail watcher: settle requests, spot foreign writes.
+
+        Request files are admission-re-checked and settled exactly once
+        (see :mod:`repro.service.intake`).  A journal record this life
+        neither wrote nor folded is a foreign write: a *higher* fence
+        means we were displaced (raise, stop serving), a lower one is a
+        predecessor's late write — quarantined, never applied.
+        """
+        requests, damaged = intake.scan_requests(self.root)
+        for name, reason in damaged:
+            self.journal._quarantine(
+                os.path.join(self.journal.dir, name), reason, [], True
+            )
+        for request in requests:
+            self._handle_request(request)
+        for name in self._foreign_records():
+            self._judge_foreign_record(name)
+
+    def _foreign_records(self):
+        try:
+            names = os.listdir(self.journal.dir)
+        except OSError:
+            return []
+        foreign = []
+        for name in names:
+            parsed = parse_record_name(name)
+            if parsed is not None and parsed[0] not in self._seen_seqs:
+                foreign.append(name)
+        return sorted(foreign)
+
+    def _judge_foreign_record(self, name):
+        path = os.path.join(self.journal.dir, name)
+        try:
+            with open(path, "rb") as handle:
+                body = handle.read()
+        except OSError:
+            return
+        try:
+            fence = int(json.loads(body.decode("utf-8")).get("fence", 0))
+        except (ValueError, AttributeError):
+            fence = 0
+        if fence > self.lease.epoch:
+            # A successor is already journaling: we are the late writer.
+            self.lease.held = False
+            raise LeaseLostError(self.root, self.lease.owner())
+        seq = parse_record_name(name)[0]
+        self._seen_seqs.add(seq)
+        self.journal._quarantine(
+            path,
+            "fenced late write (fence %d, current %d)" % (fence, self.lease.epoch),
+            [],
+            True,
+        )
+        self.bus.publish(
+            ServiceEvent(
+                "fenced",
+                detail="quarantined late record %s (fence %d)" % (name, fence),
+                data={"fence": fence, "record": name},
+            )
+        )
+
+    def _handle_request(self, request):
+        """Admission-re-check one intake request and settle it durably."""
+        nonce = request["nonce"]
+        path = request["path"]
+        if nonce in self.handled_requests:
+            intake.discard_request(path)  # settled before a crash; replay
+            return
+        kind = request["kind"]
+        payload = request["payload"]
+        refusal = None
+        detail = ""
+        if kind == "submit-request":
+            try:
+                job_id = self.submit(request=nonce, **(payload.get("spec") or {}))
+                detail = "admitted %s" % job_id
+            except (AdmissionError, TypeError, ValueError) as exc:
+                refusal = "%s: %s" % (type(exc).__name__, exc)
+        elif kind == "cancel-request":
+            job_id = payload.get("job")
+            try:
+                if self.cancel(job_id, request=nonce):
+                    detail = "cancelled %s" % job_id
+                else:
+                    refusal = "job %s already terminal" % job_id
+            except KeyError:
+                refusal = "unknown job %r" % (job_id,)
+        elif kind == "drain-request":
+            self.draining = True
+            self.handled_requests[nonce] = None
+            self._journal(None, "ack", {"request": nonce, "reason": "draining"})
+            detail = "draining"
+        else:
+            refusal = "unknown request kind %r" % (kind,)
+        if refusal is not None:
+            self.handled_requests[nonce] = None
+            self._journal(None, "refuse", {"request": nonce, "reason": refusal})
+            self.bus.publish(
+                ServiceEvent(
+                    "refuse",
+                    detail="%s %s: %s" % (kind, nonce, refusal),
+                    data={"request": nonce, "kind": kind},
+                )
+            )
+        else:
+            self.bus.publish(
+                ServiceEvent(
+                    "intake",
+                    detail="%s %s: %s" % (kind, nonce, detail or "ok"),
+                    data={"request": nonce, "kind": kind},
+                )
+            )
+        intake.discard_request(path)
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self):
+        """Fold settled history into a snapshot record (crash-safe).
+
+        Delegates to :meth:`JobJournal.compact`; the journal keeps the two
+        newest snapshots and deletes only records the *previous* snapshot
+        already covers, so a kill at any instant leaves a recoverable
+        root.  Returns the snapshot path (None for an empty journal).
+        """
+        path = self.journal.compact()
+        self._records_since_compact = 0
+        self._seen_seqs = self._disk_seqs()
+        if path is not None:
+            self.bus.publish(
+                ServiceEvent(
+                    "compact",
+                    detail=os.path.basename(path),
+                    data={"snapshot": os.path.basename(path)},
+                )
+            )
+        return path
 
     def summary(self):
         states = {}
@@ -470,7 +827,9 @@ class CampaignService:
                 incarnation = record.attempts
                 proc, conn = self._spawn(spec, incarnation)
                 self._journal(
-                    spec.job_id, "start", {"attempt": incarnation, "pid": proc.pid}
+                    spec.job_id,
+                    "start",
+                    {"attempt": incarnation, "pid": proc.pid, "host": lock_host()},
                 )
                 self.bus.publish(
                     ServiceEvent(
@@ -593,6 +952,12 @@ class CampaignService:
                     raise CheckpointCorruptError(
                         "job %s refused its checkpoint: %s" % (spec.job_id, detail)
                     )
+                if category == "fenced":
+                    # The worker's store lease was stolen (paused host,
+                    # expired slice lease).  Retryable: a respawn takes a
+                    # fresh slice epoch; the stale attempt's writes were
+                    # refused at the store boundary.
+                    raise WorkerDeadError(spec.index, "fenced mid-job: %s" % detail)
                 raise WorkerTaskError(spec.index, "failed: %s" % (detail,))
             raise WorkerTaskError(
                 spec.index, "sent unexpected message %r" % (message[0],)
@@ -639,7 +1004,7 @@ class CampaignService:
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(
             target=job_worker_main,
-            args=(child_conn, spec.to_dict(), job_dir, incarnation),
+            args=(child_conn, spec.to_dict(), job_dir, incarnation, self.lease_ttl),
             daemon=True,
         )
         proc.start()

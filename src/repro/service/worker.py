@@ -28,7 +28,12 @@ import os
 from repro.fuzzer import faultinject
 from repro.fuzzer.checkpoint import CheckpointError
 from repro.fuzzer.parallel import _build_instance_engine
-from repro.fuzzer.store import MAIN_WORKER, CampaignStore, attach_store
+from repro.fuzzer.store import (
+    MAIN_WORKER,
+    CampaignStore,
+    StoreFencedError,
+    attach_store,
+)
 from repro.service.jobs import JobSpec
 
 #: Budget slices per attempt: one checkpoint + heartbeat per slice.
@@ -74,8 +79,18 @@ def _summary(engine, slices_done):
     }
 
 
-def job_worker_main(conn, spec_dict, job_dir, incarnation=0):
-    """Process entry: run (or resume) one job campaign to completion."""
+def job_worker_main(conn, spec_dict, job_dir, incarnation=0, lease_ttl=None):
+    """Process entry: run (or resume) one job campaign to completion.
+
+    ``lease_ttl`` (inherited from the service) puts the store slice under
+    a lease too: the worker renews it at every slice boundary, and a
+    successor service on another host can steal the slice once the lease
+    runs out instead of waiting on an unkillable foreign pid.  A worker
+    whose slice lease was stolen reports the typed ``fenced`` failure —
+    the orchestrator retries with a fresh slice epoch, and every write
+    the stale attempt tried after the steal was refused at the store
+    boundary (:class:`~repro.fuzzer.store.StoreFencedError`).
+    """
     spec = JobSpec.from_dict(spec_dict)
     guard = _WireGuard(conn, spec.index, incarnation)
     store = None
@@ -99,6 +114,7 @@ def job_worker_main(conn, spec_dict, job_dir, incarnation=0):
             },
             worker_index=spec.index,
             incarnation=incarnation,
+            lease_ttl=lease_ttl,
         )
         engine.store = store
         ckpt_path = os.path.join(job_dir, CHECKPOINT_NAME)
@@ -131,6 +147,7 @@ def job_worker_main(conn, spec_dict, job_dir, incarnation=0):
         plan = faultinject.active_plan()
         for slice_no in range(done_slices, SLICES):
             engine.run_until(spec.budget_ticks * (slice_no + 1) // SLICES)
+            store.renew_lease()
             engine.save_checkpoint(
                 ckpt_path, meta={"slice": slice_no + 1, "job": spec.job_id}
             )
@@ -144,6 +161,11 @@ def job_worker_main(conn, spec_dict, job_dir, incarnation=0):
         engine.finish()
         store.finalize(engine, extra={"job": spec.job_id})
         guard.send(("done", _summary(engine, SLICES)))
+    except StoreFencedError as exc:
+        try:
+            guard.send(("error", "fenced", "%s: %s" % (type(exc).__name__, exc)))
+        except Exception:
+            pass
     except BaseException as exc:
         try:
             guard.send(("error", "task-error", "%s: %s" % (type(exc).__name__, exc)))

@@ -423,9 +423,13 @@ class ServiceEvent(TelemetryEvent):
 
     ``action`` names the lifecycle step (``"recover"``, ``"submit"``,
     ``"start"``, ``"retry"``, ``"done"``, ``"degrade"``, ``"cancel"``,
-    ``"breaker"``); ``job``/``tenant`` locate it; ``detail`` is a short
-    human string and ``data`` a small JSON-safe dict of action-specific
-    numbers (journal seq, dedupe counts, backlog, ...).
+    ``"breaker"``) or a multi-host event (``"fenced"`` — this service
+    was displaced or quarantined a predecessor's late write;
+    ``"intake"``/``"refuse"`` — a live request file was settled;
+    ``"compact"`` — the journal folded into a snapshot); ``job``/
+    ``tenant`` locate it; ``detail`` is a short human string and ``data``
+    a small JSON-safe dict of action-specific numbers (journal seq,
+    fencing epoch, dedupe counts, backlog, ...).
     """
 
     kind = "service"

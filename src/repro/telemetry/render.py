@@ -235,7 +235,8 @@ class TraceSummary:
                 label += " (%s)" % e.get("cause")
             out.append((e.get("wall", 0) - self.wall0, label))
         for e in self.service:
-            if e.get("action") in ("retry", "degrade", "breaker", "recover"):
+            if e.get("action") in ("retry", "degrade", "breaker", "recover",
+                                   "fenced", "intake", "refuse", "compact"):
                 out.append(
                     (e.get("wall", 0) - self.wall0,
                      "service %s %s" % (e.get("action"), e.get("job") or ""))

@@ -90,6 +90,48 @@ def test_fault_plan_matches_exact_site_only():
     assert plan.match("checkpoint", 1, 2, 0) is None
 
 
+def test_parse_faults_lease_actions_round_trip():
+    faults = parse_faults("lease-expire@0.2.1, clock-skew@1.0:secs=120")
+    assert faults[0].action == "lease-expire"
+    assert faults[0].site() == "lease"
+    assert (faults[0].worker, faults[0].round_no, faults[0].incarnation) == (
+        0, 2, 1,
+    )
+    assert faults[1].action == "clock-skew"
+    assert faults[1].site() == "lease"
+    assert faults[1].round_no == 0  # fires at acquisition, not a renewal
+    assert faults[1].params == {"secs": "120"}
+
+
+def test_lease_faults_cross_env(monkeypatch):
+    # The serve CLI inherits faults the same way workers do: via the env.
+    monkeypatch.setenv(faultinject.ENV_VAR, "lease-expire@0.1")
+    plan = faultinject.active_plan()
+    assert plan.match("lease", 0, 1, 0) is not None
+    assert plan.match("lease", 0, 1, 1) is None  # next epoch runs clean
+    assert plan.match("sync", 0, 1, 0) is None
+
+
+def test_fire_lease_fault_expires_and_skews():
+    class FakeLease:
+        skew = 0.0
+        expired = False
+
+        def force_expire(self):
+            self.expired = True
+
+    lease = FakeLease()
+    (expire,) = parse_faults("lease-expire@0.1")
+    assert faultinject.fire_lease_fault(expire, lease) is True
+    assert lease.expired
+    (skew,) = parse_faults("clock-skew@0.0:secs=90")
+    assert faultinject.fire_lease_fault(skew, lease) is False
+    assert lease.skew == 90.0
+    (default_skew,) = parse_faults("clock-skew@0.0")
+    faultinject.fire_lease_fault(default_skew, lease)
+    assert lease.skew == 150.0  # default 60s, cumulative
+
+
 def test_install_and_active_plan_cross_env(monkeypatch):
     faultinject.install("kill@1.2")
     assert os.environ[faultinject.ENV_VAR] == "kill@1.2"

@@ -290,13 +290,18 @@ def test_submit_offline_feeds_the_next_service(tmp_path):
     assert (epochs, conflicts, quarantined) == (0, 0, [])
 
 
-def test_submit_offline_respects_a_live_service_lock(tmp_path):
+def test_submit_offline_against_a_live_root_becomes_an_intake_request(tmp_path):
     root = str(tmp_path)
-    with CampaignService(root, fsync=False):
-        with pytest.raises(StoreLockError):
-            submit_offline(root, subject="gdk")
-    # Lock released: the offline path works again.
-    assert submit_offline(root, subject="gdk") == "j000000"
+    with CampaignService(root, fsync=False) as service:
+        # The live daemon owns the lock, so the submission travels as a
+        # request file; the service's intake pump admits it.
+        nonce = submit_offline(root, subject="gdk")
+        assert nonce.startswith("req-")
+        service._pump_intake()
+        assert service.handled_requests[nonce] == "j000000"
+        assert "j000000" in service.jobs
+    # Lock released: the offline path journals directly again.
+    assert submit_offline(root, subject="gdk") == "j000001"
 
 
 # -- one clean end-to-end serve ------------------------------------------------

@@ -198,6 +198,112 @@ def test_concurrent_openers_racing_stale_lock_yield_one_winner(tmp_path):
             child.wait()
 
 
+# -- lease locks / fencing -----------------------------------------------------
+
+
+def test_read_pidfile_owner_tolerates_mixed_format_roots(tmp_path):
+    # A rolling upgrade leaves legacy bare-pid locks next to host-qualified
+    # lease locks; both must parse, on the same root, with one reader.
+    from repro.fuzzer.store import format_lock_payload, read_pidfile_owner
+
+    legacy = os.path.join(str(tmp_path), "legacy.lock")
+    with open(legacy, "w") as handle:
+        handle.write("4242\n")
+    lease = os.path.join(str(tmp_path), "lease.lock")
+    with open(lease, "w") as handle:
+        handle.write(format_lock_payload("hostA", 777, 3, 1e12))
+    no_lease = os.path.join(str(tmp_path), "nolease.lock")
+    with open(no_lease, "w") as handle:
+        handle.write(format_lock_payload("hostB", 888, 0, None))
+    assert read_pidfile_owner(legacy) == 4242
+    assert read_pidfile_owner(lease) == 777
+    assert read_pidfile_owner(no_lease) == 888
+    assert read_pidfile_owner(os.path.join(str(tmp_path), "absent")) is None
+
+
+def test_release_refuses_to_unlink_a_successors_lock(tmp_path):
+    # Satellite regression: release used to unlink unconditionally, so a
+    # fenced process could delete the *new* owner's lock on its way out.
+    from repro.fuzzer.store import (
+        acquire_pidfile_lock,
+        format_lock_payload,
+        release_pidfile_lock,
+    )
+
+    lock_path = acquire_pidfile_lock(str(tmp_path))
+    with open(lock_path, "w") as handle:  # a successor re-took the lock
+        handle.write(format_lock_payload("otherhost", 31337, 9, 1e12))
+    release_pidfile_lock(str(tmp_path))
+    assert os.path.exists(lock_path)  # not ours: left intact
+    release_pidfile_lock(str(tmp_path), force=True)
+    assert not os.path.exists(lock_path)  # administrative cleanup
+
+
+def test_foreign_lease_steal_requires_expiry(tmp_path, monkeypatch):
+    # A live, unexpired lease from another host is never stealable — but
+    # once it expires, a second host takes the root without any pid probe.
+    import time as _time
+
+    from repro.fuzzer.store import (
+        acquire_pidfile_lock,
+        format_lock_payload,
+        read_lock_record,
+    )
+
+    lock_path = os.path.join(str(tmp_path), LOCK_NAME)
+    with open(lock_path, "w") as handle:  # hostA holds an unexpired lease
+        handle.write(format_lock_payload("hostA", 1, 1, _time.time() + 3600))
+    monkeypatch.setenv("REPRO_HOST", "hostB")
+    with pytest.raises(StoreLockError) as excinfo:
+        acquire_pidfile_lock(str(tmp_path), ttl=1.0, epoch=2)
+    assert excinfo.value.owner_host == "hostA"
+    with open(lock_path, "w") as handle:  # ...the lease lapses
+        handle.write(format_lock_payload("hostA", 1, 1, _time.time() - 5))
+    acquire_pidfile_lock(str(tmp_path), ttl=60.0, epoch=2)
+    record = read_lock_record(lock_path)
+    assert (record.host, record.pid, record.epoch) == (
+        "hostB", os.getpid(), 2,
+    )
+
+
+def test_foreign_no_lease_lock_is_never_stolen(tmp_path, monkeypatch):
+    # Liveness of a foreign pid is unknowable and there is no lease to run
+    # out: refusal beats corruption, even when the pid is locally dead.
+    from repro.fuzzer.store import acquire_pidfile_lock, format_lock_payload
+
+    lock_path = os.path.join(str(tmp_path), LOCK_NAME)
+    with open(lock_path, "w") as handle:
+        handle.write(format_lock_payload("hostA", _dead_pid(), 1, None))
+    monkeypatch.setenv("REPRO_HOST", "hostB")
+    with pytest.raises(StoreLockError):
+        acquire_pidfile_lock(str(tmp_path))
+
+
+def test_renew_extends_the_lease_and_detects_fencing(tmp_path):
+    from repro.fuzzer.store import (
+        StoreFencedError,
+        acquire_pidfile_lock,
+        format_lock_payload,
+        read_lock_record,
+        renew_pidfile_lock,
+    )
+
+    lock_path = acquire_pidfile_lock(str(tmp_path), ttl=10.0, epoch=4)
+    before = read_lock_record(lock_path).expiry
+    renew_pidfile_lock(str(tmp_path), ttl=1000.0, epoch=4)
+    assert read_lock_record(lock_path).expiry > before
+    # A successor steals the lease: the old holder's next renewal must
+    # fail typed, naming the new owner, and must not rewrite the lock.
+    successor = format_lock_payload("otherhost", 999, 5, 1e12)
+    with open(lock_path, "w") as handle:
+        handle.write(successor)
+    with pytest.raises(StoreFencedError) as excinfo:
+        renew_pidfile_lock(str(tmp_path), ttl=1000.0, epoch=4)
+    assert excinfo.value.owner.epoch == 5
+    with open(lock_path) as handle:
+        assert handle.read() == successor
+
+
 def test_manifest_mismatch_refuses_foreign_campaign(tmp_path):
     store = make_store(tmp_path)
     store.close()
