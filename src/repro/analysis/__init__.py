@@ -2,61 +2,88 @@
 
 Layers, bottom up:
 
+- :mod:`repro.analysis.foldops` — the shared constant-folding semantics
+  (VM-exact operator evaluation, shared with the optimizer);
 - :mod:`repro.analysis.dataflow` — generic worklist solver plus reaching
   definitions, liveness, and must-defined analyses;
 - :mod:`repro.analysis.constprop` — conditional constant propagation with
   executable-edge tracking (dead CFG edges);
+- :mod:`repro.analysis.interval` — interval/value-range abstract
+  interpretation with widening (proved branch outcomes, dead edges);
 - :mod:`repro.analysis.verify` — IR well-formedness verifier and the
   trap-site preservation check that guards every optimizer pass;
 - :mod:`repro.analysis.feasibility` — static pruning of the Ball-Larus
   path space (how many numbered acyclic paths can never execute);
+- :mod:`repro.analysis.symbolic` — concolic path-condition extraction
+  over input bytes (shadow interpreter building symbolic expressions);
+- :mod:`repro.analysis.solver` — interval-split bounded search over
+  flipped path constraints (no external SMT);
 - :mod:`repro.analysis.lint` — the MiniC linter (imported on demand: it
   pulls in the whole front end).
+
+Exports resolve lazily (PEP 562): importing :mod:`repro.analysis` pulls
+in no submodule until an attribute is touched, which keeps leaf modules
+like :mod:`foldops` importable from inside :mod:`repro.cfg` without a
+cycle through the heavier analyses.
 """
 
-from repro.analysis.constprop import ConstResult, conditional_constants
-from repro.analysis.dataflow import (
-    BACKWARD,
-    FORWARD,
-    DataflowAnalysis,
-    DataflowResult,
-    Liveness,
-    MustDefined,
-    ReachingDefinitions,
-    solve,
-)
-from repro.analysis.feasibility import (
-    FunctionFeasibility,
-    analyze_function,
-    analyze_program,
-    program_path_space,
-)
-from repro.analysis.verify import (
-    VerificationError,
-    check_trap_preservation,
-    trap_signature,
-    verify_function,
-    verify_program,
-)
+_EXPORTS = {
+    # dataflow
+    "FORWARD": "repro.analysis.dataflow",
+    "BACKWARD": "repro.analysis.dataflow",
+    "DataflowAnalysis": "repro.analysis.dataflow",
+    "DataflowResult": "repro.analysis.dataflow",
+    "ReachingDefinitions": "repro.analysis.dataflow",
+    "Liveness": "repro.analysis.dataflow",
+    "MustDefined": "repro.analysis.dataflow",
+    "solve": "repro.analysis.dataflow",
+    # foldops
+    "FOLDABLE_BIN": "repro.analysis.foldops",
+    "FOLDABLE_UN": "repro.analysis.foldops",
+    "fold_binop": "repro.analysis.foldops",
+    "fold_unop": "repro.analysis.foldops",
+    # constprop
+    "ConstResult": "repro.analysis.constprop",
+    "conditional_constants": "repro.analysis.constprop",
+    # interval
+    "Interval": "repro.analysis.interval",
+    "IntervalResult": "repro.analysis.interval",
+    "interval_analysis": "repro.analysis.interval",
+    # verify
+    "VerificationError": "repro.analysis.verify",
+    "verify_function": "repro.analysis.verify",
+    "verify_program": "repro.analysis.verify",
+    "trap_signature": "repro.analysis.verify",
+    "check_trap_preservation": "repro.analysis.verify",
+    # feasibility
+    "FunctionFeasibility": "repro.analysis.feasibility",
+    "analyze_function": "repro.analysis.feasibility",
+    "analyze_program": "repro.analysis.feasibility",
+    "program_path_space": "repro.analysis.feasibility",
+    # symbolic
+    "Constraint": "repro.analysis.symbolic",
+    "PathCondition": "repro.analysis.symbolic",
+    "extract_path_condition": "repro.analysis.symbolic",
+    # solver
+    "SolveStats": "repro.analysis.solver",
+    "solve_flip": "repro.analysis.solver",
+}
 
-__all__ = [
-    "FORWARD",
-    "BACKWARD",
-    "DataflowAnalysis",
-    "DataflowResult",
-    "ReachingDefinitions",
-    "Liveness",
-    "MustDefined",
-    "solve",
-    "ConstResult",
-    "conditional_constants",
-    "VerificationError",
-    "verify_function",
-    "verify_program",
-    "trap_signature",
-    "check_trap_preservation",
-    "FunctionFeasibility",
-    "analyze_function",
-    "analyze_program",
-    "program_path_space",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -9,7 +9,7 @@ executable; the other side never contributes to joins, which is what lets
 facts like ``var debug = 0; ... if (debug == 1)`` survive the join that a
 pessimistic analysis would smear to BOTTOM.
 
-Evaluation reuses :func:`repro.cfg.optimize.fold_binop` /
+Evaluation reuses :func:`repro.analysis.foldops.fold_binop` /
 :func:`fold_unop`, so the abstract semantics match the VM (64-bit
 wrap-around) and the middle end bit for bit.  Division, modulo and
 out-of-range shifts are never evaluated — they may trap, and a trapping
@@ -22,7 +22,7 @@ optimizer.
 """
 
 from repro.cfg.instructions import BIN, BR, CONST, JMP, MOV, RET, UN, instr_def
-from repro.cfg.optimize import fold_binop, fold_unop
+from repro.analysis.foldops import fold_binop, fold_unop
 
 # Lattice: TOP (optimistic "unknown yet") and BOTTOM ("provably varies").
 # Concrete constants are plain ints.  TOP is represented by *absence* from

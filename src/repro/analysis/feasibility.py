@@ -7,12 +7,13 @@ tests is numbered, wasted space.  This module bounds that waste
 statically and reports, per subject, how many numbered paths can never
 execute — context for coverage plateaus and for sizing path maps.
 
-Two complementary techniques, both built on
-:mod:`repro.analysis.constprop`:
+Three complementary techniques, built on
+:mod:`repro.analysis.constprop` and :mod:`repro.analysis.interval`:
 
-1. **Dead-edge pruning.**  SCCP proves some CFG edges never taken; a
-   dynamic-programming pass over the Ball-Larus DAG counts the paths
-   avoiding all dead edges.  Cheap, works at any path count.
+1. **Dead-edge pruning.**  SCCP and the interval analysis prove some
+   CFG edges never taken; a dynamic-programming pass over the
+   Ball-Larus DAG counts the paths avoiding all dead edges.  Cheap,
+   works at any path count.
 2. **Path-sensitive simulation.**  Each numbered path is decoded back to
    its block sequence (:meth:`FunctionPathPlan.regenerate_blocks`) and
    abstractly executed with constant propagation *refined by the taken
@@ -20,15 +21,38 @@ Two complementary techniques, both built on
    ``k``, so a later ``r == j`` (``j != k``) folds to false and taking
    its true edge is a contradiction.  Only run when the function's path
    count is under a cap (enumeration is linear in the path count).
+3. **Interval refinement.**  The same simulation carries a value-range
+   environment: branch commits clamp operand ranges through all six
+   comparison operators (not just the equality facts of layer 2), so
+   mutually-exclusive range tests — ``if (n < 4) ... if (n >= 8)`` on
+   one path — and range-vs-mask contradictions (``x & 15`` followed by
+   the true edge of ``x > 20``) refute additional numbered paths.
 
 Both are sound over-approximations: a path reported infeasible provably
 cannot execute; feasible merely means "not refuted statically".
 """
 
 from repro.analysis.constprop import BOTTOM, _transfer, conditional_constants
+from repro.analysis.interval import (
+    FALSE,
+    FULL,
+    TRUE,
+    _NEGATE_OP,
+    exclude_zero,
+    interval_analysis,
+    interval_transfer,
+    refine_compare,
+)
 from repro.ballarus.dag import EXIT, REGULAR
 from repro.ballarus.plan import FunctionPathPlan
-from repro.cfg.instructions import BIN, BR, OP_EQ, OP_NE, instr_def
+from repro.cfg.instructions import (
+    BIN,
+    BR,
+    COMPARISON_OPS,
+    OP_EQ,
+    OP_NE,
+    instr_def,
+)
 
 # Above this many numbered paths per function, fall back to the dead-edge
 # DP bound instead of enumerating.
@@ -85,9 +109,10 @@ def analyze_function(cfg, plan=None, path_cap=DEFAULT_PATH_CAP):
     if plan is None:
         plan = FunctionPathPlan(cfg)
     const = conditional_constants(cfg)
-    dead = const.dead_edges()
+    intervals = interval_analysis(cfg)
+    dead = const.dead_edges() | intervals.dead_edges()
     if plan.num_paths <= path_cap:
-        feasible = len(feasible_path_ids(cfg, plan, const))
+        feasible = len(feasible_path_ids(cfg, plan, const, intervals))
         method = "enumerated"
     else:
         feasible = _dead_edge_path_count(plan.dag, dead)
@@ -149,7 +174,7 @@ def _dead_edge_path_count(dag, dead):
 # --------------------------------------------------------------------------
 
 
-def feasible_path_ids(cfg, plan, const=None):
+def feasible_path_ids(cfg, plan, const=None, intervals=None):
     """The set of statically-feasible path ids of ``plan``.
 
     Enumerates the whole numbered space — callers enforce their own cap.
@@ -158,7 +183,9 @@ def feasible_path_ids(cfg, plan, const=None):
     """
     if const is None:
         const = conditional_constants(cfg)
-    dead = const.dead_edges()
+    if intervals is None:
+        intervals = interval_analysis(cfg)
+    dead = const.dead_edges() | intervals.dead_edges()
     ids = set()
     for path_id in range(plan.num_paths):
         blocks = plan.regenerate_blocks(path_id)
@@ -170,11 +197,15 @@ def feasible_path_ids(cfg, plan, const=None):
 def _path_feasible(cfg, blocks, const, dead):
     """Can the decoded block sequence possibly execute?
 
-    Abstractly interprets the path with the SCCP transfer function,
-    seeding from the (flow-insensitive but edge-aware) SCCP entry facts
-    of the first block, and refining register values from each branch
-    direction the path commits to.  Returns False only on a proven
-    contradiction.
+    Abstractly interprets the path with the SCCP transfer function *and*
+    an interval environment in lockstep, seeding from the (edge-aware)
+    SCCP entry facts of the first block, and refining register values
+    from each branch direction the path commits to: the concrete layer
+    pins equalities (``r == k`` taken true pins ``r`` to ``k``), the
+    interval layer clamps ranges (``r < k`` taken true clamps ``r``
+    below ``k``, and an empty clamp refutes the path — e.g. taking the
+    true edge of ``x > 20`` after ``x = input[0] & 15``).  Returns False
+    only on a proven contradiction.
     """
     first = blocks[0]
     if first not in const.executable_blocks:
@@ -184,10 +215,12 @@ def _path_feasible(cfg, blocks, const, dead):
         for reg, value in const.entry_env.get(first, {}).items()
         if value is not BOTTOM
     }
+    ienv = {}
     facts = {}
+    ifacts = {}
     for position, block_id in enumerate(blocks):
         block = cfg.blocks[block_id]
-        _walk_block(block, env, facts)
+        _walk_block(block, env, facts, ienv, ifacts)
         if position + 1 >= len(blocks):
             break
         taken = blocks[position + 1]
@@ -197,6 +230,14 @@ def _path_feasible(cfg, blocks, const, dead):
         if term[0] != BR or term[2] == term[3]:
             continue
         taken_true = taken == term[2]
+        icond = ienv.get(term[1])
+        if icond is not None:
+            if taken_true and icond.is_zero():
+                return False
+            if not taken_true and icond.excludes_zero():
+                return False
+        if not _irefine(term[1], taken_true, ienv, ifacts):
+            return False
         cond = env.get(term[1])
         if cond is not None and cond is not BOTTOM:
             if taken_true == (cond == 0):
@@ -206,15 +247,18 @@ def _path_feasible(cfg, blocks, const, dead):
     return True
 
 
-def _walk_block(block, env, facts):
-    """Run SCCP transfer over a block, tracking equality facts.
+def _walk_block(block, env, facts, ienv, ifacts):
+    """Run SCCP + interval transfer over a block, tracking branch facts.
 
     ``facts[dst] = (binop, reg, const)`` records that ``dst`` holds the
-    (unknown) result of ``reg ==/!= const``; facts are invalidated when
-    either register involved is overwritten.
+    (unknown) result of ``reg ==/!= const``; ``ifacts[dst] = (binop,
+    ra, rb)`` records comparison provenance for the interval layer (all
+    six comparison operators).  Both kinds of fact are invalidated when
+    any involved register is overwritten.
     """
     for instr in block.instrs:
         candidate = None
+        icandidate = None
         if instr[0] == BIN and instr[1] in (OP_EQ, OP_NE):
             va = env.get(instr[3])
             vb = env.get(instr[4])
@@ -224,7 +268,15 @@ def _walk_block(block, env, facts):
                 candidate = (instr[1], instr[4], va)
             elif conc_b and not conc_a and instr[2] != instr[3]:
                 candidate = (instr[1], instr[3], vb)
+        if (
+            instr[0] == BIN
+            and instr[1] in COMPARISON_OPS
+            and instr[2] != instr[3]
+            and instr[2] != instr[4]
+        ):
+            icandidate = (instr[1], instr[3], instr[4])
         _transfer(instr, env)
+        interval_transfer(instr, ienv)
         dst = instr_def(instr)
         if dst is not None:
             facts.pop(dst, None)
@@ -233,6 +285,44 @@ def _walk_block(block, env, facts):
                 del facts[r]
             if candidate is not None:
                 facts[dst] = candidate
+            ifacts.pop(dst, None)
+            istale = [r for r, f in ifacts.items() if dst in (f[1], f[2])]
+            for r in istale:
+                del ifacts[r]
+            if icandidate is not None:
+                ifacts[dst] = icandidate
+
+
+def _irefine(cond_reg, taken_true, ienv, ifacts):
+    """Clamp interval ranges for a committed branch direction.
+
+    Returns False when the direction contradicts the tracked ranges
+    (refines to an empty interval), True otherwise.
+    """
+    fact = ifacts.get(cond_reg)
+    if fact is not None:
+        binop, ra, rb = fact
+        if not taken_true:
+            binop = _NEGATE_OP[binop]
+        na, nb = refine_compare(
+            binop, ienv.get(ra, FULL), ienv.get(rb, FULL)
+        )
+        if na is None:
+            return False
+        ienv[ra] = na
+        ienv[rb] = nb
+        ienv[cond_reg] = TRUE if taken_true else FALSE
+        return True
+    cond = ienv.get(cond_reg)
+    if taken_true:
+        if cond is not None:
+            narrowed = exclude_zero(cond)
+            if narrowed is None:
+                return False
+            ienv[cond_reg] = narrowed
+    else:
+        ienv[cond_reg] = FALSE
+    return True
 
 
 def _refine(cond_reg, taken_true, env, facts):

@@ -1,0 +1,84 @@
+"""Shared constant-folding semantics for MiniC integer operators.
+
+One table, three consumers: the middle-end folder
+(:mod:`repro.cfg.optimize`), conditional constant propagation
+(:mod:`repro.analysis.constprop`), and the symbolic evaluator
+(:mod:`repro.analysis.symbolic`).  All of them must agree with the VM
+bit for bit, so the rules live here — a leaf module that depends only
+on the instruction constants and :func:`repro.runtime.values.wrap_int`.
+
+The contract:
+
+- division and modulo are *never* evaluated statically (a constant zero
+  divisor must trap at its original runtime site);
+- shifts are evaluated only for in-range amounts (``0 <= b < 64``);
+  out-of-range amounts trap at runtime;
+- everything else wraps to signed 64-bit two's complement, matching the
+  interpreter's inline dispatch exactly.
+"""
+
+from repro.cfg.instructions import (
+    OP_ADD,
+    OP_AND,
+    OP_BNOT,
+    OP_DIV,
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LNOT,
+    OP_LT,
+    OP_MOD,
+    OP_MUL,
+    OP_NE,
+    OP_NEG,
+    OP_OR,
+    OP_SHL,
+    OP_SHR,
+    OP_SUB,
+    OP_XOR,
+)
+from repro.runtime.values import wrap_int
+
+FOLDABLE_BIN = {
+    OP_ADD: lambda a, b: a + b,
+    OP_SUB: lambda a, b: a - b,
+    OP_MUL: lambda a, b: a * b,
+    OP_LT: lambda a, b: int(a < b),
+    OP_LE: lambda a, b: int(a <= b),
+    OP_GT: lambda a, b: int(a > b),
+    OP_GE: lambda a, b: int(a >= b),
+    OP_EQ: lambda a, b: int(a == b),
+    OP_NE: lambda a, b: int(a != b),
+    OP_AND: lambda a, b: a & b,
+    OP_OR: lambda a, b: a | b,
+    OP_XOR: lambda a, b: a ^ b,
+}
+
+FOLDABLE_UN = {
+    OP_NEG: lambda a: -a,
+    OP_LNOT: lambda a: int(a == 0),
+    OP_BNOT: lambda a: ~a,
+}
+
+
+def fold_binop(binop, a, b):
+    """Statically evaluate ``a binop b``, or None when it must stay runtime.
+
+    Division and modulo are never evaluated (a constant zero divisor must
+    trap at its original site), and shifts only for in-range amounts.  The
+    result matches the VM bit for bit (64-bit wrap-around), so the constant
+    propagation analyses share these exact semantics.
+    """
+    if binop in (OP_DIV, OP_MOD):
+        return None
+    if binop in (OP_SHL, OP_SHR):
+        if not 0 <= b < 64:
+            return None
+        return wrap_int(a << b) if binop == OP_SHL else wrap_int(a >> b)
+    return wrap_int(FOLDABLE_BIN[binop](a, b))
+
+
+def fold_unop(unop, a):
+    """Statically evaluate ``unop a`` (always foldable; no unary op traps)."""
+    return wrap_int(FOLDABLE_UN[unop](a))

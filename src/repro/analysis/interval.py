@@ -1,0 +1,728 @@
+"""Interval (value-range) abstract interpretation over the tuple IR.
+
+Where SCCP (:mod:`repro.analysis.constprop`) tracks *exact* constants and
+gives up the moment a value varies, this pass tracks a sound ``[lo, hi]``
+range for every register — so ``x = input[0] & 15`` is known to lie in
+``[0, 15]`` even though its exact value is input-dependent, and a later
+``if (x > 20)`` is *proved* always-false.  Three consumers:
+
+- the linter's ``tautological-comparison`` rule (branches SCCP cannot
+  decide but value ranges can);
+- the Ball-Larus feasibility pruner (interval contradictions refute
+  additional numbered paths beyond the SCCP equality machinery);
+- the concolic solver (:mod:`repro.analysis.solver`), which uses the same
+  interval arithmetic to prune subdomains of its bounded search.
+
+The analysis mirrors SCCP's executable-edge worklist: environments flow
+only along edges proven possible, branch directions *refine* the pushed
+environment (the true edge of ``r < k`` clamps ``r`` below ``k``), and a
+threshold-widening step bounds ascending chains through loops so the
+fixed point terminates.  All transfer functions over-approximate the
+VM's wrap-around semantics: any operation that could wrap 64-bit
+two's-complement returns the full range rather than a wrong bound.
+"""
+
+from repro.cfg.instructions import (
+    BIN,
+    BR,
+    BUILTIN,
+    COMPARISON_OPS,
+    CONST,
+    JMP,
+    MOV,
+    OP_ADD,
+    OP_AND,
+    OP_BNOT,
+    OP_DIV,
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LNOT,
+    OP_LT,
+    OP_MOD,
+    OP_MUL,
+    OP_NE,
+    OP_NEG,
+    OP_OR,
+    OP_SHL,
+    OP_SHR,
+    OP_SUB,
+    OP_XOR,
+    RET,
+    UN,
+    instr_def,
+)
+from repro.lang.builtins_spec import BUILTIN_CODES
+
+INT_MIN = -(1 << 63)
+INT_MAX = (1 << 63) - 1
+
+# Widening thresholds: common guard constants in parser-style programs.
+# A bound that keeps growing jumps to the next threshold instead of
+# climbing one loop iteration at a time; the set is finite, so every
+# ascending chain of widened intervals is finite too.
+WIDEN_THRESHOLDS = (
+    INT_MIN,
+    -(1 << 31),
+    -65536,
+    -256,
+    -1,
+    0,
+    1,
+    255,
+    256,
+    65535,
+    65536,
+    (1 << 31) - 1,
+    INT_MAX,
+)
+
+# Joins into one block's entry beyond this count start widening.
+WIDEN_AFTER = 2
+
+# Cap on decreasing (narrowing) rounds after the widened fixed point;
+# each round propagates recovered precision one edge further, so the cap
+# only truncates precision on extremely deep CFGs, never soundness.
+NARROW_ROUNDS_CAP = 64
+
+
+class Interval:
+    """A closed signed-64-bit range ``[lo, hi]`` (immutable, never empty).
+
+    Emptiness is represented *outside* the class — operations that can
+    refute (intersection, branch refinement) return ``None`` for the
+    empty set so callers must acknowledge infeasibility explicitly.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Interval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    def __repr__(self):
+        return "[%d, %d]" % (self.lo, self.hi)
+
+    def is_singleton(self):
+        return self.lo == self.hi
+
+    def contains(self, value):
+        return self.lo <= value <= self.hi
+
+    def excludes_zero(self):
+        return self.lo > 0 or self.hi < 0
+
+    def is_zero(self):
+        return self.lo == 0 and self.hi == 0
+
+
+FULL = Interval(INT_MIN, INT_MAX)
+TRUE = Interval(1, 1)
+FALSE = Interval(0, 0)
+BOOL = Interval(0, 1)
+
+
+def make_interval(lo, hi):
+    """An :class:`Interval` clamped into signed-64 range; FULL on overflow."""
+    if lo < INT_MIN or hi > INT_MAX:
+        return FULL
+    return Interval(lo, hi)
+
+
+def singleton(value):
+    if INT_MIN <= value <= INT_MAX:
+        return Interval(value, value)
+    return FULL
+
+
+def intersect(a, b):
+    """``a ∩ b``, or None when the ranges are disjoint."""
+    lo = a.lo if a.lo >= b.lo else b.lo
+    hi = a.hi if a.hi <= b.hi else b.hi
+    if lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+def hull(a, b):
+    """The smallest interval containing both ``a`` and ``b``."""
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def widen(old, new):
+    """Threshold-widen ``old ∪ new``: jump growing bounds to thresholds."""
+    lo, hi = min(old.lo, new.lo), max(old.hi, new.hi)
+    if lo < old.lo:
+        lo = max((t for t in WIDEN_THRESHOLDS if t <= lo), default=INT_MIN)
+    if hi > old.hi:
+        hi = min((t for t in WIDEN_THRESHOLDS if t >= hi), default=INT_MAX)
+    return Interval(lo, hi)
+
+
+def _magnitude(iv):
+    """``max(|lo|, |hi|)`` — may exceed INT_MAX when lo == INT_MIN."""
+    return max(abs(iv.lo), abs(iv.hi))
+
+
+def _bin_add(a, b):
+    return make_interval(a.lo + b.lo, a.hi + b.hi)
+
+
+def _bin_sub(a, b):
+    return make_interval(a.lo - b.hi, a.hi - b.lo)
+
+
+def _bin_mul(a, b):
+    corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return make_interval(min(corners), max(corners))
+
+
+def _bin_div(a, b):
+    # C-style truncation shrinks magnitude — except INT_MIN / -1, which
+    # wraps; when |a| can reach 2**63 the bound is unusable, return FULL.
+    m = _magnitude(a)
+    if m > INT_MAX:
+        return FULL
+    return Interval(-m, m)
+
+
+def _bin_mod(a, b):
+    # Non-trap continuation implies b != 0, so |b| >= 1 and the C-style
+    # remainder satisfies |a % b| <= min(|a|, |b| - 1), sign following a.
+    m = min(_magnitude(a), _magnitude(b) - 1)
+    if m < 0:
+        m = 0
+    if m > INT_MAX:
+        m = INT_MAX
+    if a.lo >= 0:
+        return Interval(0, m)
+    if a.hi <= 0:
+        return Interval(-m, 0)
+    return Interval(-m, m)
+
+
+def _bin_and(a, b):
+    # For nonnegative x, y: 0 <= x & y <= min(x, y); masking with a known
+    # nonnegative operand bounds the result even when the other is FULL.
+    if a.lo >= 0 and b.lo >= 0:
+        return Interval(0, min(a.hi, b.hi))
+    if a.lo >= 0:
+        return Interval(0, a.hi)
+    if b.lo >= 0:
+        return Interval(0, b.hi)
+    return FULL
+
+
+def _bits_bound(hi):
+    """Smallest ``2**k - 1 >= hi`` for ``hi >= 0``."""
+    return (1 << hi.bit_length()) - 1
+
+
+def _bin_or(a, b):
+    # For nonnegative x, y: max(x, y) <= x | y <= next_pow2(max) - 1.
+    if a.lo >= 0 and b.lo >= 0:
+        bound = max(_bits_bound(a.hi), _bits_bound(b.hi))
+        return make_interval(max(a.lo, b.lo), bound)
+    return FULL
+
+
+def _bin_xor(a, b):
+    if a.lo >= 0 and b.lo >= 0:
+        bound = max(_bits_bound(a.hi), _bits_bound(b.hi))
+        return make_interval(0, bound)
+    return FULL
+
+
+def _bin_shl(a, b):
+    # Non-trap continuation: shift amount in [0, 63].
+    b = intersect(b, Interval(0, 63))
+    if b is None or a.lo < 0:
+        return FULL
+    hi = a.hi << b.hi
+    if hi > INT_MAX:
+        return FULL
+    return Interval(a.lo << b.lo, hi)
+
+
+def _bin_shr(a, b):
+    # Arithmetic shift, monotone in each argument separately: extrema at
+    # the corners of the (a, clamped b) box.
+    b = intersect(b, Interval(0, 63))
+    if b is None:
+        return FULL
+    corners = (
+        a.lo >> b.lo,
+        a.lo >> b.hi,
+        a.hi >> b.lo,
+        a.hi >> b.hi,
+    )
+    return Interval(min(corners), max(corners))
+
+
+def _cmp(truth):
+    """truth: True (provably holds), False (provably fails), None."""
+    if truth is None:
+        return BOOL
+    return TRUE if truth else FALSE
+
+
+def _bin_lt(a, b):
+    if a.hi < b.lo:
+        return TRUE
+    if a.lo >= b.hi:
+        return FALSE
+    return BOOL
+
+
+def _bin_le(a, b):
+    if a.hi <= b.lo:
+        return TRUE
+    if a.lo > b.hi:
+        return FALSE
+    return BOOL
+
+
+def _bin_eq(a, b):
+    if a.is_singleton() and b.is_singleton() and a.lo == b.lo:
+        return TRUE
+    if intersect(a, b) is None:
+        return FALSE
+    return BOOL
+
+
+def _negate_bool(iv):
+    if iv is TRUE:
+        return FALSE
+    if iv is FALSE:
+        return TRUE
+    return BOOL
+
+
+_BIN_OPS = {
+    OP_ADD: _bin_add,
+    OP_SUB: _bin_sub,
+    OP_MUL: _bin_mul,
+    OP_DIV: _bin_div,
+    OP_MOD: _bin_mod,
+    OP_AND: _bin_and,
+    OP_OR: _bin_or,
+    OP_XOR: _bin_xor,
+    OP_SHL: _bin_shl,
+    OP_SHR: _bin_shr,
+    OP_LT: _bin_lt,
+    OP_LE: _bin_le,
+    OP_GT: lambda a, b: _bin_lt(b, a),
+    OP_GE: lambda a, b: _bin_le(b, a),
+    OP_EQ: _bin_eq,
+    OP_NE: lambda a, b: _negate_bool(_bin_eq(a, b)),
+}
+
+
+def bin_interval(binop, a, b):
+    """A sound interval for ``a binop b`` under the VM's semantics."""
+    return _BIN_OPS[binop](a, b)
+
+
+def un_interval(unop, a):
+    if unop == OP_NEG:
+        if a.lo == INT_MIN:  # -INT_MIN wraps back to INT_MIN
+            return FULL
+        return Interval(-a.hi, -a.lo)
+    if unop == OP_LNOT:
+        if a.is_zero():
+            return TRUE
+        if a.excludes_zero():
+            return FALSE
+        return BOOL
+    if unop == OP_BNOT:  # ~x == -x - 1, exact and never wraps
+        return Interval(-a.hi - 1, -a.lo - 1)
+    return FULL
+
+
+# Builtin return-value ranges (dst intervals; args are value intervals
+# where integer-typed, FULL for array refs).
+_B_CODE = BUILTIN_CODES
+
+_BUILTIN_RANGES = {
+    _B_CODE["len"]: Interval(0, INT_MAX),
+    _B_CODE["memcmp"]: BOOL,
+    _B_CODE["copy"]: FALSE,
+    _B_CODE["fill"]: FALSE,
+    _B_CODE["read16"]: Interval(0, 0xFFFF),
+    _B_CODE["read16le"]: Interval(0, 0xFFFF),
+    _B_CODE["read32"]: Interval(0, 0xFFFFFFFF),
+    _B_CODE["read32le"]: Interval(0, 0xFFFFFFFF),
+}
+
+
+def _builtin_interval(code, arg_ivs):
+    fixed = _BUILTIN_RANGES.get(code)
+    if fixed is not None:
+        return fixed
+    if code == _B_CODE["abs"] and arg_ivs and arg_ivs[0] is not None:
+        a = arg_ivs[0]
+        if a.lo == INT_MIN:  # abs(INT_MIN) wraps
+            return FULL
+        return Interval(max(a.lo, 0) if a.lo >= 0 else 0, _magnitude(a))
+    if code == _B_CODE["min"] and len(arg_ivs) == 2 and None not in arg_ivs:
+        a, b = arg_ivs
+        return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+    if code == _B_CODE["max"] and len(arg_ivs) == 2 and None not in arg_ivs:
+        a, b = arg_ivs
+        return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+    return FULL
+
+
+def interval_transfer(instr, env):
+    """Abstract-interpret one instruction over an interval env (in place).
+
+    Absence from ``env`` plays SCCP's TOP role ("no value has reached
+    here yet"); :data:`FULL` plays BOTTOM ("any value").  The same
+    optimistic treatment is sound here for the same reason: environments
+    only flow along executable edges, and an absent operand means the
+    defining path has not been proven executable yet.
+    """
+    op = instr[0]
+    if op == CONST:
+        env[instr[1]] = singleton(instr[2])
+        return
+    if op == MOV:
+        src = env.get(instr[2])
+        if src is None:
+            env.pop(instr[1], None)
+        else:
+            env[instr[1]] = src
+        return
+    if op == BIN:
+        a = env.get(instr[3])
+        b = env.get(instr[4])
+        if a is None or b is None:
+            env.pop(instr[2], None)
+            return
+        env[instr[2]] = bin_interval(instr[1], a, b)
+        return
+    if op == UN:
+        a = env.get(instr[3])
+        if a is None:
+            env.pop(instr[2], None)
+        else:
+            env[instr[2]] = un_interval(instr[1], a)
+        return
+    if op == BUILTIN:
+        arg_ivs = [env.get(reg, FULL) for reg in instr[3]]
+        env[instr[1]] = _builtin_interval(instr[2], arg_ivs)
+        return
+    dst = instr_def(instr)
+    if dst is not None:
+        env[dst] = FULL
+
+
+# Constraint-directed narrowing: given that ``a op b`` holds, clamp both
+# operand intervals.  Returns (a', b') or (None, None) when contradictory.
+
+_NEGATE_OP = {
+    OP_LT: OP_GE,
+    OP_LE: OP_GT,
+    OP_GT: OP_LE,
+    OP_GE: OP_LT,
+    OP_EQ: OP_NE,
+    OP_NE: OP_EQ,
+}
+
+
+def refine_compare(binop, a, b):
+    """Narrow ``(a, b)`` assuming ``a binop b`` is true; None pair if not."""
+    if binop == OP_GT:
+        b2, a2 = refine_compare(OP_LT, b, a)
+        return a2, b2
+    if binop == OP_GE:
+        b2, a2 = refine_compare(OP_LE, b, a)
+        return a2, b2
+    if binop == OP_LT:
+        if b.hi == INT_MIN or a.lo == INT_MAX:
+            return None, None
+        na = intersect(a, Interval(INT_MIN, b.hi - 1))
+        nb = intersect(b, Interval(a.lo + 1, INT_MAX))
+    elif binop == OP_LE:
+        na = intersect(a, Interval(INT_MIN, b.hi))
+        nb = intersect(b, Interval(a.lo, INT_MAX))
+    elif binop == OP_EQ:
+        na = nb = intersect(a, b)
+    elif binop == OP_NE:
+        na, nb = a, b
+        if b.is_singleton():
+            na = _shave(a, b.lo)
+        if a.is_singleton() and na is not None:
+            nb = _shave(b, a.lo)
+    else:
+        return a, b
+    if na is None or nb is None:
+        return None, None
+    return na, nb
+
+
+def _shave(iv, value):
+    """Remove ``value`` from ``iv`` when it sits on an endpoint."""
+    if iv.is_singleton():
+        return None if iv.lo == value else iv
+    if iv.lo == value:
+        return Interval(iv.lo + 1, iv.hi)
+    if iv.hi == value:
+        return Interval(iv.lo, iv.hi - 1)
+    return iv
+
+
+def exclude_zero(iv):
+    """``iv`` minus zero when zero is an endpoint; None for exactly [0,0]."""
+    return _shave(iv, 0)
+
+
+class IntervalResult:
+    """The interval fixed point for one function CFG.
+
+    Mirrors :class:`~repro.analysis.constprop.ConstResult`:
+    ``entry_env[b]`` maps registers to :class:`Interval`s at block entry
+    (absent register = value never reached there), blocks absent from
+    ``executable_blocks`` were never proven reachable, and
+    :meth:`dead_edges` lists edges the program provably never takes.
+    """
+
+    __slots__ = ("cfg", "entry_env", "executable_blocks", "executable_edges")
+
+    def __init__(self, cfg, entry_env, executable_blocks, executable_edges):
+        self.cfg = cfg
+        self.entry_env = entry_env
+        self.executable_blocks = executable_blocks
+        self.executable_edges = executable_edges
+
+    def dead_edges(self):
+        """CFG edges with an executable source that are never taken."""
+        return {
+            (src, dst)
+            for src, dst in self.cfg.edges()
+            if src in self.executable_blocks
+            and (src, dst) not in self.executable_edges
+        }
+
+    def unreachable_blocks(self):
+        return {
+            block.id
+            for block in self.cfg.blocks
+            if block.id not in self.executable_blocks
+        }
+
+    def proved_branches(self):
+        """Executable two-way BRs whose outcome value ranges decide.
+
+        Returns ``[(block_id, cond_value)]`` with ``cond_value`` 1 when
+        the branch always takes the true edge, 0 when always false —
+        including branches SCCP cannot fold because the condition is not
+        a compile-time constant, merely range-bounded.
+        """
+        found = []
+        for block in self.cfg.blocks:
+            if block.id not in self.executable_blocks:
+                continue
+            term = block.term
+            if term is None or term[0] != BR or term[2] == term[3]:
+                continue
+            env = dict(self.entry_env.get(block.id, {}))
+            for instr in block.instrs:
+                interval_transfer(instr, env)
+            cond = env.get(term[1])
+            if cond is None:
+                continue
+            if cond.excludes_zero():
+                found.append((block.id, 1))
+            elif cond.is_zero():
+                found.append((block.id, 0))
+        return found
+
+
+def _walk_facts(block, env):
+    """Transfer a whole block, tracking comparison provenance.
+
+    Returns ``(env, facts)`` where ``facts[dst] = (binop, ra, rb)``
+    records that ``dst`` currently holds ``ra binop rb``; facts die when
+    any involved register is overwritten.
+    """
+    facts = {}
+    for instr in block.instrs:
+        candidate = None
+        if (
+            instr[0] == BIN
+            and instr[1] in COMPARISON_OPS
+            and instr[2] != instr[3]
+            and instr[2] != instr[4]
+        ):
+            candidate = (instr[1], instr[3], instr[4])
+        interval_transfer(instr, env)
+        dst = instr_def(instr)
+        if dst is not None:
+            facts.pop(dst, None)
+            stale = [r for r, f in facts.items() if dst in (f[1], f[2])]
+            for r in stale:
+                del facts[r]
+            if candidate is not None:
+                facts[dst] = candidate
+    return env, facts
+
+
+def _refined_edge_env(env, facts, cond_reg, taken_true):
+    """The env pushed along one BR edge, or None when the edge is refuted."""
+    out = dict(env)
+    fact = facts.get(cond_reg)
+    cond = out.get(cond_reg)
+    if fact is not None:
+        binop, ra, rb = fact
+        if not taken_true:
+            binop = _NEGATE_OP[binop]
+        na, nb = refine_compare(binop, out.get(ra, FULL), out.get(rb, FULL))
+        if na is None:
+            return None
+        out[ra] = na
+        out[rb] = nb
+        out[cond_reg] = TRUE if taken_true else FALSE
+        return out
+    if taken_true:
+        if cond is not None:
+            narrowed = exclude_zero(cond)
+            if narrowed is None:
+                return None
+            out[cond_reg] = narrowed
+    else:
+        if cond is not None and cond.excludes_zero():
+            return None
+        out[cond_reg] = FALSE
+    return out
+
+
+def interval_analysis(cfg):
+    """Run the interval fixed point over ``cfg``; an :class:`IntervalResult`.
+
+    Same executable-edge worklist shape as
+    :func:`~repro.analysis.constprop.conditional_constants`; block-entry
+    environments grow monotonically under hull, switching to threshold
+    widening once a block has been joined more than :data:`WIDEN_AFTER`
+    times, which bounds every chain and guarantees termination.
+    """
+    entry_env = {0: {reg: FULL for reg in range(cfg.nparams)}}
+    executable_blocks = set()
+    executable_edges = set()
+    join_counts = {}
+    worklist = [0]
+    pending = {0}
+    while worklist:
+        block_id = worklist.pop()
+        pending.discard(block_id)
+        executable_blocks.add(block_id)
+        block = cfg.blocks[block_id]
+        for target, out_env in _block_pushes(cfg, block_id, entry_env):
+            edge = (block_id, target)
+            first_time = edge not in executable_edges
+            executable_edges.add(edge)
+            target_env = entry_env.setdefault(target, {})
+            widening = join_counts.get(target, 0) > WIDEN_AFTER
+            join_counts[target] = join_counts.get(target, 0) + 1
+            changed = _join_env(target_env, out_env, widening)
+            if (first_time or changed) and target not in pending:
+                worklist.append(target)
+                pending.add(target)
+    _narrow(cfg, entry_env, executable_blocks, executable_edges)
+    return IntervalResult(cfg, entry_env, executable_blocks, executable_edges)
+
+
+def _block_pushes(cfg, block_id, entry_env):
+    """Out-envs pushed along each viable successor edge of one block."""
+    block = cfg.blocks[block_id]
+    env, facts = _walk_facts(block, dict(entry_env.get(block_id, {})))
+    term = block.term
+    if term is None or term[0] == RET:
+        return []
+    if term[0] == JMP:
+        return [(term[1], env)]
+    if term[2] == term[3]:
+        return [(term[2], env)]
+    pushes = []
+    cond = env.get(term[1])
+    if cond is None or not cond.is_zero():
+        refined = _refined_edge_env(env, facts, term[1], True)
+        if refined is not None:
+            pushes.append((term[2], refined))
+    if cond is None or not cond.excludes_zero():
+        refined = _refined_edge_env(env, facts, term[1], False)
+        if refined is not None:
+            pushes.append((term[3], refined))
+    return pushes
+
+
+def _narrow(cfg, entry_env, executable_blocks, executable_edges):
+    """Decreasing iteration: claw back precision the widening gave up.
+
+    Each round recomputes every executable block's entry as the plain
+    hull-join of its executable predecessors' (refined) out-envs, then
+    intersects with the current entry — both are sound
+    over-approximations of the reachable states, so their intersection
+    is too.  Loop exits regain exact bounds this way: the widened header
+    range re-narrows once the back edge's clamped push is re-joined
+    without widening.  Entries only ever shrink (intersection), so the
+    iteration cannot oscillate; it stops at the first unchanged round or
+    at :data:`NARROW_ROUNDS_CAP` (each round propagates recovered
+    precision one edge further through the CFG).  The executable sets
+    are left as computed above — conservative, since narrowed envs could
+    only kill *more* edges.
+    """
+    for _ in range(NARROW_ROUNDS_CAP):
+        new_entry = {0: {reg: FULL for reg in range(cfg.nparams)}}
+        for block_id in sorted(executable_blocks):
+            for target, out_env in _block_pushes(cfg, block_id, entry_env):
+                if (block_id, target) not in executable_edges:
+                    continue
+                _join_env(new_entry.setdefault(target, {}), out_env, False)
+        changed = False
+        for block_id in sorted(executable_blocks):
+            fresh = new_entry.get(block_id)
+            if fresh is None:
+                continue
+            current = entry_env.setdefault(block_id, {})
+            for reg, value in fresh.items():
+                old = current.get(reg)
+                narrowed = value if old is None else intersect(old, value)
+                if narrowed is None:
+                    narrowed = value
+                if old != narrowed:
+                    current[reg] = narrowed
+                    changed = True
+        if not changed:
+            break
+
+
+def _join_env(into, other, widening):
+    """Hull-join ``other`` into ``into``; True when ``into`` changed.
+
+    A register absent from ``other`` stays as-is in ``into`` (absent =
+    optimistic TOP, the identity of the join, exactly as in SCCP).
+    """
+    changed = False
+    for reg, value in other.items():
+        old = into.get(reg)
+        if old is None:
+            into[reg] = value
+            changed = True
+            continue
+        joined = widen(old, value) if widening else hull(old, value)
+        if joined != old:
+            into[reg] = joined
+            changed = True
+    return changed

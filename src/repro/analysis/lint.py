@@ -19,6 +19,10 @@ Rules (severity in brackets):
   always evaluates the same way (literal folding on the AST, conditional
   constant propagation on the IR).  ``while (1)`` style intentional
   infinite loops are exempt at the AST level.
+- ``tautological-comparison`` [warning] — a guard the interval analysis
+  proves always-true/false by value ranges alone, where SCCP cannot
+  (the operands are input-dependent but range-bounded, e.g.
+  ``x = input[0] & 15`` followed by ``if (x > 20)``).
 - ``unused-function`` [warning] — a function unreachable from ``main``
   in the call graph.
 - ``unused-param`` [info]      — the value passed for a parameter is
@@ -31,6 +35,7 @@ property tests over generated programs and by hand-built IR).
 
 from repro.analysis.constprop import conditional_constants
 from repro.analysis.dataflow import Liveness, MustDefined, solve
+from repro.analysis.interval import interval_analysis
 from repro.cfg.analysis import natural_loops
 from repro.cfg.instructions import (
     BIN,
@@ -43,7 +48,8 @@ from repro.cfg.instructions import (
     UNOPS,
 )
 from repro.cfg.lowering import lower_program
-from repro.cfg.optimize import fold_binop, fold_unop, optimize_program
+from repro.analysis.foldops import fold_binop, fold_unop
+from repro.cfg.optimize import optimize_program
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse
 from repro.lang.sema import check_program
@@ -451,6 +457,25 @@ def _ir_rules(program, name, findings, tree):
                     name,
                     line,
                     "branch is always %s" % ("taken" if value != 0 else "not taken"),
+                    func.name,
+                )
+            )
+        sccp_proved = {block_id for block_id, _ in const.constant_branches()}
+        intervals = interval_analysis(func)
+        for block_id, value in intervals.proved_branches():
+            if block_id in sccp_proved:
+                continue  # already reported as constant-condition
+            line = _branch_line(func.blocks[block_id])
+            if line is None:
+                continue
+            findings.append(
+                Finding(
+                    "tautological-comparison",
+                    "warning",
+                    name,
+                    line,
+                    "comparison is always %s by value ranges"
+                    % ("true" if value != 0 else "false"),
                     func.name,
                 )
             )

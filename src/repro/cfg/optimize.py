@@ -13,57 +13,22 @@ All passes preserve observable behaviour (including trap sites, which are
 never folded away).
 """
 
+from repro.analysis.foldops import (
+    FOLDABLE_BIN as _FOLDABLE_BIN,
+    FOLDABLE_UN as _FOLDABLE_UN,
+    fold_binop,
+    fold_unop,
+)
 from repro.cfg.instructions import (
     BIN,
     BR,
     CONST,
     JMP,
     MOV,
-    OP_ADD,
-    OP_AND,
-    OP_DIV,
-    OP_EQ,
-    OP_GE,
-    OP_GT,
-    OP_LE,
-    OP_LT,
-    OP_MOD,
-    OP_MUL,
-    OP_NE,
-    OP_OR,
-    OP_SHL,
-    OP_SHR,
-    OP_SUB,
-    OP_XOR,
     UN,
-    OP_BNOT,
-    OP_LNOT,
-    OP_NEG,
     instr_def,
 )
 from repro.cfg.graph import remap_targets
-from repro.runtime.values import wrap_int
-
-_FOLDABLE_BIN = {
-    OP_ADD: lambda a, b: a + b,
-    OP_SUB: lambda a, b: a - b,
-    OP_MUL: lambda a, b: a * b,
-    OP_LT: lambda a, b: int(a < b),
-    OP_LE: lambda a, b: int(a <= b),
-    OP_GT: lambda a, b: int(a > b),
-    OP_GE: lambda a, b: int(a >= b),
-    OP_EQ: lambda a, b: int(a == b),
-    OP_NE: lambda a, b: int(a != b),
-    OP_AND: lambda a, b: a & b,
-    OP_OR: lambda a, b: a | b,
-    OP_XOR: lambda a, b: a ^ b,
-}
-
-_FOLDABLE_UN = {
-    OP_NEG: lambda a: -a,
-    OP_LNOT: lambda a: int(a == 0),
-    OP_BNOT: lambda a: ~a,
-}
 
 
 def optimize_program(program):
@@ -117,28 +82,6 @@ def fold_constants(cfg):
                 known.pop(dst, None)
             new_instrs.append(instr)
         block.instrs = new_instrs
-
-
-def fold_binop(binop, a, b):
-    """Statically evaluate ``a binop b``, or None when it must stay runtime.
-
-    Division and modulo are never evaluated (a constant zero divisor must
-    trap at its original site), and shifts only for in-range amounts.  The
-    result matches the VM bit for bit (64-bit wrap-around), so the constant
-    propagation analyses share these exact semantics.
-    """
-    if binop in (OP_DIV, OP_MOD):
-        return None
-    if binop in (OP_SHL, OP_SHR):
-        if not 0 <= b < 64:
-            return None
-        return wrap_int(a << b) if binop == OP_SHL else wrap_int(a >> b)
-    return wrap_int(_FOLDABLE_BIN[binop](a, b))
-
-
-def fold_unop(unop, a):
-    """Statically evaluate ``unop a`` (always foldable; no unary op traps)."""
-    return wrap_int(_FOLDABLE_UN[unop](a))
 
 
 def thread_jumps(cfg):

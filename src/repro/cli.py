@@ -83,6 +83,9 @@ def build_arg_parser():
                            "and add each site's input byte mask")
     show.add_argument("--limit", type=int, default=24, metavar="N",
                       help="show at most N branch sites (default 24; 0 = all)")
+    show.add_argument("--constraints", action="store_true",
+                      help="replay each seed under the shadow interpreter "
+                           "and print its path condition (DESIGN §14)")
 
     fuzz = commands.add_parser("fuzz", help="run one fuzzing campaign")
     fuzz.add_argument("subject", choices=all_subject_names())
@@ -167,6 +170,25 @@ def build_arg_parser():
     lint.add_argument("--write-baseline", metavar="PATH", default=None,
                       help="write the current findings + path spaces as the "
                            "new baseline")
+
+    solve = commands.add_parser(
+        "solve",
+        help="extract an input's path condition and solve branch flips",
+    )
+    solve.add_argument("target", metavar="TARGET",
+                       help="a subject name or a MiniC source file")
+    solve.add_argument("input", metavar="INPUT",
+                       help="input file to replay ('-' reads stdin)")
+    solve.add_argument("--max-bytes", type=int, default=4, metavar="N",
+                       help="skip constraints supported by more than N input "
+                            "bytes (default 4)")
+    solve.add_argument("--node-budget", type=int, default=4096, metavar="N",
+                       help="interval-split search nodes per constraint "
+                            "(default 4096)")
+    solve.add_argument("--flips", type=int, default=0, metavar="N",
+                       help="attempt at most N flips (default 0 = all)")
+    solve.add_argument("--json", action="store_true",
+                       help="emit constraints and witnesses as JSON")
 
     report = commands.add_parser("report", help="regenerate paper artifacts")
     report.add_argument("artifacts", nargs="*", help="table1..table10, fig2, ...")
@@ -384,7 +406,40 @@ def cmd_show(args):
         _show_rare_branches(subject, args.taint, args.limit)
     elif getattr(args, "taint", False):
         print("  (--taint only applies together with --rare)")
+    if getattr(args, "constraints", False):
+        _show_seed_constraints(subject, args.limit)
     return 0
+
+
+def _show_seed_constraints(subject, limit):
+    """``show --constraints``: each seed's path condition, shadow-replayed."""
+    from repro.analysis.symbolic import extract_path_condition
+
+    for position, seed in enumerate(subject.seeds):
+        result, condition = extract_path_condition(
+            subject.program,
+            seed,
+            instr_budget=subject.exec_instr_budget,
+            call_depth_limit=subject.call_depth_limit,
+        )
+        outcome = "ok"
+        if result.timeout:
+            outcome = "timeout"
+        elif result.trap is not None:
+            outcome = result.trap.kind
+        print("  seed %d (%d bytes, %s): %d symbolic constraint(s)%s"
+              % (position, len(seed), outcome, len(condition),
+                 ", truncated" if condition.truncated else ""))
+        shown = (
+            condition.constraints[:limit]
+            if limit and limit > 0
+            else condition.constraints
+        )
+        for constraint in shown:
+            print("    [%d] %s" % (constraint.index, constraint.describe()))
+        if len(shown) < len(condition):
+            print("    ... %d more (raise --limit)"
+                  % (len(condition) - len(shown)))
 
 
 def _mask_ranges(mask):
@@ -764,6 +819,129 @@ def cmd_lint(args):
                       % (name, space["infeasible_paths"], space["num_paths"],
                          space["dead_edges"]))
     return status
+
+
+def cmd_solve(args):
+    """``repro solve``: path condition + bounded flip solving for one input.
+
+    The command-line face of the concolic stage (DESIGN §14): replay the
+    input under the shadow interpreter with every byte symbolic, print the
+    collected path condition, then ask the bounded solver for a witness
+    flipping each constraint — verifying every witness by concrete replay.
+    """
+    import json as _json
+    import sys
+
+    from repro.analysis.solver import apply_witness, solve_flip
+    from repro.analysis.symbolic import extract_path_condition
+    from repro.lang import compile_source
+    from repro.runtime.interpreter import execute
+
+    run_kwargs = {}
+    if os.path.isfile(args.target):
+        with open(args.target) as handle:
+            source = handle.read()
+        name = args.target
+        program = compile_source(source, name)
+    else:
+        try:
+            subject = get_subject(args.target)
+        except KeyError:
+            raise SystemExit(
+                "repro solve: error: %r is neither a subject nor a file"
+                % args.target
+            )
+        name = subject.name
+        program = subject.program
+        run_kwargs = dict(
+            instr_budget=subject.exec_instr_budget,
+            call_depth_limit=subject.call_depth_limit,
+        )
+    if args.input == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(args.input, "rb") as handle:
+            data = handle.read()
+
+    result, condition = extract_path_condition(
+        program,
+        data,
+        instr_budget=run_kwargs.get("instr_budget", 400_000),
+        call_depth_limit=run_kwargs.get("call_depth_limit", 64),
+    )
+    rows = []
+    budget = args.flips if args.flips and args.flips > 0 else len(condition)
+    attempted = 0
+    for constraint in condition:
+        row = {
+            "index": constraint.index,
+            "site": "%s:%d" % constraint.site,
+            "support": sorted(constraint.support()),
+            "constraint": constraint.describe(),
+        }
+        if attempted < budget:
+            attempted += 1
+            assignment, stats = solve_flip(
+                constraint,
+                condition.prefix(constraint.index),
+                data,
+                max_bytes=args.max_bytes,
+                node_budget=args.node_budget,
+            )
+            row["nodes"] = stats.nodes
+            if assignment is None:
+                row["witness"] = None
+                row["gave_up"] = stats.gave_up
+            else:
+                witness = apply_witness(data, assignment)
+                replay = execute(program, witness, **run_kwargs)
+                row["witness"] = {
+                    "assignment": {
+                        str(off): value
+                        for off, value in sorted(assignment.items())
+                    },
+                    "bytes": witness.hex(),
+                    "retval": replay.retval,
+                    "trap": (
+                        replay.trap.kind if replay.trap is not None else None
+                    ),
+                }
+        rows.append(row)
+    if args.json:
+        print(_json.dumps({
+            "target": name,
+            "input_len": len(data),
+            "trapped": result.trap.kind if result.trap is not None else None,
+            "truncated": condition.truncated,
+            "constraints": rows,
+        }, indent=2, sort_keys=True))
+        return 0
+    print("%s: %d byte(s), %d symbolic constraint(s)%s"
+          % (name, len(data), len(condition),
+             ", truncated" if condition.truncated else ""))
+    if result.trap is not None:
+        print("  input already traps: %s" % result.trap.kind)
+    for row in rows:
+        print("  [%d] %s" % (row["index"], row["constraint"]))
+        if "witness" not in row:
+            print("      (not attempted; raise --flips)")
+        elif row["witness"] is None:
+            why = "support cap" if row.get("gave_up") else (
+                "%d nodes exhausted" % args.node_budget)
+            print("      unsolved (%s)" % why)
+        else:
+            witness = row["witness"]
+            edits = ", ".join(
+                "byte[%s]=%d" % item for item in witness["assignment"].items()
+            )
+            outcome = (
+                "TRAP %s" % witness["trap"]
+                if witness["trap"]
+                else "retval %d" % witness["retval"]
+            )
+            print("      flipped with %s (%d nodes) -> %s"
+                  % (edits, row["nodes"], outcome))
+    return 0
 
 
 def cmd_telemetry(args):
@@ -1180,6 +1358,7 @@ def main(argv=None):
         "fuzz": cmd_fuzz,
         "cmin": cmd_cmin,
         "lint": cmd_lint,
+        "solve": cmd_solve,
         "report": cmd_report,
         "telemetry": cmd_telemetry,
         "bench": cmd_bench,

@@ -16,6 +16,7 @@ the extensions:
 ``block``       AFL++-like engine + block coverage (weakest feedback)
 ``path2gram``   path + 2-grams of consecutive acyclic paths (Sec. VII)
 ``taint``       pcguard + taint-guided rare-branch targeting (DESIGN §12)
+``concolic``    taint + plateau-triggered concolic solving (DESIGN §14)
 ==============  ============================================================
 
 The paper's timing ratios are preserved: 48-hour campaigns, 6-hour culling
@@ -94,6 +95,12 @@ FUZZER_CONFIGS = {
     "path2gram": ConfigSpec("path2gram", "plain", PathPairFeedback),
     "taint": ConfigSpec(
         "taint", "plain", EdgeFeedback, engine_overrides={"use_taint": True}
+    ),
+    "concolic": ConfigSpec(
+        "concolic",
+        "plain",
+        EdgeFeedback,
+        engine_overrides={"use_taint": True, "use_concolic": True},
     ),
 }
 

@@ -15,9 +15,12 @@ repertoire, no cmplog) approximating the AFL 2.52b base of PathAFL.
 
 from time import perf_counter as _perf_counter
 
+from repro.analysis.solver import apply_witness, solve_flip
+from repro.analysis.symbolic import extract_path_condition
 from repro.coverage.bitmap import VirginMap, classify_hits
 from repro.fuzzer.clock import EXEC_OVERHEAD, VirtualClock
 from repro.fuzzer.cmplog import candidates_from_log
+from repro.fuzzer.concolic import ConcolicState, concolic_enabled
 from repro.fuzzer.corpus import Queue
 from repro.fuzzer.masked import masked_candidates, masked_havoc, sweep_candidates
 from repro.fuzzer.mutators import deterministic_mutations, havoc, splice
@@ -50,6 +53,11 @@ class EngineConfig:
         "taint_energy",
         "taint_sweep_bytes",
         "taint_revisits",
+        "use_concolic",
+        "concolic_targets",
+        "concolic_max_bytes",
+        "concolic_node_budget",
+        "concolic_revisits",
     )
 
     def __init__(
@@ -72,6 +80,11 @@ class EngineConfig:
         taint_energy=32,
         taint_sweep_bytes=2,
         taint_revisits=4,
+        use_concolic=None,
+        concolic_targets=2,
+        concolic_max_bytes=4,
+        concolic_node_budget=4096,
+        concolic_revisits=2,
     ):
         self.max_input_len = max_input_len
         self.use_cmplog = use_cmplog
@@ -103,6 +116,18 @@ class EngineConfig:
         self.taint_energy = taint_energy
         self.taint_sweep_bytes = taint_sweep_bytes
         self.taint_revisits = taint_revisits
+        # Concolic escalation (repro.analysis.symbolic/.solver): None
+        # defers to REPRO_CONCOLIC (default off).  While coverage sits in
+        # an open plateau, ``concolic_targets`` rare branches per queue
+        # cycle get their champion's path condition extracted and the
+        # guard solved (bounded to ``concolic_max_bytes`` symbolic bytes
+        # and ``concolic_node_budget`` search nodes); each branch is
+        # escalated at most ``concolic_revisits`` times per campaign.
+        self.use_concolic = use_concolic
+        self.concolic_targets = concolic_targets
+        self.concolic_max_bytes = concolic_max_bytes
+        self.concolic_node_budget = concolic_node_budget
+        self.concolic_revisits = concolic_revisits
 
 
 def afl_engine_config(**overrides):
@@ -210,6 +235,11 @@ class FuzzEngine:
         # taint-off campaigns execute the exact pre-taint instruction
         # stream — the no-op overhead gate in CI pins this).
         self.taint = TaintState() if taint_enabled(self.config.use_taint) else None
+        # Concolic escalation state (None when off — same contract: off
+        # means the exact pre-concolic instruction stream, tick for tick).
+        self.concolic = (
+            ConcolicState() if concolic_enabled(self.config.use_concolic) else None
+        )
 
     # -- the outer loop ------------------------------------------------------
 
@@ -252,10 +282,17 @@ class FuzzEngine:
             if self._queue_index >= len(self.queue.entries):
                 self._queue_index = 0
                 self.cycle += 1
+                # Cycle-boundary stages run atomically w.r.t. the barrier:
+                # breaking between them would skip the later stage for this
+                # cycle and make barrier placement (checkpoint slicing)
+                # perturb the trajectory.  Both stages bound their own work
+                # against the clock *budget*, so overshoot stays bounded.
                 if self.taint is not None:
                     self._taint_cycle()
-                    if self.clock.ticks >= tick_target:
-                        break
+                if self.concolic is not None:
+                    self._concolic_cycle()
+                if self.clock.ticks >= tick_target:
+                    break
             entry = self.queue.entries[self._queue_index]
             self._queue_index += 1
             tel = self.telemetry
@@ -326,6 +363,9 @@ class FuzzEngine:
             "clock": self.clock.snapshot(),
             "rng": self.rng.getstate(),
             "taint": self.taint.snapshot() if self.taint is not None else None,
+            "concolic": (
+                self.concolic.snapshot() if self.concolic is not None else None
+            ),
         }
 
     def restore(self, state):
@@ -360,6 +400,9 @@ class FuzzEngine:
         taint_snap = state.get("taint")
         if self.taint is not None and taint_snap is not None:
             self.taint.restore(taint_snap)
+        concolic_snap = state.get("concolic")
+        if self.concolic is not None and concolic_snap is not None:
+            self.concolic.restore(concolic_snap)
         return self
 
     def save_checkpoint(self, path, meta=None, fingerprint=None):
@@ -587,6 +630,106 @@ class FuzzEngine:
             entry.taint_focus = frozenset(focus)
         return hit
 
+    # -- plateau-triggered concolic escalation (repro.analysis) ----------------
+
+    def _concolic_cycle(self):
+        """Once per queue cycle *while coverage is stalled*: solve rare guards."""
+        concolic = self.concolic
+        if not concolic.stalled():
+            return
+        if concolic.branch_index is None:
+            concolic.branch_index = build_branch_index(
+                self.program, self.instrumentation
+            )
+        targets = select_targets(
+            self.queue,
+            concolic.branch_index,
+            self.config.concolic_targets,
+            visits=concolic.visits,
+            max_visits=self.config.concolic_revisits,
+        )
+        for target in targets:
+            if self.clock.expired():
+                return
+            concolic.visits[target.index] = concolic.visits.get(target.index, 0) + 1
+            concolic.targets_selected += 1
+            self._concolic_target_stage(target)
+
+    def _concolic_target_stage(self, target):
+        """Extract the champion's path condition, solve flips of the guard."""
+        config = self.config
+        concolic = self.concolic
+        entry = target.entry
+        # Taint narrows the symbolic variable set to the branch's sound
+        # focus mask when available; without taint every byte is symbolic.
+        sym_bytes = None
+        if self.taint is not None:
+            tmap = self._taint_map_for(entry)
+            if tmap is not None:
+                focus, _frozen = tmap.target_masks(target.site, len(entry.data))
+                if focus:
+                    sym_bytes = focus
+        tel = self.telemetry
+        t0 = _perf_counter() if tel is not None else 0.0
+        result, condition = extract_path_condition(
+            self.program,
+            entry.data,
+            sym_bytes=sym_bytes,
+            instr_budget=config.exec_instr_budget,
+            call_depth_limit=config.call_depth_limit,
+        )
+        if tel is not None:
+            tel.record_exec(_perf_counter() - t0, result)
+        # The shadow replay is an execution like any other on the clock.
+        self.clock.charge(EXEC_OVERHEAD + result.virtual_cost)
+        self.execs += 1
+        concolic.extract_runs += 1
+        if self.execs % config.timeline_interval == 0:
+            self._snapshot()
+        if result.crashed or result.timeout:
+            return
+        for constraint in condition.at_site(target.site)[:2]:
+            if self.clock.expired():
+                return
+            concolic.solve_attempts += 1
+            assignment, stats = solve_flip(
+                constraint,
+                condition.prefix(constraint.index),
+                entry.data,
+                max_bytes=config.concolic_max_bytes,
+                node_budget=config.concolic_node_budget,
+            )
+            # Solving is deterministic work; it pays clock like mutation.
+            self.clock.charge(stats.clock_cost())
+            if assignment is not None:
+                concolic.solved += 1
+            flipped = False
+            if assignment is not None:
+                witness = apply_witness(entry.data, assignment)
+                flipped = self._witness_run(witness, entry, target)
+                if flipped:
+                    concolic.flips += 1
+            if tel is not None:
+                tel.record_concolic(target, stats, assignment is not None, flipped)
+            if flipped:
+                return
+
+    def _witness_run(self, data, parent, target):
+        """Execute one solver witness; True when the target branch flipped."""
+        concolic = self.concolic
+        concolic.witness_execs += 1
+        result = self._execute(data)
+        if result.timeout:
+            self._record_hang(data)
+            return False
+        if result.crashed:
+            self._record_crash(data, result)
+            return True  # reaching a trigger is the jackpot case
+        sibling = target.sibling_index
+        hit = sibling is not None and sibling in result.hits
+        self._process_result(data, result, parent.depth + 1)
+        return hit
+
     def _cmplog_stage(self, entry):
         """Harvest comparison operands, then try direct substitutions."""
         result = self._execute(entry.data, cmplog=True)
@@ -705,6 +848,10 @@ class FuzzEngine:
 
     def _snapshot(self):
         coverage = self.virgin.coverage_count()
+        if self.concolic is not None:
+            # The engine-owned stall detector rides the timeline cadence;
+            # it has no bus, so traced and untraced campaigns stay equal.
+            self.concolic.observe(self.clock.ticks, coverage, self.clock.budget)
         self.timeline.append(
             (
                 self.clock.ticks,

@@ -83,7 +83,7 @@ from repro.cfg.instructions import (
     STR,
     UN,
 )
-from repro.cfg.optimize import fold_binop, fold_unop
+from repro.analysis.foldops import fold_binop, fold_unop
 from repro.lang.builtins_spec import BUILTIN_NAMES
 from repro.runtime import traps
 from repro.runtime.interpreter import (

@@ -418,6 +418,50 @@ class TaintEvent(TelemetryEvent):
         }
 
 
+class ConcolicEvent(TelemetryEvent):
+    """One solve attempt of the plateau-triggered concolic stage.
+
+    ``index``/``rarity``/``site`` locate the escalated branch exactly as
+    :class:`TaintEvent` does; ``support`` is how many input bytes the
+    flipped guard's expression reads; ``nodes`` the solver search nodes
+    spent; ``solved`` whether a witness assignment was found; ``flipped``
+    whether replaying it actually took the branch's other arm.  Published
+    once per solve attempt (a handful per stalled queue cycle).
+    """
+
+    kind = "concolic"
+    __slots__ = (
+        "label", "tick", "index", "rarity", "site", "support", "nodes",
+        "solved", "flipped",
+    )
+
+    def __init__(self, label, tick, index, rarity, site, support, nodes,
+                 solved, flipped, wall=None):
+        super().__init__(wall)
+        self.label = label
+        self.tick = tick
+        self.index = index
+        self.rarity = rarity
+        self.site = site
+        self.support = support
+        self.nodes = nodes
+        self.solved = solved
+        self.flipped = flipped
+
+    def payload(self):
+        return {
+            "label": self.label,
+            "tick": self.tick,
+            "index": self.index,
+            "rarity": self.rarity,
+            "site": self.site,
+            "support": self.support,
+            "nodes": self.nodes,
+            "solved": self.solved,
+            "flipped": self.flipped,
+        }
+
+
 class ServiceEvent(TelemetryEvent):
     """One campaign-service operation (see :mod:`repro.service`).
 
@@ -469,6 +513,7 @@ EVENT_TYPES = {
         PlateauEvent,
         StoreEvent,
         TaintEvent,
+        ConcolicEvent,
         ServiceEvent,
     )
 }
@@ -683,6 +728,12 @@ def format_event_line(data):
         return "[taint @%s] idx=%s rarity=%s site=%s focus=%sB frozen=%sB" % (
             data.get("tick"), data.get("index"), data.get("rarity"),
             data.get("site"), data.get("focus"), data.get("frozen"))
+    if kind == "concolic":
+        return "[concolic @%s] idx=%s site=%s support=%sB nodes=%s %s" % (
+            data.get("tick"), data.get("index"), data.get("site"),
+            data.get("support"), data.get("nodes"),
+            "flipped" if data.get("flipped")
+            else ("solved" if data.get("solved") else "unsolved"))
     if kind == "campaign":
         return "[campaign %s] %s/%s#%s workers=%s" % (
             data.get("action"), data.get("subject"), data.get("config"),

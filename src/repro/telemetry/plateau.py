@@ -89,6 +89,35 @@ class PlateauDetector:
         self._gain_tick = 0  # tick of the last observed increase
         self._open = None
 
+    @property
+    def open_plateau(self):
+        """The currently open plateau, or None — the live stall signal."""
+        return self._open
+
+    def state(self):
+        """Picklable detector state (for engine checkpoints)."""
+        return {
+            "window": self.window,
+            "last_value": self._last_value,
+            "gain_tick": self._gain_tick,
+            "plateaus": [p._state() for p in self.plateaus],
+            "open": (
+                self.plateaus.index(self._open)
+                if self._open is not None
+                else None
+            ),
+        }
+
+    def set_state(self, state):
+        """Adopt a :meth:`state` dict; returns self."""
+        self.window = state["window"]
+        self._last_value = state["last_value"]
+        self._gain_tick = state["gain_tick"]
+        self.plateaus = [Plateau(*fields) for fields in state["plateaus"]]
+        index = state["open"]
+        self._open = self.plateaus[index] if index is not None else None
+        return self
+
     def observe(self, tick, value):
         """Feed one sample; returns a newly *opened* Plateau or None."""
         if self._last_value is None:

@@ -68,6 +68,7 @@ class TraceSummary:
         self.spans = [e for e in events if e.get("kind") == "span"]
         self.service = [e for e in events if e.get("kind") == "service"]
         self.taint = [e for e in events if e.get("kind") == "taint"]
+        self.concolic = [e for e in events if e.get("kind") == "concolic"]
         self.wall0 = min((e.get("wall", 0) for e in events), default=0)
 
     def title(self):
@@ -221,6 +222,52 @@ class TraceSummary:
         rows.sort()
         return rows[:limit]
 
+    def concolic_stats(self):
+        """Concolic-stage summary, or None when the subsystem was off.
+
+        Combines the per-attempt :class:`ConcolicEvent` stream with the
+        ``concolic.*`` counters of the last metrics snapshot.
+        """
+        attempts = solved = flips = 0
+        for e in self.metrics:
+            counters = (e.get("metrics") or {}).get("counters", {})
+            attempts = max(attempts, counters.get("concolic.attempts", 0))
+            solved = max(solved, counters.get("concolic.solved", 0))
+            flips = max(flips, counters.get("concolic.flips", 0))
+        if not self.concolic and not attempts:
+            return None
+        attempts = max(attempts, len(self.concolic))
+        solved = max(solved, len([e for e in self.concolic if e.get("solved")]))
+        flips = max(flips, len([e for e in self.concolic if e.get("flipped")]))
+        supports = [e.get("support", 0) for e in self.concolic]
+        return {
+            "attempts": attempts,
+            "solved": solved,
+            "flips": flips,
+            "solve_rate": solved / attempts if attempts else 0.0,
+            "mean_support": (
+                sum(supports) / len(supports) if supports else 0.0
+            ),
+        }
+
+    def concolic_attempts(self, limit=12):
+        """Most recent solve attempts as table rows (rarest branch first)."""
+        rows = [
+            (
+                e.get("rarity", 0),
+                e.get("index", 0),
+                e.get("site", "?"),
+                e.get("support", 0),
+                e.get("nodes", 0),
+                "flipped" if e.get("flipped")
+                else ("solved" if e.get("solved") else "unsolved"),
+                e.get("tick", 0),
+            )
+            for e in self.concolic
+        ]
+        rows.sort()
+        return rows[:limit]
+
     def fault_timeline(self):
         """[(seconds since trace start, label)] for restarts/drops/retries."""
         out = []
@@ -290,6 +337,18 @@ def summarize(events, skipped=0):
                 taint["mean_focus"],
             )
         )
+    concolic = s.concolic_stats()
+    if concolic:
+        lines.append(
+            "  concolic: %d solve attempt(s), %d solved, %d branch flip(s), "
+            "mean support %.1fB"
+            % (
+                concolic["attempts"],
+                concolic["solved"],
+                concolic["flips"],
+                concolic["mean_support"],
+            )
+        )
     for name, count, mean, p95 in s.span_table():
         lines.append(
             "  %-16s n=%-7d mean=%.3gms p95=%.3gms"
@@ -352,6 +411,34 @@ def render_markdown(events, skipped=0):
                 out.append(
                     "| %d | %d | %s | %d | %d | %d |"
                     % (rarity, index, site, focus, frozen, tick)
+                )
+            out.append("")
+    concolic = s.concolic_stats()
+    if concolic:
+        out.append("## Concolic escalation")
+        out.append("")
+        out.append(
+            "%d solve attempt(s), %d solved (%.1f%%), %d branch flip(s), "
+            "mean support %.1f bytes."
+            % (
+                concolic["attempts"],
+                concolic["solved"],
+                concolic["solve_rate"] * 100.0,
+                concolic["flips"],
+                concolic["mean_support"],
+            )
+        )
+        out.append("")
+        rows = s.concolic_attempts()
+        if rows:
+            out.append(
+                "| rarity | map index | site | support (B) | nodes | outcome | tick |"
+            )
+            out.append("|---|---|---|---|---|---|---|")
+            for rarity, index, site, support, nodes, outcome, tick in rows:
+                out.append(
+                    "| %d | %d | %s | %d | %d | %s | %d |"
+                    % (rarity, index, site, support, nodes, outcome, tick)
                 )
             out.append("")
     spans = s.span_table()
@@ -598,6 +685,34 @@ def render_html(events, skipped=0):
                     "<tr><td>%d</td><td>%d</td><td>%s</td><td>%d</td>"
                     "<td>%d</td><td>%d</td></tr>"
                     % (rarity, index, _esc(site), focus, frozen, tick)
+                )
+            body.append("</table>")
+    concolic = s.concolic_stats()
+    if concolic:
+        body.append("<h2>Concolic escalation</h2>")
+        body.append(
+            "<p>%d solve attempt(s), %d solved (%.1f%%), %d branch "
+            "flip(s), mean support %.1f bytes.</p>"
+            % (
+                concolic["attempts"],
+                concolic["solved"],
+                concolic["solve_rate"] * 100.0,
+                concolic["flips"],
+                concolic["mean_support"],
+            )
+        )
+        rows = s.concolic_attempts()
+        if rows:
+            body.append(
+                "<table><tr><th>rarity</th><th>map index</th><th>site</th>"
+                "<th>support (B)</th><th>nodes</th><th>outcome</th>"
+                "<th>tick</th></tr>"
+            )
+            for rarity, index, site, support, nodes, outcome, tick in rows:
+                body.append(
+                    "<tr><td>%d</td><td>%d</td><td>%s</td><td>%d</td>"
+                    "<td>%d</td><td>%s</td><td>%d</td></tr>"
+                    % (rarity, index, _esc(site), support, nodes, outcome, tick)
                 )
             body.append("</table>")
     spans = s.span_table()

@@ -20,7 +20,13 @@ equal to an untraced one.
 from bisect import bisect_left
 from time import perf_counter
 
-from repro.telemetry.bus import MetricsSnapshotEvent, SpanEvent, TaintEvent, get_bus
+from repro.telemetry.bus import (
+    ConcolicEvent,
+    MetricsSnapshotEvent,
+    SpanEvent,
+    TaintEvent,
+    get_bus,
+)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.plateau import PlateauDetector
 
@@ -176,6 +182,37 @@ class EngineTelemetry:
         self.registry.counter("taint.masked_execs").value += 1
         if hit:
             self.registry.counter("taint.masked_hits").value += 1
+
+    def record_concolic(self, target, stats, solved, flipped):
+        """One concolic solve attempt: event + counters + search histograms.
+
+        Escalation happens only while coverage is stalled and a few times
+        per cycle, so per-attempt :class:`ConcolicEvent` publishing is
+        well within the overhead budget.
+        """
+        self.registry.counter("concolic.attempts").value += 1
+        if solved:
+            self.registry.counter("concolic.solved").value += 1
+        if flipped:
+            self.registry.counter("concolic.flips").value += 1
+        self.registry.histogram("concolic.support_bytes").observe(
+            stats.support_bytes
+        )
+        self.registry.histogram("concolic.nodes").observe(stats.nodes)
+        tick = self.registry.gauge("tick").value
+        self.bus.publish(
+            ConcolicEvent(
+                self.label,
+                tick,
+                target.index,
+                target.rarity,
+                "%s:%d" % target.site,
+                stats.support_bytes,
+                stats.nodes,
+                solved,
+                flipped,
+            )
+        )
 
     # -- periodic sampling (timeline cadence) ---------------------------------
 

@@ -130,3 +130,60 @@ def test_cmin_minimizes_store_queue(tmp_path, capsys, monkeypatch):
 def test_cmin_rejects_missing_input_dir(tmp_path):
     with pytest.raises(SystemExit):
         main(["cmin", "flvmeta", str(tmp_path / "nope"), str(tmp_path / "o")])
+
+
+def test_show_constraints_prints_seed_path_conditions(capsys):
+    assert main(["show", "gdk", "--constraints", "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "symbolic constraint(s)" in out
+    assert "byte[0]" in out
+
+
+def test_solve_flips_subject_guard(tmp_path, capsys):
+    path = str(tmp_path / "input.bin")
+    with open(path, "wb") as handle:
+        handle.write(b"MAGC\x00\x00")
+    assert main(["solve", "gdk", path]) == 0
+    out = capsys.readouterr().out
+    assert "symbolic constraint(s)" in out
+    assert "flipped with byte[0]=80" in out
+
+
+def test_solve_json_reports_verified_witness(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "input.bin")
+    with open(path, "wb") as handle:
+        handle.write(b"MAGC\x00\x00")
+    assert main(["solve", "gdk", path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["target"] == "gdk"
+    rows = payload["constraints"]
+    assert rows and rows[0]["witness"]["assignment"] == {"0": 80}
+
+
+def test_solve_source_file_target(tmp_path, capsys):
+    source = str(tmp_path / "prog.minic")
+    with open(source, "w") as handle:
+        handle.write(
+            "fn main(input) {\n"
+            "    if (len(input) < 1) { return 0; }\n"
+            "    if (input[0] * 3 == 96) { trap(1); }\n"
+            "    return 1;\n"
+            "}\n"
+        )
+    path = str(tmp_path / "input.bin")
+    with open(path, "wb") as handle:
+        handle.write(b"\x00")
+    assert main(["solve", source, path]) == 0
+    out = capsys.readouterr().out
+    assert "flipped with byte[0]=32" in out
+    assert "TRAP" in out
+
+
+def test_solve_rejects_unknown_target(tmp_path):
+    path = str(tmp_path / "input.bin")
+    with open(path, "wb") as handle:
+        handle.write(b"x")
+    with pytest.raises(SystemExit):
+        main(["solve", "no-such-subject", path])

@@ -12,7 +12,7 @@ from repro.analysis.feasibility import (
 )
 from repro.ballarus.plan import FunctionPathPlan, build_program_plans
 from repro.lang import compile_source
-from repro.subjects import get_subject
+from repro.subjects import get_subject, load_suite
 from repro.triage.pathreport import profile_input
 from tests.genprog import programs
 
@@ -93,6 +93,59 @@ def test_lame_prunes_most_of_its_path_space():
     subject = get_subject("lame")
     space = program_path_space(subject.program)
     assert space["infeasible_paths"] > space["num_paths"] // 2
+
+
+MASKED_RANGE = """
+fn main(input) {
+    var x = input[0] & 15;
+    var out = 0;
+    if (x > 20) { out = 1; }
+    if (x < 16) { out = out + 2; }
+    return out;
+}
+"""
+
+RANGE_EXCLUSIVE = """
+fn main(input) {
+    var n = input[0];
+    var out = 0;
+    if (n < 4) { out = 1; }
+    if (n > 200) { out = out + 2; }
+    return out;
+}
+"""
+
+
+def test_interval_refinement_prunes_masked_range_paths():
+    # SCCP knows nothing about x (input-dependent), but x = input[0] & 15
+    # lies in [0, 15]: the true edge of x > 20 and the false edge of
+    # x < 16 are both range-refuted, leaving exactly one feasible path.
+    cfg = compile_source(MASKED_RANGE).func("main")
+    result = analyze_function(cfg)
+    assert result.num_paths == 4
+    assert result.feasible_paths == 1
+
+
+def test_interval_refinement_prunes_ordering_contradictions():
+    # n < 4 and n > 200 cannot hold on one path; the doubly-true path
+    # dies through comparison clamping, the other three survive.
+    cfg = compile_source(RANGE_EXCLUSIVE).func("main")
+    result = analyze_function(cfg)
+    assert result.num_paths == 4
+    assert result.feasible_paths == 3
+
+
+def test_suite_infeasibility_beats_sccp_baseline():
+    # PR 5's SCCP-only pruner proved 9467 of 12267 numbered paths
+    # statically infeasible across the 18 subjects; interval refinement
+    # must strictly improve on that without changing the numbered space.
+    num_paths = infeasible = 0
+    for subject in load_suite():
+        space = program_path_space(subject.program)
+        num_paths += space["num_paths"]
+        infeasible += space["infeasible_paths"]
+    assert num_paths == 12267
+    assert infeasible > 9467
 
 
 # -- soundness: every dynamically observed path is statically feasible -------

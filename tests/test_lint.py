@@ -90,6 +90,50 @@ def test_constant_condition():
     assert "false" in hits[0].message or "not taken" in hits[0].message
 
 
+def test_tautological_comparison_by_value_ranges():
+    # x is input-dependent (SCCP sees nothing), but x & 15 is in [0, 15]
+    # so x > 20 is provably false — only the interval rule can say so.
+    findings = lint_source(
+        """
+fn main(input) {
+    var x = input[0] & 15;
+    if (x > 20) { return 1; }
+    return 0;
+}
+"""
+    )
+    hits = by_rule(findings, "tautological-comparison")
+    assert len(hits) == 1
+    assert hits[0].severity == "warning"
+    assert "false" in hits[0].message
+    assert by_rule(findings, "constant-condition") == []
+
+
+def test_tautological_comparison_true_direction():
+    findings = lint_source(
+        """
+fn main(input) {
+    var x = read16(input, 0);
+    if (x < 100000) { return 1; }
+    return 0;
+}
+"""
+    )
+    hits = by_rule(findings, "tautological-comparison")
+    assert len(hits) == 1
+    assert "true" in hits[0].message
+
+
+def test_sccp_constant_branch_not_double_reported():
+    # A genuinely constant guard stays a constant-condition finding and
+    # must not also appear as tautological-comparison.
+    findings = lint_source(
+        "fn main(input) { if (1 == 2) { return 3; } return 0; }"
+    )
+    assert by_rule(findings, "constant-condition")
+    assert by_rule(findings, "tautological-comparison") == []
+
+
 def test_intentional_infinite_loop_not_flagged_as_constant_at_ast_level():
     # while(1){...break...} has an exit; only the dedicated IR rule may
     # mention the constant branch, the loop itself is legal.
